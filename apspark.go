@@ -1,0 +1,238 @@
+// Package apspark is a from-scratch Go reproduction of "Solving All-Pairs
+// Shortest-Paths Problem in Large Graphs Using Apache Spark" (Schoeneman &
+// Zola, ICPP 2019). It provides:
+//
+//   - the paper's four distributed APSP solvers (Repeated Squaring, 2D
+//     Floyd-Warshall, Blocked In-Memory, Blocked Collect/Broadcast) built
+//     from the Table-1 functional building blocks;
+//   - the Spark substrate they run on — an RDD engine with lineage,
+//     shuffles, custom partitioners (multi-diagonal and pySpark's
+//     portable_hash) and collect/broadcast — plus a virtual 32-node,
+//     1,024-core GbE cluster with calibrated cost accounting;
+//   - sequential references (Floyd-Warshall, blocked FW, Johnson,
+//     repeated squaring) and two MPI baselines (FW-2D-GbE, DC-GbE) on a
+//     message-passing simulator;
+//   - a benchmark harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// # Quick start
+//
+//	g, _ := apspark.NewErdosRenyiGraph(512, apspark.PaperEdgeProb(512), 42)
+//	res, _ := apspark.Solve(g, apspark.Config{Solver: apspark.SolverCB, BlockSize: 64})
+//	fmt.Println(res.Dist.At(0, 100))          // shortest-path length 0 -> 100
+//	fmt.Println(res.VirtualSeconds)           // simulated cluster time
+//
+// Paper-scale projections run on phantom (shape-only) data:
+//
+//	res, _ := apspark.Project(262144, apspark.Config{Solver: apspark.SolverCB, BlockSize: 2560})
+//	fmt.Println(res.ProjectedSeconds / 3600)  // hours on 1,024 cores
+package apspark
+
+import (
+	"fmt"
+
+	"apspark/internal/cluster"
+	"apspark/internal/core"
+	"apspark/internal/costmodel"
+	"apspark/internal/graph"
+	"apspark/internal/matrix"
+	"apspark/internal/rdd"
+	"apspark/internal/seq"
+)
+
+// SolverKind selects one of the paper's four APSP strategies.
+type SolverKind string
+
+const (
+	// SolverRS is Repeated Squaring (paper §4.2, impure).
+	SolverRS SolverKind = "rs"
+	// SolverFW2D is 2D Floyd-Warshall (paper §4.3, pure).
+	SolverFW2D SolverKind = "fw2d"
+	// SolverIM is Blocked In-Memory (paper §4.4, pure).
+	SolverIM SolverKind = "im"
+	// SolverCB is Blocked Collect/Broadcast (paper §4.5, impure, fastest).
+	SolverCB SolverKind = "cb"
+)
+
+// Partitioner re-exports the paper's two RDD partitioners.
+const (
+	PartitionerMD = core.PartitionerMD
+	PartitionerPH = core.PartitionerPH
+)
+
+// Graph is a weighted undirected input graph.
+type Graph = graph.Graph
+
+// Edge is one weighted undirected edge.
+type Edge = graph.Edge
+
+// Matrix is a dense distance/adjacency matrix.
+type Matrix = matrix.Block
+
+// Inf is the distance value meaning "no path".
+var Inf = matrix.Inf
+
+// NewGraph builds a graph from an edge list.
+func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// NewErdosRenyiGraph samples G(n, p) with weights uniform in [1, 10) —
+// the paper's §5.1 test-data family.
+func NewErdosRenyiGraph(n int, p float64, seed int64) (*Graph, error) {
+	return graph.ErdosRenyi(n, p, 10, seed)
+}
+
+// PaperEdgeProb is the paper's edge probability (1+0.1)·ln(n)/n.
+func PaperEdgeProb(n int) float64 { return graph.ErdosRenyiPaperProb(n) }
+
+// Config configures a solve.
+type Config struct {
+	// Solver picks the strategy (default SolverCB, the paper's best).
+	Solver SolverKind
+	// BlockSize is the 2D-decomposition parameter b (default n/8, capped
+	// to at least 1).
+	BlockSize int
+	// Partitioner is MD or PH (default MD).
+	Partitioner core.PartitionerKind
+	// PartsPerCore is the over-decomposition factor B (default 2).
+	PartsPerCore int
+	// Cluster is the virtual cluster (default: the paper's 32 x 32-core
+	// machine). Tests may shrink it; results are unaffected, only the
+	// simulated time changes.
+	Cluster *cluster.Config
+	// Model is the kernel cost model (default: paper-calibrated). Use
+	// costmodel.Calibrate for live-hardware projections.
+	Model *costmodel.KernelModel
+	// MaxUnits truncates the run for measurement/projection purposes.
+	MaxUnits int
+	// Verify cross-checks the distributed result against sequential
+	// Floyd-Warshall and fails if they diverge.
+	Verify bool
+	// Trace records the per-stage timeline (Result.Timeline). Off by
+	// default: paper-scale runs execute hundreds of thousands of stages.
+	Trace bool
+}
+
+// Result is a solve outcome.
+type Result struct {
+	// Dist is the n x n distance matrix (nil for phantom or truncated
+	// runs).
+	Dist *Matrix
+	// VirtualSeconds is the simulated cluster time; ProjectedSeconds
+	// extrapolates truncated runs to completion.
+	VirtualSeconds   float64
+	ProjectedSeconds float64
+	// UnitsRun / UnitsTotal report iteration progress.
+	UnitsRun, UnitsTotal int
+	// Metrics exposes the cluster accounting (shuffle bytes, stage
+	// counts, storage traffic, ...).
+	Metrics cluster.Metrics
+	// Solver is the paper name of the strategy used.
+	Solver string
+	// Timeline is the per-stage trace (only when Config.Trace was set).
+	Timeline []cluster.StageRecord
+}
+
+func (c Config) prepare(n int) (core.Solver, core.Options, *rdd.Context, error) {
+	if c.Solver == "" {
+		c.Solver = SolverCB
+	}
+	solver, err := core.SolverByName(string(c.Solver))
+	if err != nil {
+		return nil, core.Options{}, nil, err
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = n / 8
+		if c.BlockSize < 1 {
+			c.BlockSize = 1
+		}
+	}
+	cc := cluster.Paper()
+	if c.Cluster != nil {
+		cc = *c.Cluster
+	}
+	clu, err := cluster.New(cc)
+	if err != nil {
+		return nil, core.Options{}, nil, err
+	}
+	model := costmodel.PaperKernels()
+	if c.Model != nil {
+		model = *c.Model
+	}
+	if c.Trace {
+		clu.EnableTrace()
+	}
+	ctx := core.NewContext(clu, model)
+	opts := core.Options{
+		BlockSize:    c.BlockSize,
+		Partitioner:  c.Partitioner,
+		PartsPerCore: c.PartsPerCore,
+		MaxUnits:     c.MaxUnits,
+	}
+	return solver, opts, ctx, nil
+}
+
+func wrap(res *core.Result) *Result {
+	return &Result{
+		Dist:             res.Dist,
+		VirtualSeconds:   res.VirtualSeconds,
+		ProjectedSeconds: res.ProjectedSeconds,
+		UnitsRun:         res.UnitsRun,
+		UnitsTotal:       res.UnitsTotal,
+		Metrics:          res.Metrics,
+		Solver:           res.Solver,
+	}
+}
+
+// Solve runs a distributed APSP solve with real data and returns the
+// distance matrix alongside the simulated cluster time.
+func Solve(g *Graph, cfg Config) (*Result, error) {
+	solver, opts, ctx, err := cfg.prepare(g.N)
+	if err != nil {
+		return nil, err
+	}
+	in, err := core.NewInput(g.Dense(), opts.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	res, err := solver.Solve(ctx, in, opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Verify && res.Dist != nil {
+		want := seq.FloydWarshall(g)
+		if !res.Dist.AllClose(want, 1e-9) {
+			return nil, fmt.Errorf("apspark: %s result diverges from sequential Floyd-Warshall", solver.Name())
+		}
+	}
+	out := wrap(res)
+	out.Timeline = ctx.Cluster.Timeline()
+	return out, nil
+}
+
+// Project runs a paper-scale virtual solve on phantom (shape-only) data:
+// no distances are computed, but the simulated cluster replays the full
+// task, shuffle and storage schedule and reports its virtual time.
+func Project(n int, cfg Config) (*Result, error) {
+	solver, opts, ctx, err := cfg.prepare(n)
+	if err != nil {
+		return nil, err
+	}
+	in, err := core.NewPhantomInput(n, opts.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	res, err := solver.Solve(ctx, in, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := wrap(res)
+	out.Timeline = ctx.Cluster.Timeline()
+	return out, nil
+}
+
+// SequentialAPSP computes the distance matrix with the sequential
+// Floyd-Warshall reference — the paper's T1 baseline.
+func SequentialAPSP(g *Graph) *Matrix { return seq.FloydWarshall(g) }
+
+// Johnson computes the distance matrix with Johnson's algorithm.
+func Johnson(g *Graph) (*Matrix, error) { return seq.Johnson(g) }

@@ -1,0 +1,125 @@
+// Command apsp-bench regenerates the paper's tables and figures on the
+// virtual cluster.
+//
+// Usage:
+//
+//	apsp-bench fig2              # Figure 2: kernel time vs block size
+//	apsp-bench fig3              # Figure 3: IM/CB sweep + partition census
+//	apsp-bench table2            # Table 2: block size / partitioner sweep
+//	apsp-bench table3            # Table 3 + Figure 5: weak scaling
+//	apsp-bench all               # everything
+//
+// Flags scale the experiments down for quick runs (-quick) or swap in a
+// live-calibrated kernel model (-calibrate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apspark/internal/bench"
+	"apspark/internal/costmodel"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scaled-down configurations (seconds instead of minutes)")
+	calibrate := flag.Bool("calibrate", false, "calibrate the kernel model on this machine first")
+	flag.Parse()
+
+	model := costmodel.PaperKernels()
+	if *calibrate {
+		model = costmodel.Calibrate(256)
+		fmt.Printf("calibrated kernel model: FW %.2f Gops, min-plus %.2f Gops\n\n",
+			model.FWRateIn/1e9, model.MPRateIn/1e9)
+	}
+
+	what := "all"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+	run := func(name string, f func(costmodel.KernelModel, bool) error) {
+		if what != "all" && what != name {
+			return
+		}
+		if err := f(model, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "apsp-bench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	run("fig2", fig2)
+	run("fig3", fig3)
+	run("table2", table2)
+	run("table3", table3)
+	switch what {
+	case "all", "fig2", "fig3", "table2", "table3":
+	default:
+		fmt.Fprintf(os.Stderr, "apsp-bench: unknown target %q (want fig2|fig3|table2|table3|all)\n", what)
+		os.Exit(2)
+	}
+}
+
+func fig2(model costmodel.KernelModel, quick bool) error {
+	cfg := bench.Fig2Config{Model: model, Measure: true}
+	if quick {
+		cfg.Sizes = []int{256, 512, 1024, 2048, 4096}
+		cfg.MeasureCap = 256
+	}
+	fmt.Println(bench.Figure2Table(bench.Figure2(cfg)))
+	return nil
+}
+
+func fig3(model costmodel.KernelModel, quick bool) error {
+	cfg := bench.Fig3Config{Model: model}
+	if quick {
+		cfg.N = 32768
+		cfg.BlockSizes = []int{512, 1024, 2048}
+		cfg.MaxUnits = 4
+	}
+	pts, err := bench.Figure3(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.Figure3Table(pts))
+
+	n, sizes := 131072, []int(nil)
+	if quick {
+		n, sizes = 32768, []int{512, 1024, 2048}
+	}
+	census, err := bench.Figure3Partitions(n, 1024, 2, sizes)
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.Figure3PartitionsTable(census))
+	return nil
+}
+
+func table2(model costmodel.KernelModel, quick bool) error {
+	cfg := bench.Table2Config{Model: model}
+	if quick {
+		cfg.N = 32768
+		cfg.BlockSizes = []int{256, 512, 1024}
+		cfg.UnitsToRun = 2
+	}
+	rows, err := bench.Table2(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.Table2Table(rows))
+	return nil
+}
+
+func table3(model costmodel.KernelModel, quick bool) error {
+	cfg := bench.Table3Config{Model: model}
+	if quick {
+		cfg.Ps = []int{64, 256}
+		cfg.MPIPs = []int{64, 256}
+		cfg.MaxUnits = 4
+	}
+	rows, err := bench.Table3(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.Table3Table(rows, model, cfg.VerticesPerCore))
+	return nil
+}

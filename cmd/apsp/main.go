@@ -1,0 +1,134 @@
+// Command apsp runs one APSP solver on one graph, either for real (small
+// n, verified result) or as a paper-scale virtual projection.
+//
+// Usage:
+//
+//	apsp -n 512 -b 64 -solver cb -verify          # real solve
+//	apsp -n 262144 -b 2560 -solver cb -phantom    # paper-scale projection
+//	apsp -n 131072 -b 512 -solver im -phantom     # reproduces the storage failure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"apspark"
+	"apspark/internal/bench"
+	"apspark/internal/cluster"
+	"apspark/internal/core"
+	"apspark/internal/costmodel"
+	"apspark/internal/graph"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 512, "number of vertices")
+		b         = flag.Int("b", 64, "block size")
+		solver    = flag.String("solver", "cb", "solver: rs | fw2d | im | cb")
+		partition = flag.String("partitioner", "MD", "partitioner: MD | PH")
+		bpc       = flag.Int("B", 2, "RDD partitions per core")
+		seed      = flag.Int64("seed", 42, "graph seed")
+		phantom   = flag.Bool("phantom", false, "virtual (shape-only) paper-scale run")
+		maxUnits  = flag.Int("max-units", 0, "truncate after this many iteration units (0 = full run)")
+		verify    = flag.Bool("verify", false, "cross-check against sequential Floyd-Warshall (real runs)")
+		cores     = flag.Int("p", 1024, "virtual cluster cores (multiple of 32)")
+		calibrate = flag.Bool("calibrate", false, "calibrate the kernel model on this machine")
+		input     = flag.String("input", "", "read the graph from an edge-list file instead of generating one")
+		trace     = flag.Bool("trace", false, "print the slowest virtual stages afterwards")
+	)
+	flag.Parse()
+
+	cc, err := cluster.PaperScaled(*cores)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := apspark.Config{
+		Solver:       apspark.SolverKind(*solver),
+		BlockSize:    *b,
+		Partitioner:  core.PartitionerKind(*partition),
+		PartsPerCore: *bpc,
+		Cluster:      &cc,
+		MaxUnits:     *maxUnits,
+		Verify:       *verify,
+		Trace:        *trace,
+	}
+	if *calibrate {
+		m := costmodel.Calibrate(256)
+		cfg.Model = &m
+		fmt.Printf("calibrated: FW %.2f Gops, min-plus %.2f Gops\n", m.FWRateIn/1e9, m.MPRateIn/1e9)
+	}
+
+	var res *apspark.Result
+	if *phantom {
+		res, err = apspark.Project(*n, cfg)
+	} else {
+		var g *apspark.Graph
+		if *input != "" {
+			f, ferr := os.Open(*input)
+			if ferr != nil {
+				fatal(ferr)
+			}
+			g, err = graph.ReadEdgeList(f)
+			f.Close()
+		} else {
+			g, err = apspark.NewErdosRenyiGraph(*n, apspark.PaperEdgeProb(*n), *seed)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("graph: n=%d edges=%d\n", g.N, g.NumEdges())
+		res, err = apspark.Solve(g, cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("solver:            %s (partitioner %s, b=%d, B=%d, p=%d)\n", res.Solver, *partition, *b, *bpc, *cores)
+	fmt.Printf("iteration units:   %d of %d\n", res.UnitsRun, res.UnitsTotal)
+	fmt.Printf("virtual time:      %s\n", bench.FormatDuration(res.VirtualSeconds))
+	if res.UnitsRun < res.UnitsTotal {
+		fmt.Printf("projected total:   %s\n", bench.FormatDuration(res.ProjectedSeconds))
+	}
+	m := res.Metrics
+	fmt.Printf("stages/tasks:      %d / %d (%d retries)\n", m.Stages, m.Tasks, m.TaskRetries)
+	fmt.Printf("shuffle bytes:     %s\n", fmtBytes(m.ShuffleBytes))
+	fmt.Printf("shared FS r/w:     %s / %s\n", fmtBytes(m.SharedReadBytes), fmtBytes(m.SharedWriteBytes))
+	fmt.Printf("collect/broadcast: %s / %s\n", fmtBytes(m.CollectBytes), fmtBytes(m.BroadcastBytes))
+	fmt.Printf("peak local SSD:    %s per node\n", fmtBytes(m.LocalPeakBytes))
+	if res.Dist != nil && *verify {
+		fmt.Println("verification:      OK (matches sequential Floyd-Warshall)")
+	}
+	if *trace && len(res.Timeline) > 0 {
+		tl := res.Timeline
+		sort.Slice(tl, func(i, j int) bool { return tl[i].Makespan > tl[j].Makespan })
+		k := 10
+		if len(tl) < k {
+			k = len(tl)
+		}
+		fmt.Printf("slowest %d of %d stages:\n", k, len(tl))
+		for _, s := range tl[:k] {
+			fmt.Printf("  %-28s %5d tasks  %8.3fs makespan  (work %8.3fs)\n",
+				s.Name, s.Tasks, s.Makespan, s.ComputeSum)
+		}
+	}
+}
+
+func fmtBytes(b int64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%d B", b)
+	}
+	div, exp := int64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apsp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,237 @@
+// Isomap: the paper's §1 motivating workload. Shortest paths over a
+// k-nearest-neighbour graph of high-dimensional points approximate
+// geodesic distances on the underlying manifold (Tenenbaum et al., 2000);
+// feeding them to classical multidimensional scaling recovers the
+// manifold's low-dimensional parametrization. This example runs the full
+// pipeline — swiss-roll sampling, kNN graph, distributed APSP with
+// Blocked-CB, double centering, and power-iteration eigendecomposition —
+// and checks that the first recovered coordinate tracks the roll's
+// unrolled arc length.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+
+	"apspark"
+)
+
+const (
+	nPoints = 400
+	kNN     = 10
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Sample the swiss roll: (t cos t, h, t sin t) with t in [1.5pi, 4.5pi].
+	// Sampling uniformly in *arc length* (not in t) keeps the point
+	// density constant along the roll, so the kNN graph cannot shortcut
+	// between adjacent sheets in the stretched outer region.
+	arcOf := func(t float64) float64 { return 0.5 * (t*math.Sqrt(1+t*t) + math.Asinh(t)) }
+	tOf := func(s float64) float64 { // invert arcOf by Newton iteration
+		t := math.Sqrt(2 * s)
+		for i := 0; i < 8; i++ {
+			t -= (arcOf(t) - s) / math.Sqrt(1+t*t)
+		}
+		return t
+	}
+	t0, t1 := 1.5*math.Pi, 4.5*math.Pi
+	s0, s1 := arcOf(t0), arcOf(t1)
+	pts := make([][3]float64, nPoints)
+	ts := make([]float64, nPoints)
+	arc := make([]float64, nPoints) // unrolled coordinate: arc length in t
+	for i := range pts {
+		s := s0 + (s1-s0)*rng.Float64()
+		t := tOf(s)
+		h := 12 * rng.Float64()
+		pts[i] = [3]float64{t * math.Cos(t), h, t * math.Sin(t)}
+		ts[i] = t
+		arc[i] = s
+	}
+
+	g, err := knnGraph(pts, kNN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kNN graph: %d vertices, %d edges, connected=%v\n", g.N, g.NumEdges(), g.Connected())
+
+	// Geodesic distances via the distributed APSP solver.
+	res, err := apspark.Solve(g, apspark.Config{Solver: apspark.SolverCB, BlockSize: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("APSP: %s, %.1f s of virtual cluster time, %d stages\n",
+		res.Solver, res.VirtualSeconds, res.Metrics.Stages)
+
+	// Classical MDS on the geodesic distance matrix.
+	emb, ok := classicalMDS(res.Dist.Data, nPoints, 2)
+	if !ok {
+		log.Fatal("isomap: MDS power iteration did not converge")
+	}
+
+	// The first MDS axis should recover the unrolled arc-length
+	// coordinate up to sign: check |Pearson correlation|.
+	c := math.Abs(pearson(column(emb, 0), arc))
+	fmt.Printf("|corr(MDS axis 1, unrolled arc length)| = %.3f\n", c)
+	if c > 0.9 {
+		fmt.Println("isomap: manifold parametrization recovered (correlation > 0.9)")
+	} else {
+		fmt.Println("isomap: WARNING — weak recovery; try more points or neighbours")
+	}
+
+	// Contrast with naive Euclidean MDS, which cannot unroll the manifold.
+	eu := make([]float64, nPoints*nPoints)
+	for i := 0; i < nPoints; i++ {
+		for j := 0; j < nPoints; j++ {
+			eu[i*nPoints+j] = euclid(pts[i], pts[j])
+		}
+	}
+	embE, _ := classicalMDS(eu, nPoints, 2)
+	cE := math.Abs(pearson(column(embE, 0), arc))
+	fmt.Printf("|corr| with plain Euclidean distances instead: %.3f (geodesic should win)\n", cE)
+}
+
+func euclid(a, b [3]float64) float64 {
+	dx, dy, dz := a[0]-b[0], a[1]-b[1], a[2]-b[2]
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// knnGraph links every point to its k nearest neighbours (symmetrized).
+func knnGraph(pts [][3]float64, k int) (*apspark.Graph, error) {
+	n := len(pts)
+	var edges []apspark.Edge
+	type nd struct {
+		j int
+		d float64
+	}
+	for i := 0; i < n; i++ {
+		cand := make([]nd, 0, n-1)
+		for j := 0; j < n; j++ {
+			if i != j {
+				cand = append(cand, nd{j, euclid(pts[i], pts[j])})
+			}
+		}
+		sort.Slice(cand, func(a, b int) bool { return cand[a].d < cand[b].d })
+		for _, c := range cand[:k] {
+			edges = append(edges, apspark.Edge{U: i, V: c.j, W: c.d})
+		}
+	}
+	return apspark.NewGraph(n, edges)
+}
+
+// classicalMDS double-centers the squared distance matrix and extracts
+// the top dims eigenpairs with power iteration + deflation.
+func classicalMDS(dist []float64, n, dims int) ([][]float64, bool) {
+	// B = -1/2 * J D^2 J, J = I - 11^T/n.
+	b := make([]float64, n*n)
+	rowMean := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := dist[i*n+j]
+			sq := d * d
+			b[i*n+j] = sq
+			rowMean[i] += sq
+			total += sq
+		}
+	}
+	for i := range rowMean {
+		rowMean[i] /= float64(n)
+	}
+	total /= float64(n) * float64(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b[i*n+j] = -0.5 * (b[i*n+j] - rowMean[i] - rowMean[j] + total)
+		}
+	}
+
+	emb := make([][]float64, n)
+	for i := range emb {
+		emb[i] = make([]float64, dims)
+	}
+	for d := 0; d < dims; d++ {
+		vec, val, ok := powerIteration(b, n, 3000, 1e-10)
+		if !ok || val <= 0 {
+			return emb, false
+		}
+		scale := math.Sqrt(val)
+		for i := 0; i < n; i++ {
+			emb[i][d] = vec[i] * scale
+		}
+		// Deflate: B -= val * v v^T.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i*n+j] -= val * vec[i] * vec[j]
+			}
+		}
+	}
+	return emb, true
+}
+
+func powerIteration(m []float64, n, iters int, tol float64) ([]float64, float64, bool) {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(n))
+	}
+	w := make([]float64, n)
+	var val, prev float64
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			s := 0.0
+			row := m[i*n : (i+1)*n]
+			for j, vj := range v {
+				s += row[j] * vj
+			}
+			w[i] = s
+		}
+		norm := 0.0
+		for _, x := range w {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return v, 0, false
+		}
+		for i := range v {
+			v[i] = w[i] / norm
+		}
+		val = norm
+		if it > 0 && math.Abs(val-prev) < tol*math.Abs(val) {
+			return v, val, true
+		}
+		prev = val
+	}
+	return v, val, true
+}
+
+func column(emb [][]float64, d int) []float64 {
+	out := make([]float64, len(emb))
+	for i := range emb {
+		out[i] = emb[i][d]
+	}
+	return out
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		cov += (x[i] - mx) * (y[i] - my)
+		vx += (x[i] - mx) * (x[i] - mx)
+		vy += (y[i] - my) * (y[i] - my)
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

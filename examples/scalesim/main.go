@@ -1,0 +1,51 @@
+// Scalesim: replay the paper's headline experiment — the weak-scaling
+// study of §5.4 — on the virtual cluster, comparing the two blocked Spark
+// solvers against the MPI baselines, and print the Figure 5 Gops/core
+// series. Host time is seconds; simulated time is hours.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"apspark/internal/bench"
+	"apspark/internal/costmodel"
+)
+
+func main() {
+	cfg := bench.Table3Config{
+		// Keep the example snappy: a subset of the sweep with truncated
+		// runs (8 block-iterations each, projected to full). Drop
+		// MaxUnits for the paper's full virtual runs.
+		Ps:       []int{64, 256, 1024},
+		MPIPs:    []int{64, 256, 1024},
+		MaxUnits: 8,
+	}
+	rows, err := bench.Table3(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := costmodel.PaperKernels()
+	fmt.Println(bench.Table3Table(rows, model, 256))
+
+	fmt.Println("Figure 5 series (Gops/core vs p):")
+	series := map[string][]string{}
+	var order []string
+	for _, r := range rows {
+		if _, seen := series[r.Method]; !seen {
+			order = append(order, r.Method)
+		}
+		val := fmt.Sprintf("p=%d:%.3f", r.P, r.GopsPerCore)
+		if r.Failed {
+			val = fmt.Sprintf("p=%d:fail", r.P)
+		}
+		series[r.Method] = append(series[r.Method], val)
+	}
+	for _, m := range order {
+		fmt.Printf("  %-12s %v\n", m, series[m])
+	}
+	fmt.Printf("  %-12s [p=1:%.3f]\n", "Sequential", bench.SequentialGops(model, 256))
+
+	fmt.Println("\nExpected shape (paper Table 3): CB < IM; IM out of storage at p=1024;")
+	fmt.Println("DC-GbE fastest at every p; FW-2D-GbE competitive at p=64 but slowest at p=1024.")
+}

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"apspark/internal/cluster"
+	"apspark/internal/core"
+	"apspark/internal/costmodel"
+)
+
+// smallCluster keeps scaled-down experiment tests fast.
+func smallCluster() cluster.Config {
+	cfg := cluster.Paper()
+	cfg.Nodes = 4
+	cfg.CoresPerNode = 8
+	return cfg
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[float64]string{
+		45:     "45s",
+		143:    "2m23s",
+		6000:   "1h40m",
+		835200: "9d16h",
+		0.4:    "0s",
+		-1:     "-",
+		29340:  "8h9m",
+	}
+	for sec, want := range cases {
+		if got := FormatDuration(sec); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", sec, got, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "bb"}}
+	tb.Add("1", "2")
+	s := tb.String()
+	for _, want := range []string{"T\n", "a", "bb", "--", "1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	pts := Figure2(Fig2Config{
+		Model: costmodel.PaperKernels(),
+		Sizes: []int{256, 1024, 2048, 4096},
+	})
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Cubic growth and the cache knee: each step up in b raises both
+	// curves; the effective rate beyond the knee drops.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FWSeconds <= pts[i-1].FWSeconds || pts[i].MinPlusSeconds <= pts[i-1].MinPlusSeconds {
+			t.Fatalf("kernel curve not increasing at b=%d", pts[i].B)
+		}
+	}
+	if pts[0].MeasuredFW != 0 {
+		t.Fatal("measurement ran without being requested")
+	}
+	rendered := Figure2Table(pts).String()
+	if !strings.Contains(rendered, "4096") {
+		t.Fatalf("table missing sizes:\n%s", rendered)
+	}
+}
+
+func TestFigure2LiveMeasurement(t *testing.T) {
+	pts := Figure2(Fig2Config{
+		Model:      costmodel.PaperKernels(),
+		Sizes:      []int{64, 2048},
+		Measure:    true,
+		MeasureCap: 128,
+	})
+	if pts[0].MeasuredFW <= 0 || pts[0].MeasuredMinPlus <= 0 {
+		t.Fatal("small size not measured")
+	}
+	if pts[1].MeasuredFW != 0 {
+		t.Fatal("size beyond cap measured")
+	}
+}
+
+func TestFigure3Partitions(t *testing.T) {
+	census, err := Figure3Partitions(16384, 64, 2, []int{512, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(census) != 4 { // 2 sizes x 2 partitioners
+		t.Fatalf("%d census entries", len(census))
+	}
+	for _, c := range census {
+		total := 0
+		for _, s := range c.Sizes {
+			total += s
+		}
+		q := (16384 + c.BlockSize - 1) / c.BlockSize
+		if total != q*(q+1)/2 {
+			t.Fatalf("census lost blocks: %d", total)
+		}
+		switch c.Partitioner {
+		case core.PartitionerMD:
+			if c.Max-c.Min > 1 {
+				t.Fatalf("MD spread %d..%d", c.Min, c.Max)
+			}
+		case core.PartitionerPH:
+			if c.Max-c.Min <= 1 {
+				t.Fatalf("PH suspiciously flat at b=%d", c.BlockSize)
+			}
+		}
+	}
+	if s := Figure3PartitionsTable(census).String(); !strings.Contains(s, "MD") {
+		t.Fatal("census table missing MD rows")
+	}
+}
+
+func TestFigure3ScaledDown(t *testing.T) {
+	pts, err := Figure3(Fig3Config{
+		N:          8192,
+		Cluster:    smallCluster(),
+		BlockSizes: []int{512, 1024},
+		MaxUnits:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 solvers x 2 partitioners x 2 B x 2 sizes.
+	if len(pts) != 16 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if !p.Failed && p.Seconds <= 0 {
+			t.Fatalf("point %+v has no time", p)
+		}
+	}
+	if s := Figure3Table(pts).String(); !strings.Contains(s, "Blocked-CB") {
+		t.Fatal("fig3 table missing CB")
+	}
+}
+
+func TestTable2ScaledDown(t *testing.T) {
+	rows, err := Table2(Table2Config{
+		N:          4096,
+		Cluster:    smallCluster(),
+		BlockSizes: []int{256, 512},
+		UnitsToRun: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 solvers x 2 partitioners x 2 sizes.
+	if len(rows) != 16 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string][]Table2Row{}
+	for _, r := range rows {
+		if r.Err == "" && (r.SingleSec <= 0 || r.ProjectedSec <= 0) {
+			t.Fatalf("row %+v missing times", r)
+		}
+		byName[r.Solver] = append(byName[r.Solver], r)
+	}
+	// The paper's qualitative result: FW2D's projection dwarfs the
+	// blocked methods' at the same block size (n iterations vs q).
+	fw := byName["2D Floyd-Warshall"][0].ProjectedSec
+	cb := byName["Blocked-CB"][0].ProjectedSec
+	if fw <= cb {
+		t.Fatalf("FW2D projection %v not above CB %v", fw, cb)
+	}
+	if s := Table2Table(rows).String(); !strings.Contains(s, "Iterations") {
+		t.Fatal("table2 missing header")
+	}
+}
+
+func TestTable3ScaledDown(t *testing.T) {
+	rows, err := Table3(Table3Config{
+		Cluster:         smallCluster(),
+		Ps:              []int{16, 32},
+		VerticesPerCore: 64,
+		BlockSizeIM:     map[int]int{16: 256, 32: 256},
+		BlockSizeCB:     map[int]int{16: 256, 32: 256},
+		MPIPs:           []int{16},
+		MaxUnits:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var methods []string
+	for _, r := range rows {
+		methods = append(methods, r.Method)
+		if !r.Failed && r.GopsPerCore <= 0 {
+			t.Fatalf("row %+v has no Gops", r)
+		}
+	}
+	joined := strings.Join(methods, ",")
+	for _, want := range []string{"Blocked-IM", "Blocked-CB", "FW-2D-GbE", "DC-GbE"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing method %s in %v", want, methods)
+		}
+	}
+	if s := Table3Table(rows, costmodel.PaperKernels(), 64).String(); !strings.Contains(s, "Sequential") {
+		t.Fatal("table3 missing sequential baseline")
+	}
+}
+
+func TestSequentialGops(t *testing.T) {
+	g := SequentialGops(costmodel.PaperKernels(), 256)
+	if g < 0.6 || g > 0.9 {
+		t.Fatalf("sequential Gops = %v, want ~0.762", g)
+	}
+}

@@ -1,0 +1,372 @@
+// Package cluster models the paper's experimental platform: a standalone
+// Spark cluster of 32 nodes x 32 Skylake cores, GbE interconnect, 180 GB
+// executor memory and 1 TB local SSD per node, plus shared GPFS storage
+// (paper §5). A Cluster instance owns a discrete virtual clock; the RDD
+// engine and the MPI simulator convert task compute costs, shuffle bytes,
+// broadcast traffic and storage accesses into clock advances through it.
+//
+// Local-SSD accounting is deliberately cumulative: Spark preserves shuffle
+// files for fault tolerance, so staged bytes grow linearly with solver
+// iterations — the exact mechanism behind the paper's observation that the
+// Blocked In-Memory solver runs out of local storage for small block sizes
+// (§5.2) and at the largest weak-scaling point (§5.4, Table 3).
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Config describes cluster hardware and Spark runtime constants. All
+// bandwidths are bytes/second, all latencies and overheads seconds.
+type Config struct {
+	Nodes        int
+	CoresPerNode int
+
+	MemPerNode     int64 // executor memory (tracked, not enforced)
+	LocalDiskBytes int64 // SSD staging capacity per node
+	LocalDiskBW    float64
+
+	NetBandwidth float64 // per-NIC bandwidth (GbE)
+	NetLatency   float64
+
+	SharedReadBW  float64 // aggregate shared-FS (GPFS) bandwidth
+	SharedWriteBW float64
+
+	// Spark runtime constants.
+	TaskSchedOverhead float64 // driver-serial cost to schedule one task
+	TaskExecOverhead  float64 // executor-side per-task launch/deser cost
+	StageOverhead     float64 // per-stage driver cost
+	SerRate           float64 // per-core (de)serialization bandwidth
+	// ShuffleCompression is the size ratio of shuffle data after Spark's
+	// default lz4 block compression (applied to staged and transferred
+	// shuffle bytes; shared-FS staging stays raw, as the paper's NumPy
+	// tofile dumps are uncompressed). Zero means 1.0 (no compression).
+	ShuffleCompression float64
+}
+
+// CompressedShuffle applies the shuffle compression ratio to a byte count.
+func (c Config) CompressedShuffle(bytes int64) int64 {
+	if c.ShuffleCompression <= 0 || c.ShuffleCompression >= 1 {
+		return bytes
+	}
+	return int64(float64(bytes) * c.ShuffleCompression)
+}
+
+// Paper returns the full 32-node, 1,024-core configuration from §5.
+func Paper() Config {
+	return Config{
+		Nodes:             32,
+		CoresPerNode:      32,
+		MemPerNode:        180 << 30,
+		LocalDiskBytes:    1 << 40, // 1 TB SSD
+		LocalDiskBW:       500e6,
+		NetBandwidth:      117e6, // ~1 Gbps effective
+		NetLatency:        200e-6,
+		SharedReadBW:      3.0e9, // aggregate GPFS
+		SharedWriteBW:     2.5e9,
+		TaskSchedOverhead: 2e-3,
+		TaskExecOverhead:  4e-3,
+		StageOverhead:     80e-3,
+		SerRate:           400e6,
+		// Spark lz4-compresses shuffle files, but pySpark's pickle framing
+		// of NumPy blocks costs roughly what the compression saves on
+		// near-random doubles; the calibrated net ratio is 1.0.
+		ShuffleCompression: 1.0,
+	}
+}
+
+// PaperScaled returns the paper cluster shrunk to p cores for the
+// weak-scaling study (p must be a multiple of 32; nodes = p/32). Shared-FS
+// bandwidth scales with node count, as GPFS throughput is NIC-bound.
+func PaperScaled(p int) (Config, error) {
+	c := Paper()
+	if p <= 0 || p%c.CoresPerNode != 0 {
+		return Config{}, fmt.Errorf("cluster: core count %d must be a positive multiple of %d", p, c.CoresPerNode)
+	}
+	nodes := p / c.CoresPerNode
+	if nodes > c.Nodes {
+		return Config{}, fmt.Errorf("cluster: %d cores exceed the paper cluster's %d", p, c.Nodes*c.CoresPerNode)
+	}
+	frac := float64(nodes) / float64(c.Nodes)
+	c.Nodes = nodes
+	c.SharedReadBW *= frac
+	c.SharedWriteBW *= frac
+	return c, nil
+}
+
+// Tiny returns a minimal configuration handy in tests: 2 nodes x 2 cores
+// with small disks so capacity failures are easy to trigger.
+func Tiny() Config {
+	c := Paper()
+	c.Nodes = 2
+	c.CoresPerNode = 2
+	c.LocalDiskBytes = 1 << 20
+	return c
+}
+
+// Metrics aggregates everything the virtual cluster observed.
+type Metrics struct {
+	Stages           int
+	Tasks            int
+	TaskRetries      int
+	ShuffleBytes     int64
+	SharedReadBytes  int64
+	SharedWriteBytes int64
+	CollectBytes     int64
+	BroadcastBytes   int64
+	LocalPeakBytes   int64   // max per-node staged bytes seen
+	ComputeSeconds   float64 // summed task compute time (work, not makespan)
+}
+
+// StageRecord is one entry of the stage timeline: what a stage cost and
+// when (in virtual time) it completed.
+type StageRecord struct {
+	Name       string
+	Tasks      int
+	Makespan   float64 // seconds of virtual time the stage occupied
+	ComputeSum float64 // summed task work (parallel work, not wall time)
+	EndClock   float64 // virtual time when the stage finished
+}
+
+// Cluster is a virtual cluster with a single global clock. All methods are
+// safe for concurrent use; the clock only moves forward.
+type Cluster struct {
+	cfg Config
+
+	mu        sync.Mutex
+	clock     float64
+	localUsed []int64
+	metrics   Metrics
+	timeline  []StageRecord
+	keepTrace bool
+}
+
+// EnableTrace turns on stage-timeline recording (off by default: paper-
+// scale runs execute hundreds of thousands of stages).
+func (c *Cluster) EnableTrace() {
+	c.mu.Lock()
+	c.keepTrace = true
+	c.mu.Unlock()
+}
+
+// Timeline returns a copy of the recorded stage timeline.
+func (c *Cluster) Timeline() []StageRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]StageRecord(nil), c.timeline...)
+}
+
+// New builds a cluster from a config.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 || cfg.CoresPerNode <= 0 {
+		return nil, fmt.Errorf("cluster: need positive nodes/cores, got %d/%d", cfg.Nodes, cfg.CoresPerNode)
+	}
+	return &Cluster{cfg: cfg, localUsed: make([]int64, cfg.Nodes)}, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Cores returns the total virtual core count p.
+func (c *Cluster) Cores() int { return c.cfg.Nodes * c.cfg.CoresPerNode }
+
+// Now returns the current virtual time in seconds.
+func (c *Cluster) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clock
+}
+
+// Advance moves the clock forward by dt seconds (driver-serial work).
+func (c *Cluster) Advance(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.clock += dt
+	c.mu.Unlock()
+}
+
+// Metrics returns a snapshot of the accumulated metrics.
+func (c *Cluster) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.metrics
+}
+
+// NodeOfCore maps a virtual core index to its node.
+func (c *Cluster) NodeOfCore(core int) int { return core / c.cfg.CoresPerNode }
+
+// ErrLocalStorage is returned when a node's SSD staging area overflows.
+type ErrLocalStorage struct {
+	Node     int
+	Used     int64
+	Capacity int64
+}
+
+func (e *ErrLocalStorage) Error() string {
+	return fmt.Sprintf("cluster: node %d local storage exhausted (%d of %d bytes)", e.Node, e.Used, e.Capacity)
+}
+
+// StageLocal records bytes staged on a node's local SSD (shuffle spill).
+// Staged bytes are never reclaimed within a run — Spark keeps shuffle files
+// for fault tolerance — so capacity errors reproduce the paper's IM
+// failures.
+func (c *Cluster) StageLocal(node int, bytes int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.localUsed[node] += bytes
+	if c.localUsed[node] > c.metrics.LocalPeakBytes {
+		c.metrics.LocalPeakBytes = c.localUsed[node]
+	}
+	if c.localUsed[node] > c.cfg.LocalDiskBytes {
+		return &ErrLocalStorage{Node: node, Used: c.localUsed[node], Capacity: c.cfg.LocalDiskBytes}
+	}
+	return nil
+}
+
+// LocalUsed returns the staged bytes on one node.
+func (c *Cluster) LocalUsed(node int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.localUsed[node]
+}
+
+// --- cost helpers (pure functions of config; callers decide whether the
+// returned seconds go to the driver clock or to a task's cost) ---
+
+// LocalWriteCost is the time to spill bytes to a node's local SSD.
+func (c *Cluster) LocalWriteCost(bytes int64) float64 {
+	return float64(bytes) / c.cfg.LocalDiskBW
+}
+
+// LocalReadCost is the time to read staged bytes back.
+func (c *Cluster) LocalReadCost(bytes int64) float64 {
+	return float64(bytes) / c.cfg.LocalDiskBW
+}
+
+// NetCost is the time to move bytes across one NIC, including msgs latency
+// charges (one per message).
+func (c *Cluster) NetCost(bytes int64, msgs int) float64 {
+	if msgs < 1 {
+		msgs = 1
+	}
+	return float64(msgs)*c.cfg.NetLatency + float64(bytes)/c.cfg.NetBandwidth
+}
+
+// AggregateNetFloor is the minimum time a stage needs to move the given
+// total bytes across the cluster: all NICs saturated. Stage makespans are
+// floored by this, so wide transformations pay the aggregate bandwidth
+// bill even when their per-task fetches are small — the dominant term on
+// GbE (paper §5: "the high cost of data shuffling").
+func (c *Cluster) AggregateNetFloor(totalBytes int64) float64 {
+	return float64(totalBytes) / (float64(c.cfg.Nodes) * c.cfg.NetBandwidth)
+}
+
+// SerCost is the per-core (de)serialization time for bytes.
+func (c *Cluster) SerCost(bytes int64) float64 {
+	return float64(bytes) / c.cfg.SerRate
+}
+
+// SharedWriteCost is the time for the driver to push bytes into the shared
+// file system (driver NIC + aggregate FS write bandwidth in series).
+func (c *Cluster) SharedWriteCost(bytes int64) float64 {
+	return c.NetCost(bytes, 1) + float64(bytes)/c.cfg.SharedWriteBW
+}
+
+// SharedReadCost is the time for one node to pull bytes from the shared
+// file system, assuming all nodes hit it concurrently (per-node fair share
+// of the aggregate bandwidth, capped by the node NIC).
+func (c *Cluster) SharedReadCost(bytes int64) float64 {
+	perNode := c.cfg.SharedReadBW / float64(c.cfg.Nodes)
+	if perNode > c.cfg.NetBandwidth {
+		perNode = c.cfg.NetBandwidth
+	}
+	return c.cfg.NetLatency + float64(bytes)/perNode
+}
+
+// CollectCost is the driver-side time to collect bytes from executors over
+// the driver NIC plus deserialization.
+func (c *Cluster) CollectCost(bytes int64, parts int) float64 {
+	return c.NetCost(bytes, parts) + c.SerCost(bytes)
+}
+
+// BroadcastCost is the driver-side time of a tree broadcast of bytes to
+// every node.
+func (c *Cluster) BroadcastCost(bytes int64) float64 {
+	// ceil(log2(nodes)) rounds of latency, pipeline-bound bandwidth term.
+	rounds := 0
+	for n := 1; n < c.cfg.Nodes; n *= 2 {
+		rounds++
+	}
+	if rounds == 0 {
+		rounds = 1
+	}
+	return float64(rounds)*c.cfg.NetLatency + float64(bytes)/c.cfg.NetBandwidth
+}
+
+// --- metric recorders ---
+
+// RecordStage notes a stage with n tasks; the caller passes the makespan
+// it computed so the clock and counters move together.
+func (c *Cluster) RecordStage(name string, tasks int, makespan, computeSum float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics.Stages++
+	c.metrics.Tasks += tasks
+	c.metrics.ComputeSeconds += computeSum
+	total := makespan + c.cfg.StageOverhead + float64(tasks)*c.cfg.TaskSchedOverhead
+	c.clock += total
+	if c.keepTrace {
+		c.timeline = append(c.timeline, StageRecord{
+			Name:       name,
+			Tasks:      tasks,
+			Makespan:   total,
+			ComputeSum: computeSum,
+			EndClock:   c.clock,
+		})
+	}
+}
+
+// RecordRetry counts a task retry.
+func (c *Cluster) RecordRetry() {
+	c.mu.Lock()
+	c.metrics.TaskRetries++
+	c.mu.Unlock()
+}
+
+// AddShuffleBytes accumulates shuffle traffic.
+func (c *Cluster) AddShuffleBytes(b int64) {
+	c.mu.Lock()
+	c.metrics.ShuffleBytes += b
+	c.mu.Unlock()
+}
+
+// AddSharedRead accumulates shared-FS read traffic.
+func (c *Cluster) AddSharedRead(b int64) {
+	c.mu.Lock()
+	c.metrics.SharedReadBytes += b
+	c.mu.Unlock()
+}
+
+// AddSharedWrite accumulates shared-FS write traffic.
+func (c *Cluster) AddSharedWrite(b int64) {
+	c.mu.Lock()
+	c.metrics.SharedWriteBytes += b
+	c.mu.Unlock()
+}
+
+// AddCollect accumulates collect traffic.
+func (c *Cluster) AddCollect(b int64) {
+	c.mu.Lock()
+	c.metrics.CollectBytes += b
+	c.mu.Unlock()
+}
+
+// AddBroadcast accumulates broadcast traffic.
+func (c *Cluster) AddBroadcast(b int64) {
+	c.mu.Lock()
+	c.metrics.BroadcastBytes += b
+	c.mu.Unlock()
+}

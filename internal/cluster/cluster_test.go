@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperConfig(t *testing.T) {
+	c := Paper()
+	if c.Nodes*c.CoresPerNode != 1024 {
+		t.Fatalf("paper cluster has %d cores, want 1024", c.Nodes*c.CoresPerNode)
+	}
+	if c.LocalDiskBytes != 1<<40 {
+		t.Fatalf("local disk = %d, want 1 TB", c.LocalDiskBytes)
+	}
+}
+
+func TestPaperScaled(t *testing.T) {
+	for _, p := range []int{64, 128, 256, 512, 1024} {
+		cfg, err := PaperScaled(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Nodes*cfg.CoresPerNode != p {
+			t.Fatalf("scaled to %d cores, got %d", p, cfg.Nodes*cfg.CoresPerNode)
+		}
+	}
+	if _, err := PaperScaled(100); err == nil {
+		t.Fatal("non-multiple of 32 accepted")
+	}
+	if _, err := PaperScaled(2048); err == nil {
+		t.Fatal("oversubscription accepted")
+	}
+	if _, err := PaperScaled(0); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+}
+
+func TestSharedBWScalesWithNodes(t *testing.T) {
+	small, _ := PaperScaled(64)
+	big, _ := PaperScaled(1024)
+	if small.SharedReadBW >= big.SharedReadBW {
+		t.Fatal("shared FS bandwidth should scale with node count")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	c, _ := New(Tiny())
+	t0 := c.Now()
+	c.Advance(1.5)
+	c.Advance(-3) // ignored
+	c.Advance(0.5)
+	if c.Now() != t0+2 {
+		t.Fatalf("clock = %v, want %v", c.Now(), t0+2)
+	}
+}
+
+func TestNodeOfCore(t *testing.T) {
+	c, _ := New(Paper())
+	if c.NodeOfCore(0) != 0 || c.NodeOfCore(31) != 0 || c.NodeOfCore(32) != 1 || c.NodeOfCore(1023) != 31 {
+		t.Fatal("core-to-node mapping wrong")
+	}
+}
+
+func TestStageLocalCapacity(t *testing.T) {
+	cfg := Tiny() // 1 MiB local disks
+	c, _ := New(cfg)
+	if err := c.StageLocal(0, 512<<10); err != nil {
+		t.Fatal(err)
+	}
+	err := c.StageLocal(0, 600<<10)
+	var se *ErrLocalStorage
+	if !errors.As(err, &se) {
+		t.Fatalf("expected ErrLocalStorage, got %v", err)
+	}
+	if se.Node != 0 {
+		t.Fatalf("error node = %d", se.Node)
+	}
+	// Other nodes unaffected.
+	if err := c.StageLocal(1, 512<<10); err != nil {
+		t.Fatal(err)
+	}
+	if c.LocalUsed(1) != 512<<10 {
+		t.Fatalf("node 1 used = %d", c.LocalUsed(1))
+	}
+}
+
+func TestStageLocalCumulative(t *testing.T) {
+	c, _ := New(Tiny())
+	for i := 0; i < 4; i++ {
+		_ = c.StageLocal(0, 100)
+	}
+	if c.LocalUsed(0) != 400 {
+		t.Fatalf("staging not cumulative: %d", c.LocalUsed(0))
+	}
+	if c.Metrics().LocalPeakBytes != 400 {
+		t.Fatalf("peak = %d", c.Metrics().LocalPeakBytes)
+	}
+}
+
+func TestCostHelpersPositive(t *testing.T) {
+	c, _ := New(Paper())
+	checks := map[string]float64{
+		"local write": c.LocalWriteCost(1 << 20),
+		"local read":  c.LocalReadCost(1 << 20),
+		"net":         c.NetCost(1<<20, 4),
+		"ser":         c.SerCost(1 << 20),
+		"shared w":    c.SharedWriteCost(1 << 20),
+		"shared r":    c.SharedReadCost(1 << 20),
+		"collect":     c.CollectCost(1<<20, 8),
+		"broadcast":   c.BroadcastCost(1 << 20),
+	}
+	for name, v := range checks {
+		if v <= 0 {
+			t.Errorf("%s cost = %v, want > 0", name, v)
+		}
+	}
+}
+
+func TestNetCostLatencyScaling(t *testing.T) {
+	c, _ := New(Paper())
+	if c.NetCost(0, 10) <= c.NetCost(0, 1) {
+		t.Fatal("more messages should cost more latency")
+	}
+	if c.NetCost(1<<30, 1) <= c.NetCost(1<<20, 1) {
+		t.Fatal("more bytes should cost more")
+	}
+}
+
+func TestSharedReadCapsAtNIC(t *testing.T) {
+	cfg := Paper()
+	cfg.Nodes = 1 // aggregate share would exceed the NIC
+	c, _ := New(cfg)
+	bytes := int64(1 << 30)
+	floor := float64(bytes) / cfg.NetBandwidth
+	if got := c.SharedReadCost(bytes); got < floor {
+		t.Fatalf("shared read %v faster than NIC floor %v", got, floor)
+	}
+}
+
+func TestRecordStageAdvancesClockAndMetrics(t *testing.T) {
+	c, _ := New(Paper())
+	before := c.Now()
+	c.RecordStage("s1", 100, 2.0, 50.0)
+	m := c.Metrics()
+	if m.Stages != 1 || m.Tasks != 100 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	wantMin := before + 2.0 + c.Config().StageOverhead + 100*c.Config().TaskSchedOverhead
+	if got := c.Now(); got < wantMin-1e-12 || got > wantMin+1e-12 {
+		t.Fatalf("clock = %v, want %v", got, wantMin)
+	}
+	if m.ComputeSeconds != 50 {
+		t.Fatalf("compute seconds = %v", m.ComputeSeconds)
+	}
+}
+
+func TestMetricAccumulators(t *testing.T) {
+	c, _ := New(Paper())
+	c.AddShuffleBytes(10)
+	c.AddSharedRead(20)
+	c.AddSharedWrite(30)
+	c.AddCollect(40)
+	c.AddBroadcast(50)
+	c.RecordRetry()
+	m := c.Metrics()
+	if m.ShuffleBytes != 10 || m.SharedReadBytes != 20 || m.SharedWriteBytes != 30 ||
+		m.CollectBytes != 40 || m.BroadcastBytes != 50 || m.TaskRetries != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestCostMonotonicInBytesQuick(t *testing.T) {
+	c, _ := New(Paper())
+	f := func(a, b uint32) bool {
+		lo, hi := int64(a), int64(a)+int64(b)
+		return c.NetCost(lo, 1) <= c.NetCost(hi, 1) &&
+			c.SharedWriteCost(lo) <= c.SharedWriteCost(hi) &&
+			c.SharedReadCost(lo) <= c.SharedReadCost(hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStageTimeline(t *testing.T) {
+	c, _ := New(Paper())
+	c.RecordStage("quiet", 1, 0.1, 0.1)
+	if len(c.Timeline()) != 0 {
+		t.Fatal("timeline recorded while disabled")
+	}
+	c.EnableTrace()
+	c.RecordStage("loud", 2, 0.2, 0.3)
+	tl := c.Timeline()
+	if len(tl) != 1 || tl[0].Name != "loud" || tl[0].Tasks != 2 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	if tl[0].EndClock != c.Now() {
+		t.Fatalf("end clock %v != now %v", tl[0].EndClock, c.Now())
+	}
+	if tl[0].Makespan <= 0.2 {
+		t.Fatal("makespan missing overheads")
+	}
+}
+
+func TestAggregateNetFloor(t *testing.T) {
+	c, _ := New(Paper())
+	cfg := c.Config()
+	total := int64(32) << 30 // 32 GiB across 32 GbE NICs
+	want := float64(total) / (float64(cfg.Nodes) * cfg.NetBandwidth)
+	if got := c.AggregateNetFloor(total); got != want {
+		t.Fatalf("floor = %v, want %v", got, want)
+	}
+	if c.AggregateNetFloor(0) != 0 {
+		t.Fatal("zero bytes should floor at zero")
+	}
+}

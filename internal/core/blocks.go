@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+
+	"apspark/internal/graph"
+	"apspark/internal/matrix"
+	"apspark/internal/rdd"
+)
+
+// This file implements the paper's Table 1: the functional building blocks
+// every solver is assembled from. Each block is a small function over
+// tagged matrix blocks that (a) performs the real computation when payloads
+// are dense and (b) charges the calibrated kernel cost to the task's
+// virtual clock either way, so phantom paper-scale runs and real runs share
+// one code path.
+
+// Tag identifies the role a block plays while travelling through a shuffle.
+type Tag uint8
+
+const (
+	// TagBase marks a block of the distance matrix A itself.
+	TagBase Tag = iota
+	// TagDiagCopy marks a copy of the current diagonal block (CopyDiag).
+	TagDiagCopy
+	// TagPanelCopy marks a copy of an updated row/column panel block
+	// (CopyCol), canonically oriented as A[Row, i].
+	TagPanelCopy
+)
+
+// TaggedBlock is the RDD value type of the blocked solvers.
+type TaggedBlock struct {
+	Tag Tag
+	// Row is the panel's block-row R for TagPanelCopy values.
+	Row int
+	B   *matrix.Block
+}
+
+// InColumn is the Table-1 predicate: does stored block (I, J) belong to
+// column-block x? With upper-triangular storage, column x of the full
+// matrix consists of stored blocks with I == x or J == x (paper §4: the
+// executor owning A_IJ also owns its transpose).
+func InColumn(x int) func(p rdd.Pair) bool {
+	return func(p rdd.Pair) bool {
+		k := p.Key.(graph.BlockKey)
+		return k.I == x || k.J == x
+	}
+}
+
+// NotInColumn is the complement of InColumn.
+func NotInColumn(x int) func(p rdd.Pair) bool {
+	in := InColumn(x)
+	return func(p rdd.Pair) bool { return !in(p) }
+}
+
+// OnDiagonal is the Table-1 predicate for the x-th diagonal block.
+func OnDiagonal(x int) func(p rdd.Pair) bool {
+	return func(p rdd.Pair) bool {
+		k := p.Key.(graph.BlockKey)
+		return k.I == x && k.J == x
+	}
+}
+
+// FloydWarshallBlock runs the sequential FW kernel on a diagonal block
+// (Table 1: FloydWarshall), charging its O(b^3) cost.
+func FloydWarshallBlock(tc *rdd.TaskContext, p rdd.Pair) (rdd.Pair, error) {
+	tb := p.Value.(*TaggedBlock)
+	nb := tb.B.Clone()
+	if err := matrix.FloydWarshall(nb); err != nil {
+		return rdd.Pair{}, err
+	}
+	tc.Charge(tc.Model().FloydWarshall(nb.R))
+	return rdd.Pair{Key: p.Key, Value: &TaggedBlock{Tag: TagBase, B: nb}}, nil
+}
+
+// CopyDiag yields the q-1 copies of the processed diagonal block (i, i),
+// keyed so each copy meets one stored panel block of column-block i
+// (Table 1: CopyDiag).
+func CopyDiag(q int) func(tc *rdd.TaskContext, p rdd.Pair) ([]rdd.Pair, error) {
+	return func(tc *rdd.TaskContext, p rdd.Pair) ([]rdd.Pair, error) {
+		k := p.Key.(graph.BlockKey)
+		tb := p.Value.(*TaggedBlock)
+		i := k.I
+		out := make([]rdd.Pair, 0, q-1)
+		for r := 0; r < q; r++ {
+			if r == i {
+				continue
+			}
+			key := graph.BlockKey{I: r, J: i}
+			if r > i {
+				key = graph.BlockKey{I: i, J: r}
+			}
+			out = append(out, rdd.Pair{Key: key, Value: &TaggedBlock{Tag: TagDiagCopy, Row: i, B: tb.B}})
+		}
+		return out, nil
+	}
+}
+
+// panelOf returns the canonical panel orientation A[R, i] for the stored
+// block with key k in column-block i, plus the panel's row-block R. Stored
+// (K, i) with K < i is already canonical; stored (i, J) with J > i is the
+// transpose of panel J. Transposition cost is charged to the task.
+func panelOf(tc *rdd.TaskContext, k graph.BlockKey, b *matrix.Block, i int) (int, *matrix.Block) {
+	if k.J == i && k.I != i {
+		return k.I, b
+	}
+	tc.Charge(tc.Model().MatMin(b.R, b.C)) // transpose is an O(rc) pass
+	return k.J, b.Transpose()
+}
+
+// UpdatePanel applies the Phase-2 update to a stored panel block of
+// column-block i given the processed diagonal block: in canonical
+// orientation, panel = min(panel (x) diag, panel) (Table 1: MinPlus /
+// ListUnpack's single-operand branch). The result is stored back in the
+// block's original orientation.
+func UpdatePanel(tc *rdd.TaskContext, k graph.BlockKey, base *matrix.Block, diag *matrix.Block, i int) (*matrix.Block, error) {
+	_, canon := panelOf(tc, k, base, i)
+	tc.Charge(tc.Model().MinPlusMul(canon.R, canon.C, diag.C))
+	tc.Charge(tc.Model().MatMin(canon.R, canon.C))
+	upd, err := matrix.MinPlus(canon, diag, canon)
+	if err != nil {
+		return nil, err
+	}
+	if k.J == i && k.I != i {
+		return upd, nil
+	}
+	tc.Charge(tc.Model().MatMin(upd.R, upd.C))
+	return upd.Transpose(), nil
+}
+
+// UpdateOff applies the Phase-3 update to an off-column block (K, L):
+// A_KL = min(A_KL, A_Ki (x) A_iL), where A_Ki is panel K in canonical
+// orientation and A_iL is the transpose of panel L (Table 1: ListUnpack's
+// two-operand branch followed by MatMin).
+func UpdateOff(tc *rdd.TaskContext, base *matrix.Block, panelK, panelL *matrix.Block) (*matrix.Block, error) {
+	tc.Charge(tc.Model().MatMin(panelL.R, panelL.C)) // transpose pass
+	right := panelL.Transpose()
+	tc.Charge(tc.Model().MinPlusMul(panelK.R, panelK.C, right.C))
+	tc.Charge(tc.Model().MatMin(base.R, base.C))
+	return matrix.MinPlus(panelK, right, base)
+}
+
+// CopyCol distributes the updated panel blocks of column-block i to every
+// off-column block that needs them in Phase 3 (Table 1: CopyCol). From the
+// panel covering block-row R it yields one canonical copy per stored
+// off-column key containing R; the off-diagonal targets therefore receive
+// two copies (rows K and L) and diagonal targets one, matching the
+// (q-1)^2 total copy volume of the paper's upper-triangular layout.
+func CopyCol(q, i int) func(tc *rdd.TaskContext, p rdd.Pair) ([]rdd.Pair, error) {
+	return func(tc *rdd.TaskContext, p rdd.Pair) ([]rdd.Pair, error) {
+		k := p.Key.(graph.BlockKey)
+		tb := p.Value.(*TaggedBlock)
+		row, canon := panelOf(tc, k, tb.B, i)
+		out := make([]rdd.Pair, 0, q-1)
+		for l := 0; l < q; l++ {
+			if l == i {
+				continue
+			}
+			key := graph.BlockKey{I: row, J: l}
+			if l < row {
+				key = graph.BlockKey{I: l, J: row}
+			}
+			out = append(out, rdd.Pair{Key: key, Value: &TaggedBlock{Tag: TagPanelCopy, Row: row, B: canon}})
+		}
+		return out, nil
+	}
+}
+
+// ListAppend is Table 1's combiner pair: it accumulates the tagged blocks
+// arriving at one key into a list.
+func ListAppendCreate(tc *rdd.TaskContext, v any) (any, error) {
+	return []*TaggedBlock{v.(*TaggedBlock)}, nil
+}
+
+// ListAppendMerge appends one more block to the list.
+func ListAppendMerge(tc *rdd.TaskContext, acc, v any) (any, error) {
+	return append(acc.([]*TaggedBlock), v.(*TaggedBlock)), nil
+}
+
+// splitList separates a combined list into the base block and its copies.
+func splitList(list []*TaggedBlock) (base *TaggedBlock, copies []*TaggedBlock, err error) {
+	for _, tb := range list {
+		if tb.Tag == TagBase {
+			if base != nil {
+				return nil, nil, fmt.Errorf("core: two base blocks at one key")
+			}
+			base = tb
+		} else {
+			copies = append(copies, tb)
+		}
+	}
+	if base == nil {
+		return nil, nil, fmt.Errorf("core: no base block in combined list (len %d)", len(list))
+	}
+	return base, copies, nil
+}
+
+// UnpackPhase2 is ListUnpack+MatMin for Phase 2: the list holds a stored
+// panel block and a diagonal copy.
+func UnpackPhase2(i int) func(tc *rdd.TaskContext, p rdd.Pair) (rdd.Pair, error) {
+	return func(tc *rdd.TaskContext, p rdd.Pair) (rdd.Pair, error) {
+		k := p.Key.(graph.BlockKey)
+		base, copies, err := splitList(p.Value.([]*TaggedBlock))
+		if err != nil {
+			return rdd.Pair{}, fmt.Errorf("at %v: %w", k, err)
+		}
+		if len(copies) == 0 {
+			// No diagonal copy reached this key (q == 1 edge case).
+			return rdd.Pair{Key: k, Value: base}, nil
+		}
+		if len(copies) != 1 || copies[0].Tag != TagDiagCopy {
+			return rdd.Pair{}, fmt.Errorf("core: phase-2 key %v got %d unexpected copies", k, len(copies))
+		}
+		upd, err := UpdatePanel(tc, k, base.B, copies[0].B, i)
+		if err != nil {
+			return rdd.Pair{}, err
+		}
+		return rdd.Pair{Key: k, Value: &TaggedBlock{Tag: TagBase, B: upd}}, nil
+	}
+}
+
+// UnpackPhase3 is ListUnpack+MatMin for Phase 3: the list holds an
+// off-column base block plus the panel copies for its row and column.
+func UnpackPhase3() func(tc *rdd.TaskContext, p rdd.Pair) (rdd.Pair, error) {
+	return func(tc *rdd.TaskContext, p rdd.Pair) (rdd.Pair, error) {
+		k := p.Key.(graph.BlockKey)
+		base, copies, err := splitList(p.Value.([]*TaggedBlock))
+		if err != nil {
+			return rdd.Pair{}, fmt.Errorf("at %v: %w", k, err)
+		}
+		var panelK, panelL *matrix.Block
+		for _, c := range copies {
+			if c.Tag != TagPanelCopy {
+				return rdd.Pair{}, fmt.Errorf("core: phase-3 key %v got tag %d", k, c.Tag)
+			}
+			switch c.Row {
+			case k.I:
+				panelK = c.B
+			case k.J:
+				panelL = c.B
+			default:
+				return rdd.Pair{}, fmt.Errorf("core: stray panel row %d at key %v", c.Row, k)
+			}
+		}
+		if k.I == k.J && panelK != nil && panelL == nil {
+			panelL = panelK // diagonal target uses its single panel twice
+		}
+		if panelK == nil || panelL == nil {
+			return rdd.Pair{}, fmt.Errorf("core: phase-3 key %v missing panels (%d copies)", k, len(copies))
+		}
+		upd, err := UpdateOff(tc, base.B, panelK, panelL)
+		if err != nil {
+			return rdd.Pair{}, err
+		}
+		return rdd.Pair{Key: k, Value: &TaggedBlock{Tag: TagBase, B: upd}}, nil
+	}
+}
+
+// MatMinValues is Table 1's MatMin as a ReduceByKey operand over tagged
+// blocks.
+func MatMinValues(tc *rdd.TaskContext, a, b any) (any, error) {
+	ta, tb := a.(*TaggedBlock), b.(*TaggedBlock)
+	tc.Charge(tc.Model().MatMin(ta.B.R, ta.B.C))
+	m, err := matrix.MatMin(ta.B, tb.B)
+	if err != nil {
+		return nil, err
+	}
+	return &TaggedBlock{Tag: TagBase, B: m}, nil
+}
+
+// ExtractColumn is Table 1's ExtractCol: from a stored block of
+// column-block K it extracts the slice of global column k owned by the
+// block's other index, returned as an (rows x 1) block keyed by the
+// owning block-row. Exploits symmetry for stored (K, J) blocks, whose row
+// kloc is column k of A restricted to block-row J.
+func ExtractColumn(K, kloc int) func(tc *rdd.TaskContext, p rdd.Pair) (rdd.Pair, error) {
+	return func(tc *rdd.TaskContext, p rdd.Pair) (rdd.Pair, error) {
+		key := p.Key.(graph.BlockKey)
+		tb := p.Value.(*TaggedBlock)
+		b := tb.B
+		var owner int
+		var vec *matrix.Block
+		switch {
+		case key.J == K: // stored (I, K): take column kloc
+			owner = key.I
+			if b.Phantom() {
+				vec = matrix.NewPhantom(b.R, 1)
+			} else {
+				vec = &matrix.Block{R: b.R, C: 1, Data: b.Col(kloc)}
+			}
+			tc.Charge(tc.Model().ExtractCol(b.R))
+		case key.I == K: // stored (K, J): take row kloc (transposed view)
+			owner = key.J
+			if b.Phantom() {
+				vec = matrix.NewPhantom(b.C, 1)
+			} else {
+				row := make([]float64, b.C)
+				copy(row, b.Row(kloc))
+				vec = &matrix.Block{R: b.C, C: 1, Data: row}
+			}
+			tc.Charge(tc.Model().ExtractCol(b.C))
+		default:
+			return rdd.Pair{}, fmt.Errorf("core: ExtractColumn(%d) applied to block %v", K, key)
+		}
+		return rdd.Pair{Key: owner, Value: vec}, nil
+	}
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"testing"
+
+	"apspark/internal/graph"
+	"apspark/internal/matrix"
+	"apspark/internal/rdd"
+)
+
+func taskCtx(t *testing.T) *rdd.TaskContext {
+	t.Helper()
+	ctx := testContext(t)
+	// Obtain a TaskContext by running a trivial one-task stage.
+	var tc *rdd.TaskContext
+	r := ctx.Parallelize("probe", []rdd.Pair{{Key: 0, Value: nil}}, rdd.Modulo{Parts: 1}).
+		Map("grab", func(c *rdd.TaskContext, p rdd.Pair) (rdd.Pair, error) {
+			tc = c
+			return p, nil
+		})
+	if _, err := r.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	return tc
+}
+
+func key(i, j int) graph.BlockKey { return graph.BlockKey{I: i, J: j} }
+
+func tb(b *matrix.Block) *TaggedBlock { return &TaggedBlock{Tag: TagBase, B: b} }
+
+func TestPredicates(t *testing.T) {
+	p := rdd.Pair{Key: key(1, 3)}
+	if !InColumn(1)(p) || !InColumn(3)(p) || InColumn(2)(p) {
+		t.Fatal("InColumn wrong for (1,3)")
+	}
+	if !NotInColumn(2)(p) || NotInColumn(1)(p) {
+		t.Fatal("NotInColumn wrong")
+	}
+	d := rdd.Pair{Key: key(2, 2)}
+	if !OnDiagonal(2)(d) || OnDiagonal(1)(d) || OnDiagonal(2)(p) {
+		t.Fatal("OnDiagonal wrong")
+	}
+}
+
+func TestFloydWarshallBlockChargesAndSolves(t *testing.T) {
+	tc := taskCtx(t)
+	blk, _ := matrix.FromRows([][]float64{
+		{0, 1, 9},
+		{1, 0, 1},
+		{9, 1, 0},
+	})
+	out, err := FloydWarshallBlock(tc, rdd.Pair{Key: key(0, 0), Value: tb(blk)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Value.(*TaggedBlock).B
+	if got.At(0, 2) != 2 {
+		t.Fatalf("FW block missed relaxation: %v", got.At(0, 2))
+	}
+	if blk.At(0, 2) != 9 {
+		t.Fatal("input block mutated (should be cloned)")
+	}
+}
+
+func TestCopyDiagTargets(t *testing.T) {
+	tc := taskCtx(t)
+	q := 4
+	out, err := CopyDiag(q)(tc, rdd.Pair{Key: key(1, 1), Value: tb(matrix.New(2, 2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != q-1 {
+		t.Fatalf("CopyDiag produced %d copies, want %d", len(out), q-1)
+	}
+	want := map[graph.BlockKey]bool{key(0, 1): true, key(1, 2): true, key(1, 3): true}
+	for _, p := range out {
+		k := p.Key.(graph.BlockKey)
+		if !want[k] {
+			t.Fatalf("unexpected copy target %v", k)
+		}
+		if p.Value.(*TaggedBlock).Tag != TagDiagCopy {
+			t.Fatal("copy not tagged TagDiagCopy")
+		}
+		delete(want, k)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing targets %v", want)
+	}
+}
+
+func TestCopyColTargetsAndOrientation(t *testing.T) {
+	tc := taskCtx(t)
+	q, i := 4, 1
+	// Stored panel (0,1): canonical row-block 0 (A[0,1] as stored).
+	src, _ := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	out, err := CopyCol(q, i)(tc, rdd.Pair{Key: key(0, 1), Value: tb(src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != q-1 {
+		t.Fatalf("CopyCol produced %d copies, want %d", len(out), q-1)
+	}
+	targets := map[graph.BlockKey]bool{}
+	for _, p := range out {
+		c := p.Value.(*TaggedBlock)
+		if c.Tag != TagPanelCopy || c.Row != 0 {
+			t.Fatalf("bad copy %+v", c)
+		}
+		if !c.B.Equal(src) {
+			t.Fatal("panel (K,i) should stay canonical")
+		}
+		targets[p.Key.(graph.BlockKey)] = true
+	}
+	for _, want := range []graph.BlockKey{key(0, 0), key(0, 2), key(0, 3)} {
+		if !targets[want] {
+			t.Fatalf("missing target %v (got %v)", want, targets)
+		}
+	}
+
+	// Stored panel (1,2) with i=1: canonical row-block 2 = transpose.
+	out, err = CopyCol(q, i)(tc, rdd.Pair{Key: key(1, 2), Value: tb(src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range out {
+		c := p.Value.(*TaggedBlock)
+		if c.Row != 2 {
+			t.Fatalf("row = %d, want 2", c.Row)
+		}
+		if !c.B.Equal(src.Transpose()) {
+			t.Fatal("panel (i,J) should be transposed to canonical form")
+		}
+	}
+}
+
+func TestUpdatePanelBothOrientations(t *testing.T) {
+	tc := taskCtx(t)
+	diag, _ := matrix.FromRows([][]float64{{0, 1}, {1, 0}})
+	// Canonical orientation (K,i), K < i: panel = min(panel (x) diag, panel).
+	panel, _ := matrix.FromRows([][]float64{{5, 3}, {2, 9}})
+	got, err := UpdatePanel(tc, key(0, 1), panel, diag, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0: min((min(5+0,3+1)), 5)=4 ; col1: min(5+1, 3+0, 3)=3.
+	want, _ := matrix.FromRows([][]float64{{4, 3}, {2, 3}})
+	if !got.Equal(want) {
+		t.Fatalf("panel update =\n%v want\n%v", got, want)
+	}
+	// Stored (i,J) orientation must round-trip through the transpose.
+	gotT, err := UpdatePanel(tc, key(1, 2), panel.Transpose(), diag, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotT.Equal(want.Transpose()) {
+		t.Fatalf("transposed panel update wrong:\n%v", gotT)
+	}
+}
+
+func TestUpdateOff(t *testing.T) {
+	tc := taskCtx(t)
+	base, _ := matrix.FromRows([][]float64{{10}})
+	panelK, _ := matrix.FromRows([][]float64{{2}}) // A[K,i]
+	panelL, _ := matrix.FromRows([][]float64{{3}}) // A[L,i] -> A[i,L] = 3
+	got, err := UpdateOff(tc, base, panelK, panelL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0, 0) != 5 {
+		t.Fatalf("off update = %v, want 5", got.At(0, 0))
+	}
+}
+
+func TestListAppendCombiners(t *testing.T) {
+	tc := taskCtx(t)
+	a := tb(matrix.New(1, 1))
+	b := &TaggedBlock{Tag: TagDiagCopy, B: matrix.New(1, 1)}
+	acc, err := ListAppendCreate(tc, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err = ListAppendMerge(tc, acc, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := acc.([]*TaggedBlock)
+	if len(list) != 2 || list[0] != a || list[1] != b {
+		t.Fatalf("list = %v", list)
+	}
+}
+
+func TestSplitListErrors(t *testing.T) {
+	base := tb(matrix.New(1, 1))
+	if _, _, err := splitList([]*TaggedBlock{base, base}); err == nil {
+		t.Fatal("two base blocks accepted")
+	}
+	if _, _, err := splitList([]*TaggedBlock{{Tag: TagDiagCopy}}); err == nil {
+		t.Fatal("missing base accepted")
+	}
+}
+
+func TestUnpackPhase2Errors(t *testing.T) {
+	tc := taskCtx(t)
+	fn := UnpackPhase2(1)
+	// Only a base block: passthrough (q == 1 case).
+	out, err := fn(tc, rdd.Pair{Key: key(0, 1), Value: []*TaggedBlock{tb(matrix.New(1, 1))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Value.(*TaggedBlock).Tag != TagBase {
+		t.Fatal("passthrough lost base")
+	}
+	// Wrong copy type.
+	_, err = fn(tc, rdd.Pair{Key: key(0, 1), Value: []*TaggedBlock{
+		tb(matrix.New(1, 1)), {Tag: TagPanelCopy, B: matrix.New(1, 1)},
+	}})
+	if err == nil {
+		t.Fatal("panel copy accepted in phase 2")
+	}
+}
+
+func TestUnpackPhase3DiagonalUsesPanelTwice(t *testing.T) {
+	tc := taskCtx(t)
+	fn := UnpackPhase3()
+	base, _ := matrix.FromRows([][]float64{{10}})
+	panel, _ := matrix.FromRows([][]float64{{2}}) // A[K,i] = 2
+	out, err := fn(tc, rdd.Pair{Key: key(3, 3), Value: []*TaggedBlock{
+		tb(base), {Tag: TagPanelCopy, Row: 3, B: panel},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A[3,3] = min(10, A[3,i] + A[i,3]) = min(10, 2 + 2) = 4.
+	if got := out.Value.(*TaggedBlock).B.At(0, 0); got != 4 {
+		t.Fatalf("diagonal phase-3 = %v, want 4", got)
+	}
+}
+
+func TestUnpackPhase3Errors(t *testing.T) {
+	tc := taskCtx(t)
+	fn := UnpackPhase3()
+	base := tb(matrix.New(1, 1))
+	if _, err := fn(tc, rdd.Pair{Key: key(0, 2), Value: []*TaggedBlock{base}}); err == nil {
+		t.Fatal("missing panels accepted")
+	}
+	if _, err := fn(tc, rdd.Pair{Key: key(0, 2), Value: []*TaggedBlock{
+		base, {Tag: TagPanelCopy, Row: 7, B: matrix.New(1, 1)},
+	}}); err == nil {
+		t.Fatal("stray panel row accepted")
+	}
+	if _, err := fn(tc, rdd.Pair{Key: key(0, 2), Value: []*TaggedBlock{
+		base, {Tag: TagDiagCopy, B: matrix.New(1, 1)},
+	}}); err == nil {
+		t.Fatal("diag copy accepted in phase 3")
+	}
+}
+
+func TestExtractColumnOrientations(t *testing.T) {
+	tc := taskCtx(t)
+	// Stored block (0, 2) in a q=3 grid; extracting from column-block 2.
+	blk, _ := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	out, err := ExtractColumn(2, 1)(tc, rdd.Pair{Key: key(0, 2), Value: tb(blk)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Key.(int) != 0 {
+		t.Fatalf("owner = %v, want 0", out.Key)
+	}
+	vec := out.Value.(*matrix.Block)
+	if vec.R != 2 || vec.C != 1 || vec.At(0, 0) != 2 || vec.At(1, 0) != 4 {
+		t.Fatalf("column vector = %v", vec)
+	}
+
+	// Stored block (2, 3): column-block 2 owns rows of block 3 via the
+	// transposed view (row kloc).
+	out, err = ExtractColumn(2, 0)(tc, rdd.Pair{Key: key(2, 3), Value: tb(blk)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Key.(int) != 3 {
+		t.Fatalf("owner = %v, want 3", out.Key)
+	}
+	vec = out.Value.(*matrix.Block)
+	if vec.At(0, 0) != 1 || vec.At(1, 0) != 2 {
+		t.Fatalf("row-extracted vector = %v", vec)
+	}
+
+	if _, err := ExtractColumn(5, 0)(tc, rdd.Pair{Key: key(0, 2), Value: tb(blk)}); err == nil {
+		t.Fatal("block outside column accepted")
+	}
+}
+
+func TestExtractColumnPhantom(t *testing.T) {
+	tc := taskCtx(t)
+	out, err := ExtractColumn(1, 0)(tc, rdd.Pair{Key: key(0, 1), Value: tb(matrix.NewPhantom(3, 2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := out.Value.(*matrix.Block)
+	if !vec.Phantom() || vec.R != 3 || vec.C != 1 {
+		t.Fatalf("phantom column = %v", vec)
+	}
+}
+
+func TestMatMinValues(t *testing.T) {
+	tc := taskCtx(t)
+	a, _ := matrix.FromRows([][]float64{{5}})
+	b, _ := matrix.FromRows([][]float64{{3}})
+	out, err := MatMinValues(tc, tb(a), tb(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(*TaggedBlock).B.At(0, 0) != 3 {
+		t.Fatal("MatMinValues wrong")
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"apspark/internal/graph"
+	"apspark/internal/matrix"
+	"apspark/internal/rdd"
+)
+
+// BlockedCollectBroadcast is the paper's Algorithm 4 (§4.5) and its best
+// performing solver: the same 3-phase blocked Floyd-Warshall as Blocked
+// In-Memory, but the diagonal block and updated panels travel through the
+// driver and shared persistent storage instead of an all-to-all shuffle.
+// Executors read exactly the staged blocks they need (with per-node page
+// caching). Because the staging is a side effect outside RDD lineage, the
+// method is "impure": a task failure cannot be replayed safely, which the
+// engine enforces.
+type BlockedCollectBroadcast struct{}
+
+// Name implements Solver.
+func (BlockedCollectBroadcast) Name() string { return "Blocked-CB" }
+
+// Pure implements Solver: staging through shared storage breaks
+// fault-tolerance (paper §3, §6).
+func (BlockedCollectBroadcast) Pure() bool { return false }
+
+// Units implements Solver: one unit per block iteration.
+func (BlockedCollectBroadcast) Units(dec graph.Decomposition) int { return dec.Q }
+
+func cbDiagKey(i int) string     { return fmt.Sprintf("cb/diag/%d", i) }
+func cbPanelKey(i, r int) string { return fmt.Sprintf("cb/panel/%d/%d", i, r) }
+
+// Solve implements Solver.
+func (s BlockedCollectBroadcast) Solve(ctx *rdd.Context, in Input, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	q := in.Dec.Q
+	part, err := NewPartitioner(opts.Partitioner, ctx.Cluster, opts.PartsPerCore, q)
+	if err != nil {
+		return nil, err
+	}
+	ctx.MarkImpure()
+	a := parallelizeInput(ctx, in, part)
+
+	units := s.Units(in.Dec)
+	run := units
+	if opts.MaxUnits > 0 && opts.MaxUnits < run {
+		run = opts.MaxUnits
+	}
+
+	for i := 0; i < run; i++ {
+		ctx.Store.NewEpoch()
+
+		// Phase 1: solve the diagonal block, collect it on the driver and
+		// stage it in shared storage (Algorithm 4 lines 2-3).
+		diag := a.Filter("diag", OnDiagonal(i)).
+			Map("floydWarshall", FloydWarshallBlock).
+			Persist()
+		diagPairs, err := diag.Collect()
+		if err != nil {
+			return truncated(s, in, i, units), err
+		}
+		if len(diagPairs) != 1 {
+			return nil, fmt.Errorf("core: iteration %d collected %d diagonal blocks", i, len(diagPairs))
+		}
+		diagBlock := diagPairs[0].Value.(*TaggedBlock).B
+		ctx.Store.Put(cbDiagKey(i), diagBlock, diagBlock.SizeBytes())
+
+		// Phase 2: update the panel blocks against the staged diagonal
+		// (line 5), then collect and stage the updated panels (lines 6-7).
+		rowcol := a.Filter("panels", func(p rdd.Pair) bool {
+			return InColumn(i)(p) && !OnDiagonal(i)(p)
+		}).Map("minPlusPanel", func(tc *rdd.TaskContext, p rdd.Pair) (rdd.Pair, error) {
+			k := p.Key.(graph.BlockKey)
+			base := p.Value.(*TaggedBlock)
+			dv, err := tc.SharedGet(cbDiagKey(i))
+			if err != nil {
+				return rdd.Pair{}, err
+			}
+			upd, err := UpdatePanel(tc, k, base.B, dv.(*matrix.Block), i)
+			if err != nil {
+				return rdd.Pair{}, err
+			}
+			return rdd.Pair{Key: k, Value: &TaggedBlock{Tag: TagBase, B: upd}}, nil
+		}).Persist()
+		rowcolPairs, err := rowcol.Collect()
+		if err != nil {
+			return truncated(s, in, i, units), err
+		}
+		for _, p := range rowcolPairs {
+			k := p.Key.(graph.BlockKey)
+			b := p.Value.(*TaggedBlock).B
+			row, canon := k.I, b
+			if k.I == i { // stored (i, J): canonical panel is the transpose
+				row, canon = k.J, b.Transpose()
+			}
+			ctx.Store.Put(cbPanelKey(i, row), canon, canon.SizeBytes())
+		}
+
+		// Phase 3: update the remaining blocks against the staged panels
+		// (line 9).
+		offcol := a.Filter("off", NotInColumn(i)).
+			Map("minPlusOff", func(tc *rdd.TaskContext, p rdd.Pair) (rdd.Pair, error) {
+				k := p.Key.(graph.BlockKey)
+				base := p.Value.(*TaggedBlock)
+				pkv, err := tc.SharedGet(cbPanelKey(i, k.I))
+				if err != nil {
+					return rdd.Pair{}, err
+				}
+				plv := pkv
+				if k.J != k.I {
+					plv, err = tc.SharedGet(cbPanelKey(i, k.J))
+					if err != nil {
+						return rdd.Pair{}, err
+					}
+				}
+				upd, err := UpdateOff(tc, base.B, pkv.(*matrix.Block), plv.(*matrix.Block))
+				if err != nil {
+					return rdd.Pair{}, err
+				}
+				return rdd.Pair{Key: k, Value: &TaggedBlock{Tag: TagBase, B: upd}}, nil
+			})
+
+		// Reassemble A (lines 11-12).
+		a = ctx.Union(diag, rowcol, offcol).
+			PartitionBy(part).
+			Persist()
+		if err := a.Checkpoint(); err != nil {
+			return truncated(s, in, i, units), err
+		}
+	}
+
+	res := &Result{
+		Solver:     s.Name(),
+		N:          in.Dec.N,
+		BlockSize:  in.Dec.B,
+		UnitsRun:   run,
+		UnitsTotal: units,
+	}
+	if err := finishResult(ctx, res, in, a); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// truncated builds the partial result attached to a mid-run error.
+func truncated(s Solver, in Input, unitsRun, unitsTotal int) *Result {
+	return &Result{
+		Solver:     s.Name(),
+		N:          in.Dec.N,
+		BlockSize:  in.Dec.B,
+		UnitsRun:   unitsRun,
+		UnitsTotal: unitsTotal,
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"apspark/internal/graph"
+	"apspark/internal/matrix"
+	"apspark/internal/rdd"
+)
+
+// FW2D is the paper's Algorithm 2 (§4.3): the textbook 2D-blocked parallel
+// Floyd-Warshall. Each of the n iterations extracts global column k from
+// the blocks of column-block K = k/b, aggregates it on the driver with
+// collect, broadcasts it, and applies the rank-1 FloydWarshallUpdate to
+// every block. The method is pure — no side effects, no wide shuffles —
+// but its n-iteration critical path of synchronization makes it the
+// paper's slowest strategy at scale (Table 2 projects ~50-65 days).
+type FW2D struct{}
+
+// Name implements Solver.
+func (FW2D) Name() string { return "2D Floyd-Warshall" }
+
+// Pure implements Solver.
+func (FW2D) Pure() bool { return true }
+
+// Units implements Solver: one unit per pivot vertex k.
+func (FW2D) Units(dec graph.Decomposition) int { return dec.N }
+
+// Solve implements Solver.
+func (s FW2D) Solve(ctx *rdd.Context, in Input, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	dec := in.Dec
+	part, err := NewPartitioner(opts.Partitioner, ctx.Cluster, opts.PartsPerCore, dec.Q)
+	if err != nil {
+		return nil, err
+	}
+	a := parallelizeInput(ctx, in, part)
+
+	units := s.Units(dec)
+	run := units
+	if opts.MaxUnits > 0 && opts.MaxUnits < run {
+		run = opts.MaxUnits
+	}
+
+	for k := 0; k < run; k++ {
+		bigK := dec.BlockOf(k)
+		kloc := k - dec.RowOffset(bigK)
+
+		// Extract and collect global column k (Algorithm 2 lines 5-6).
+		colPairs, err := a.Filter("col", InColumn(bigK)).
+			Map("extractCol", ExtractColumn(bigK, kloc)).
+			Collect()
+		if err != nil {
+			return truncated(s, in, k, units), err
+		}
+		col := make(map[int]*matrix.Block, dec.Q)
+		for _, p := range colPairs {
+			col[p.Key.(int)] = p.Value.(*matrix.Block)
+		}
+		if len(col) != dec.Q {
+			return nil, fmt.Errorf("core: pivot %d collected %d column segments, want %d", k, len(col), dec.Q)
+		}
+
+		// Broadcast the column (line 8) and run the update (line 10).
+		bc := ctx.Broadcast(col)
+		a = a.Map("fwUpdate", func(tc *rdd.TaskContext, p rdd.Pair) (rdd.Pair, error) {
+			key := p.Key.(graph.BlockKey)
+			base := p.Value.(*TaggedBlock)
+			segs := bc.Value().(map[int]*matrix.Block)
+			colI, colJ := segs[key.I], segs[key.J]
+			tc.Charge(tc.Model().FWUpdate(base.B.R, base.B.C))
+			if base.B.Phantom() {
+				return rdd.Pair{Key: key, Value: base}, nil
+			}
+			nb := base.B.Clone()
+			if err := matrix.FloydWarshallUpdate(nb, colI.Data, colJ.Data); err != nil {
+				return rdd.Pair{}, err
+			}
+			return rdd.Pair{Key: key, Value: &TaggedBlock{Tag: TagBase, B: nb}}, nil
+		}).Persist()
+		if err := a.Checkpoint(); err != nil {
+			return truncated(s, in, k, units), err
+		}
+	}
+
+	res := &Result{
+		Solver:     s.Name(),
+		N:          dec.N,
+		BlockSize:  dec.B,
+		UnitsRun:   run,
+		UnitsTotal: units,
+	}
+	if err := finishResult(ctx, res, in, a); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

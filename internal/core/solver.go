@@ -1,0 +1,269 @@
+// Package core implements the paper's contribution: the functional APSP
+// building blocks of Table 1 and the four Spark solvers assembled from
+// them — Repeated Squaring (§4.2), 2D Floyd-Warshall (§4.3), Blocked
+// In-Memory (§4.4) and Blocked Collect/Broadcast (§4.5) — expressed
+// against the RDD engine in internal/rdd exactly the way the paper's
+// pySpark code is expressed against Spark.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"apspark/internal/cluster"
+	"apspark/internal/costmodel"
+	"apspark/internal/graph"
+	"apspark/internal/matrix"
+	"apspark/internal/rdd"
+)
+
+// PartitionerKind selects between the paper's two RDD partitioners.
+type PartitionerKind string
+
+const (
+	// PartitionerMD is the paper's multi-diagonal partitioner (§5.3).
+	PartitionerMD PartitionerKind = "MD"
+	// PartitionerPH is Spark's default portable-hash partitioner.
+	PartitionerPH PartitionerKind = "PH"
+)
+
+// Options configures one solver run.
+type Options struct {
+	// BlockSize is the decomposition parameter b.
+	BlockSize int
+	// Partitioner chooses MD or PH (default MD).
+	Partitioner PartitionerKind
+	// PartsPerCore is the paper's over-decomposition factor B; the RDD
+	// holding A uses B x p partitions (default 2, the paper's usual value).
+	PartsPerCore int
+	// MaxUnits truncates the run after this many iteration units
+	// (solver-specific: columns for RS, pivots k for FW2D, block
+	// iterations for the blocked solvers). Zero means run to completion.
+	// Truncated runs report a projection, mirroring the paper's Table 2.
+	MaxUnits int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Partitioner == "" {
+		o.Partitioner = PartitionerMD
+	}
+	if o.PartsPerCore == 0 {
+		o.PartsPerCore = 2
+	}
+	return o
+}
+
+// Input is a 2D block-decomposed adjacency matrix ready for a solver.
+type Input struct {
+	Dec    graph.Decomposition
+	Blocks map[graph.BlockKey]*matrix.Block // upper triangle, I <= J
+}
+
+// NewInput decomposes a dense symmetric adjacency matrix (real mode).
+func NewInput(a *matrix.Block, b int) (Input, error) {
+	dec, err := graph.NewDecomposition(a.R, b)
+	if err != nil {
+		return Input{}, err
+	}
+	blocks, err := graph.Blocks(a, dec)
+	if err != nil {
+		return Input{}, err
+	}
+	return Input{Dec: dec, Blocks: blocks}, nil
+}
+
+// NewPhantomInput builds a shape-only input for paper-scale virtual runs.
+func NewPhantomInput(n, b int) (Input, error) {
+	dec, err := graph.NewDecomposition(n, b)
+	if err != nil {
+		return Input{}, err
+	}
+	return Input{Dec: dec, Blocks: graph.PhantomBlocks(dec)}, nil
+}
+
+// Phantom reports whether the input carries shape-only blocks.
+func (in Input) Phantom() bool {
+	for _, b := range in.Blocks {
+		return b.Phantom()
+	}
+	return false
+}
+
+// Result is the outcome of a solver run.
+type Result struct {
+	Solver     string
+	N          int
+	BlockSize  int
+	UnitsRun   int
+	UnitsTotal int
+	// VirtualSeconds is the simulated cluster time of the units actually
+	// run; ProjectedSeconds extrapolates to a full run (they are equal
+	// when UnitsRun == UnitsTotal).
+	VirtualSeconds   float64
+	ProjectedSeconds float64
+	Metrics          cluster.Metrics
+	// Blocks holds the final distance blocks for complete runs (nil for
+	// truncated runs); Dist is the assembled matrix for complete real runs.
+	Blocks map[graph.BlockKey]*matrix.Block
+	Dist   *matrix.Block
+}
+
+// Solver is one of the paper's four APSP strategies.
+type Solver interface {
+	// Name returns the paper's name for the method.
+	Name() string
+	// Pure reports whether the implementation stays inside fault-tolerant
+	// Spark functionality (paper §3: pure vs impure).
+	Pure() bool
+	// Units returns the number of iteration units a full run needs.
+	Units(dec graph.Decomposition) int
+	// Solve runs the method on ctx.
+	Solve(ctx *rdd.Context, in Input, opts Options) (*Result, error)
+}
+
+// Solvers returns the registry of all four methods, in the paper's order.
+func Solvers() []Solver {
+	return []Solver{RepeatedSquaring{}, FW2D{}, BlockedInMemory{}, BlockedCollectBroadcast{}}
+}
+
+// SolverByName finds a solver by its short or full name.
+func SolverByName(name string) (Solver, error) {
+	for _, s := range Solvers() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	switch name {
+	case "rs":
+		return RepeatedSquaring{}, nil
+	case "fw2d":
+		return FW2D{}, nil
+	case "im":
+		return BlockedInMemory{}, nil
+	case "cb":
+		return BlockedCollectBroadcast{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown solver %q (want rs|fw2d|im|cb)", name)
+}
+
+// NewPartitioner builds the requested partitioner for a q x q grid with
+// B x p partitions.
+func NewPartitioner(kind PartitionerKind, clu *cluster.Cluster, partsPerCore, q int) (rdd.Partitioner, error) {
+	parts := partsPerCore * clu.Cores()
+	switch kind {
+	case PartitionerMD:
+		return rdd.NewMultiDiagonal(parts, q), nil
+	case PartitionerPH:
+		return rdd.NewPortableHash(parts), nil
+	default:
+		return nil, fmt.Errorf("core: unknown partitioner %q", kind)
+	}
+}
+
+// NewContext builds an RDD driver context with the solver value sizer.
+func NewContext(clu *cluster.Cluster, model costmodel.KernelModel) *rdd.Context {
+	ctx := rdd.NewContext(clu, model)
+	ctx.SizeOf = SizeOf
+	return ctx
+}
+
+// SizeOf extends the engine's default sizer with the core value types.
+func SizeOf(v any) int64 {
+	switch x := v.(type) {
+	case *TaggedBlock:
+		if x == nil || x.B == nil {
+			return 0
+		}
+		return x.B.SizeBytes()
+	case []*TaggedBlock:
+		var t int64
+		for _, e := range x {
+			t += SizeOf(e)
+		}
+		return t
+	case map[int]*matrix.Block:
+		var t int64
+		for _, e := range x {
+			t += e.SizeBytes()
+		}
+		return t
+	default:
+		return rdd.DefaultSize(v)
+	}
+}
+
+// parallelizeInput loads the input blocks into the engine.
+func parallelizeInput(ctx *rdd.Context, in Input, part rdd.Partitioner) *rdd.RDD {
+	pairs := make([]rdd.Pair, 0, len(in.Blocks))
+	for _, k := range in.Dec.UpperKeys() {
+		pairs = append(pairs, rdd.Pair{Key: k, Value: &TaggedBlock{Tag: TagBase, B: in.Blocks[k]}})
+	}
+	return ctx.Parallelize("A", pairs, part)
+}
+
+// collectBlocks gathers a solver's final RDD back into a block map,
+// validating that exactly the upper triangle is present.
+func collectBlocks(a *rdd.RDD, dec graph.Decomposition) (map[graph.BlockKey]*matrix.Block, error) {
+	pairs, err := a.Collect()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[graph.BlockKey]*matrix.Block, len(pairs))
+	for _, p := range pairs {
+		k, ok := p.Key.(graph.BlockKey)
+		if !ok {
+			return nil, fmt.Errorf("core: unexpected key type %T", p.Key)
+		}
+		tb, ok := p.Value.(*TaggedBlock)
+		if !ok {
+			return nil, fmt.Errorf("core: unexpected value type %T", p.Value)
+		}
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("core: duplicate block %v in result", k)
+		}
+		out[k] = tb.B
+	}
+	if len(out) != dec.NumUpperBlocks() {
+		return nil, fmt.Errorf("core: result has %d blocks, want %d", len(out), dec.NumUpperBlocks())
+	}
+	return out, nil
+}
+
+// finishResult fills the common Result fields, assembling the distance
+// matrix for complete real-mode runs.
+func finishResult(ctx *rdd.Context, res *Result, in Input, a *rdd.RDD) error {
+	res.Metrics = ctx.Cluster.Metrics()
+	res.VirtualSeconds = ctx.Cluster.Now()
+	if res.UnitsRun >= res.UnitsTotal {
+		res.ProjectedSeconds = res.VirtualSeconds
+		blocks, err := collectBlocks(a, in.Dec)
+		if err != nil {
+			return err
+		}
+		res.Blocks = blocks
+		if !in.Phantom() {
+			dist, err := graph.Assemble(blocks, in.Dec)
+			if err != nil {
+				return err
+			}
+			res.Dist = dist
+		}
+		// Refresh accounting: collectBlocks ran one more stage.
+		res.Metrics = ctx.Cluster.Metrics()
+		res.VirtualSeconds = ctx.Cluster.Now()
+		res.ProjectedSeconds = res.VirtualSeconds
+		return nil
+	}
+	if res.UnitsRun > 0 {
+		res.ProjectedSeconds = res.VirtualSeconds / float64(res.UnitsRun) * float64(res.UnitsTotal)
+	}
+	return nil
+}
+
+// log2Ceil returns ceil(log2(n)) with a floor of 1.
+func log2Ceil(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}

@@ -1,0 +1,98 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperKernelsT1(t *testing.T) {
+	// The paper's sequential reference point: T1 = 0.022 s for n = 256
+	// (§5.4). The model should land within ~15%.
+	m := PaperKernels()
+	got := m.FloydWarshall(256)
+	if got < 0.019 || got > 0.026 {
+		t.Fatalf("FW(256) = %v s, want ~0.022 s", got)
+	}
+}
+
+func TestFloydWarshallCubicGrowth(t *testing.T) {
+	m := PaperKernels()
+	r := m.FloydWarshall(512) / m.FloydWarshall(256)
+	if r < 7.5 || r > 9 {
+		t.Fatalf("FW(512)/FW(256) = %v, want ~8 (cubic)", r)
+	}
+}
+
+func TestCacheKneeSlowsLargeBlocks(t *testing.T) {
+	m := PaperKernels()
+	// Effective rate (ops/s) should drop across the knee (paper Fig. 2).
+	rate := func(b int) float64 {
+		fb := float64(b)
+		return fb * fb * fb / m.FloydWarshall(b)
+	}
+	if rate(4096) >= rate(512) {
+		t.Fatalf("rate(4096)=%v >= rate(512)=%v; knee missing", rate(4096), rate(512))
+	}
+	// Figure 2's headline point: b = 10000 takes minutes (~1400 s).
+	if got := m.FloydWarshall(10000); got < 1000 || got > 2000 {
+		t.Fatalf("FW(10000) = %v s, want ~1400 s", got)
+	}
+}
+
+func TestMinPlusMulShapes(t *testing.T) {
+	m := PaperKernels()
+	sq := m.MinPlusMul(128, 128, 128)
+	rect := m.MinPlusMul(128, 128, 1)
+	if rect >= sq {
+		t.Fatal("matrix-vector product should be cheaper than square product")
+	}
+	if m.MinPlusMul(0, 10, 10) != 0 {
+		t.Fatal("empty product should be free")
+	}
+}
+
+func TestElementwiseCosts(t *testing.T) {
+	m := PaperKernels()
+	if m.MatMin(100, 100) <= 0 || m.FWUpdate(100, 100) <= 0 || m.ExtractCol(100) <= 0 {
+		t.Fatal("element-wise costs must be positive")
+	}
+	if m.FWUpdate(100, 100) <= m.MatMin(100, 100) {
+		t.Fatal("FW update (two ops/element) should cost more than MatMin")
+	}
+}
+
+func TestMonotonicInBlockSizeQuick(t *testing.T) {
+	m := PaperKernels()
+	f := func(raw uint16) bool {
+		b := int(raw%4000) + 1
+		return m.FloydWarshall(b+1) > m.FloydWarshall(b) &&
+			m.MinPlusMul(b+1, b+1, b+1) > m.MinPlusMul(b, b, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHardKneeFallback(t *testing.T) {
+	m := PaperKernels()
+	m.KneeWidth = 0 // degenerate: hard threshold
+	lo := m.FloydWarshall(int(m.CacheKnee) - 1)
+	hi := m.FloydWarshall(int(m.CacheKnee) + 1)
+	if hi <= lo {
+		t.Fatal("hard knee did not slow the larger block")
+	}
+}
+
+func TestCalibrateProducesUsableModel(t *testing.T) {
+	m := Calibrate(48)
+	if m.FWRateIn <= 0 || m.MPRateIn <= 0 {
+		t.Fatalf("calibrated rates: %+v", m)
+	}
+	if m.FloydWarshall(256) <= 0 {
+		t.Fatal("calibrated model returns nonpositive cost")
+	}
+	// The knee structure must be preserved.
+	if m.FWRateOut >= m.FWRateIn {
+		t.Fatal("calibrated out-of-cache rate not below in-cache rate")
+	}
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"fmt"
+
+	"apspark/internal/matrix"
+)
+
+// BlockKey identifies block (I, J) of the 2D-decomposed adjacency matrix.
+// The distributed solvers keep only the upper triangle (I <= J), deriving
+// A_JI by transposition on demand (paper §4).
+type BlockKey struct {
+	I, J int
+}
+
+// String renders the key the way the paper writes it.
+func (k BlockKey) String() string { return fmt.Sprintf("(%d,%d)", k.I, k.J) }
+
+// Decomposition describes a q x q block decomposition of an n x n matrix
+// with block edge b (the last row/column of blocks may be ragged when
+// b does not divide n).
+type Decomposition struct {
+	N int // matrix order
+	B int // block edge
+	Q int // number of block rows/cols: ceil(N/B)
+}
+
+// NewDecomposition validates and builds a decomposition.
+func NewDecomposition(n, b int) (Decomposition, error) {
+	if n <= 0 {
+		return Decomposition{}, fmt.Errorf("graph: matrix order %d must be positive", n)
+	}
+	if b <= 0 || b > n {
+		return Decomposition{}, fmt.Errorf("graph: block size %d outside [1,%d]", b, n)
+	}
+	return Decomposition{N: n, B: b, Q: (n + b - 1) / b}, nil
+}
+
+// Rows returns the number of rows in block-row I.
+func (d Decomposition) Rows(i int) int {
+	if i == d.Q-1 {
+		return d.N - (d.Q-1)*d.B
+	}
+	return d.B
+}
+
+// RowOffset returns the first global row index of block-row I.
+func (d Decomposition) RowOffset(i int) int { return i * d.B }
+
+// NumUpperBlocks returns the number of stored (upper-triangular) blocks.
+func (d Decomposition) NumUpperBlocks() int { return d.Q * (d.Q + 1) / 2 }
+
+// UpperKeys enumerates all stored block keys in row-major order.
+func (d Decomposition) UpperKeys() []BlockKey {
+	keys := make([]BlockKey, 0, d.NumUpperBlocks())
+	for i := 0; i < d.Q; i++ {
+		for j := i; j < d.Q; j++ {
+			keys = append(keys, BlockKey{i, j})
+		}
+	}
+	return keys
+}
+
+// BlockOf maps a global vertex index to its block row/column.
+func (d Decomposition) BlockOf(v int) int { return v / d.B }
+
+// Blocks carves the dense matrix a into the decomposition's upper-triangle
+// blocks. The input must be d.N x d.N.
+func Blocks(a *matrix.Block, d Decomposition) (map[BlockKey]*matrix.Block, error) {
+	if a.R != d.N || a.C != d.N {
+		return nil, fmt.Errorf("graph: matrix %dx%d does not match decomposition order %d", a.R, a.C, d.N)
+	}
+	out := make(map[BlockKey]*matrix.Block, d.NumUpperBlocks())
+	for i := 0; i < d.Q; i++ {
+		for j := i; j < d.Q; j++ {
+			ri, cj := d.Rows(i), d.Rows(j)
+			blk := matrix.New(ri, cj)
+			for r := 0; r < ri; r++ {
+				srcRow := (d.RowOffset(i) + r) * a.C
+				copy(blk.Data[r*cj:(r+1)*cj], a.Data[srcRow+d.RowOffset(j):srcRow+d.RowOffset(j)+cj])
+			}
+			out[BlockKey{i, j}] = blk
+		}
+	}
+	return out, nil
+}
+
+// PhantomBlocks builds the upper-triangle block set with phantom payloads —
+// the input to paper-scale virtual runs, where only shapes and byte sizes
+// matter.
+func PhantomBlocks(d Decomposition) map[BlockKey]*matrix.Block {
+	out := make(map[BlockKey]*matrix.Block, d.NumUpperBlocks())
+	for i := 0; i < d.Q; i++ {
+		for j := i; j < d.Q; j++ {
+			out[BlockKey{i, j}] = matrix.NewPhantom(d.Rows(i), d.Rows(j))
+		}
+	}
+	return out
+}
+
+// Assemble reverses Blocks: it stitches upper-triangle blocks back into a
+// full symmetric dense matrix (lower triangle from transposes).
+func Assemble(blocks map[BlockKey]*matrix.Block, d Decomposition) (*matrix.Block, error) {
+	a := matrix.New(d.N, d.N)
+	for i := 0; i < d.Q; i++ {
+		for j := i; j < d.Q; j++ {
+			blk, ok := blocks[BlockKey{i, j}]
+			if !ok {
+				return nil, fmt.Errorf("graph: missing block (%d,%d)", i, j)
+			}
+			if blk.Phantom() {
+				return nil, fmt.Errorf("graph: cannot assemble phantom block (%d,%d)", i, j)
+			}
+			if blk.R != d.Rows(i) || blk.C != d.Rows(j) {
+				return nil, fmt.Errorf("graph: block (%d,%d) is %dx%d, want %dx%d", i, j, blk.R, blk.C, d.Rows(i), d.Rows(j))
+			}
+			for r := 0; r < blk.R; r++ {
+				gr := d.RowOffset(i) + r
+				for c := 0; c < blk.C; c++ {
+					gc := d.RowOffset(j) + c
+					v := blk.At(r, c)
+					a.Set(gr, gc, v)
+					a.Set(gc, gr, v)
+				}
+			}
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"testing"
+
+	"apspark/internal/matrix"
+)
+
+func TestNewDecomposition(t *testing.T) {
+	d, err := NewDecomposition(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Q != 4 {
+		t.Fatalf("Q = %d, want 4", d.Q)
+	}
+	if d.Rows(0) != 3 || d.Rows(3) != 1 {
+		t.Fatalf("ragged rows: %d, %d", d.Rows(0), d.Rows(3))
+	}
+	if d.NumUpperBlocks() != 10 {
+		t.Fatalf("NumUpperBlocks = %d, want 10", d.NumUpperBlocks())
+	}
+	for _, bad := range [][2]int{{0, 1}, {5, 0}, {5, 6}, {-1, 1}} {
+		if _, err := NewDecomposition(bad[0], bad[1]); err == nil {
+			t.Fatalf("NewDecomposition(%d,%d) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestDecompositionExactDivision(t *testing.T) {
+	d, _ := NewDecomposition(12, 4)
+	if d.Q != 3 || d.Rows(2) != 4 {
+		t.Fatalf("exact division: Q=%d last=%d", d.Q, d.Rows(2))
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	d, _ := NewDecomposition(10, 3)
+	cases := map[int]int{0: 0, 2: 0, 3: 1, 8: 2, 9: 3}
+	for v, want := range cases {
+		if got := d.BlockOf(v); got != want {
+			t.Fatalf("BlockOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestUpperKeysOrder(t *testing.T) {
+	d, _ := NewDecomposition(6, 2)
+	keys := d.UpperKeys()
+	want := []BlockKey{{0, 0}, {0, 1}, {0, 2}, {1, 1}, {1, 2}, {2, 2}}
+	if len(keys) != len(want) {
+		t.Fatalf("len = %d, want %d", len(keys), len(want))
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys[%d] = %v, want %v", i, keys[i], want[i])
+		}
+	}
+}
+
+func TestBlocksAssembleRoundTrip(t *testing.T) {
+	for _, cfg := range [][2]int{{8, 3}, {9, 3}, {5, 5}, {7, 2}, {1, 1}} {
+		n, b := cfg[0], cfg[1]
+		g, err := ErdosRenyi(n, 0.5, 10, int64(n*100+b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense := g.Dense()
+		d, _ := NewDecomposition(n, b)
+		blocks, err := Blocks(dense, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blocks) != d.NumUpperBlocks() {
+			t.Fatalf("n=%d b=%d: %d blocks, want %d", n, b, len(blocks), d.NumUpperBlocks())
+		}
+		back, err := Assemble(blocks, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(dense) {
+			t.Fatalf("n=%d b=%d: assemble(blocks(A)) != A", n, b)
+		}
+	}
+}
+
+func TestBlocksShapeMismatch(t *testing.T) {
+	d, _ := NewDecomposition(4, 2)
+	if _, err := Blocks(matrix.New(3, 3), d); err == nil {
+		t.Fatal("mismatched matrix accepted")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	d, _ := NewDecomposition(4, 2)
+	blocks := map[BlockKey]*matrix.Block{}
+	if _, err := Assemble(blocks, d); err == nil {
+		t.Fatal("missing block accepted")
+	}
+	blocks = PhantomBlocks(d)
+	if _, err := Assemble(blocks, d); err == nil {
+		t.Fatal("phantom block accepted in Assemble")
+	}
+	g, _ := ErdosRenyi(4, 1, 10, 1)
+	real, _ := Blocks(g.Dense(), d)
+	real[BlockKey{0, 1}] = matrix.New(3, 3)
+	if _, err := Assemble(real, d); err == nil {
+		t.Fatal("wrong-shape block accepted")
+	}
+}
+
+func TestPhantomBlocks(t *testing.T) {
+	d, _ := NewDecomposition(10, 4)
+	blocks := PhantomBlocks(d)
+	if len(blocks) != d.NumUpperBlocks() {
+		t.Fatalf("phantom block count = %d", len(blocks))
+	}
+	last := blocks[BlockKey{2, 2}]
+	if !last.Phantom() || last.R != 2 || last.C != 2 {
+		t.Fatalf("ragged phantom = %v", last)
+	}
+	var total int64
+	for _, b := range blocks {
+		total += b.SizeBytes()
+	}
+	// Upper triangle of 10x10 floats: 10*10*8 = 800 total; upper incl diag
+	// has 55+3*... compute directly: sum over blocks equals bytes of upper
+	// blocks which cover diagonal blocks fully.
+	if total <= 0 || total > 800 {
+		t.Fatalf("phantom byte total = %d out of range", total)
+	}
+}

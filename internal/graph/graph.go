@@ -1,0 +1,259 @@
+// Package graph provides the input side of the APSP pipeline: weighted
+// undirected graphs in CSR form, the Erdős–Rényi generator the paper uses
+// for all experiments (edge probability p_e = (1+eps)·ln(n)/n, eps = 0.1),
+// dense adjacency matrices, and the 2D block decomposition that feeds the
+// distributed solvers.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"apspark/internal/matrix"
+)
+
+// Edge is one weighted undirected edge (U < V by construction in this
+// package's generators).
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Graph is a weighted undirected graph in CSR (compressed sparse row) form.
+// Both directions of every edge are stored so Adj(u) lists all neighbours.
+type Graph struct {
+	N       int
+	rowPtr  []int32
+	colIdx  []int32
+	weights []float64
+}
+
+// Neighbor is one CSR adjacency entry.
+type Neighbor struct {
+	To int
+	W  float64
+}
+
+// FromEdges builds a Graph on n vertices from an undirected edge list.
+// Duplicate edges keep the minimum weight; self-loops are dropped (a vertex
+// reaches itself at distance 0 by definition).
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	type key struct{ u, v int }
+	best := make(map[key]float64, len(edges))
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.W < 0 {
+			return nil, fmt.Errorf("graph: negative weight %v on edge (%d,%d)", e.W, e.U, e.V)
+		}
+		if e.U == e.V {
+			continue
+		}
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		k := key{u, v}
+		if w, ok := best[k]; !ok || e.W < w {
+			best[k] = e.W
+		}
+	}
+	deg := make([]int32, n)
+	for k := range best {
+		deg[k.u]++
+		deg[k.v]++
+	}
+	g := &Graph{N: n, rowPtr: make([]int32, n+1)}
+	for i := 0; i < n; i++ {
+		g.rowPtr[i+1] = g.rowPtr[i] + deg[i]
+	}
+	m := int(g.rowPtr[n])
+	g.colIdx = make([]int32, m)
+	g.weights = make([]float64, m)
+	fill := make([]int32, n)
+	for k, w := range best {
+		for _, pair := range [2][2]int{{k.u, k.v}, {k.v, k.u}} {
+			u, v := pair[0], pair[1]
+			pos := g.rowPtr[u] + fill[u]
+			g.colIdx[pos] = int32(v)
+			g.weights[pos] = w
+			fill[u]++
+		}
+	}
+	// Sort each adjacency list for deterministic iteration.
+	for u := 0; u < n; u++ {
+		lo, hi := g.rowPtr[u], g.rowPtr[u+1]
+		idx := g.colIdx[lo:hi]
+		ws := g.weights[lo:hi]
+		sort.Sort(&adjSorter{idx, ws})
+	}
+	return g, nil
+}
+
+type adjSorter struct {
+	idx []int32
+	ws  []float64
+}
+
+func (s *adjSorter) Len() int           { return len(s.idx) }
+func (s *adjSorter) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s *adjSorter) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.ws[i], s.ws[j] = s.ws[j], s.ws[i]
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.colIdx) / 2 }
+
+// Adj returns vertex u's adjacency list (freshly allocated).
+func (g *Graph) Adj(u int) []Neighbor {
+	lo, hi := g.rowPtr[u], g.rowPtr[u+1]
+	out := make([]Neighbor, 0, hi-lo)
+	for p := lo; p < hi; p++ {
+		out = append(out, Neighbor{To: int(g.colIdx[p]), W: g.weights[p]})
+	}
+	return out
+}
+
+// VisitAdj calls fn for every neighbour of u without allocating.
+func (g *Graph) VisitAdj(u int, fn func(v int, w float64)) {
+	for p := g.rowPtr[u]; p < g.rowPtr[u+1]; p++ {
+		fn(int(g.colIdx[p]), g.weights[p])
+	}
+}
+
+// Degree returns vertex u's degree.
+func (g *Graph) Degree(u int) int { return int(g.rowPtr[u+1] - g.rowPtr[u]) }
+
+// Edges returns the undirected edge list (U < V), sorted.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for u := 0; u < g.N; u++ {
+		g.VisitAdj(u, func(v int, w float64) {
+			if u < v {
+				out = append(out, Edge{U: u, V: v, W: w})
+			}
+		})
+	}
+	return out
+}
+
+// Connected reports whether the graph is a single connected component.
+func (g *Graph) Connected() bool {
+	if g.N == 0 {
+		return true
+	}
+	seen := make([]bool, g.N)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for p := g.rowPtr[u]; p < g.rowPtr[u+1]; p++ {
+			v := int(g.colIdx[p])
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == g.N
+}
+
+// Dense returns the full n x n adjacency matrix with 0 on the diagonal and
+// +Inf for absent edges — the representation the paper's solvers consume.
+func (g *Graph) Dense() *matrix.Block {
+	a := matrix.New(g.N, g.N)
+	for i := 0; i < g.N; i++ {
+		a.Set(i, i, 0)
+	}
+	for u := 0; u < g.N; u++ {
+		g.VisitAdj(u, func(v int, w float64) {
+			if w < a.At(u, v) {
+				a.Set(u, v, w)
+				a.Set(v, u, w)
+			}
+		})
+	}
+	return a
+}
+
+// ErdosRenyiPaperProb returns the edge probability the paper uses:
+// p_e = (1+eps)·ln(n)/n with eps = 0.1.
+func ErdosRenyiPaperProb(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return 1.1 * math.Log(float64(n)) / float64(n)
+}
+
+// ErdosRenyi generates a G(n, p) graph with uniform edge weights in
+// [1, maxW) using the given seed. Generation walks the upper triangle with
+// geometric skips, so the cost is proportional to the number of edges, not
+// n^2 — the same trick that makes the paper's "graph generation is fast"
+// claim hold at n = 262,144.
+func ErdosRenyi(n int, p float64, maxW float64, seed int64) (*Graph, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: edge probability %v outside [0,1]", p)
+	}
+	if maxW < 1 {
+		maxW = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
+	if p > 0 {
+		lq := math.Log1p(-p) // log(1-p); p==1 gives -Inf and dense output
+		// Linearized upper-triangle index walk with geometric gaps.
+		var idx, total int64
+		total = int64(n) * int64(n-1) / 2
+		for {
+			var skip int64
+			if p >= 1 {
+				skip = 0
+			} else {
+				skip = int64(math.Floor(math.Log(1-rng.Float64()) / lq))
+			}
+			idx += skip
+			if idx >= total {
+				break
+			}
+			u, v := unrank(idx, n)
+			w := 1 + rng.Float64()*(maxW-1)
+			edges = append(edges, Edge{U: u, V: v, W: w})
+			idx++
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// ErdosRenyiPaper generates the exact graph family from the paper's §5.1.
+func ErdosRenyiPaper(n int, seed int64) (*Graph, error) {
+	return ErdosRenyi(n, ErdosRenyiPaperProb(n), 10, seed)
+}
+
+// unrank maps a linear index over the strictly-upper triangle of an n x n
+// matrix (row-major) back to (row, col).
+func unrank(idx int64, n int) (int, int) {
+	// Row r starts at offset r*n - r*(r+3)/2 ... solve incrementally via the
+	// closed form: remaining(r) = (n-1-r) entries in row r.
+	// Use the quadratic formula on cumulative counts.
+	nf := float64(n)
+	r := int(math.Floor((2*nf - 1 - math.Sqrt((2*nf-1)*(2*nf-1)-8*float64(idx))) / 2))
+	for rowStart(r, n) > idx {
+		r--
+	}
+	for rowStart(r+1, n) <= idx {
+		r++
+	}
+	c := r + 1 + int(idx-rowStart(r, n))
+	return r, c
+}
+
+func rowStart(r, n int) int64 {
+	return int64(r)*int64(n) - int64(r)*int64(r+1)/2
+}

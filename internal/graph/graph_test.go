@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesBasic(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{0, 1, 2}, {1, 2, 3}, {2, 3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if g.Degree(1) != 2 || g.Degree(0) != 1 {
+		t.Fatalf("degrees = %d,%d", g.Degree(1), g.Degree(0))
+	}
+	adj := g.Adj(1)
+	if len(adj) != 2 || adj[0].To != 0 || adj[1].To != 2 {
+		t.Fatalf("Adj(1) = %v", adj)
+	}
+}
+
+func TestFromEdgesDropsSelfLoopsAndKeepsMinWeight(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 0, 5}, {0, 1, 9}, {1, 0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if w := g.Adj(0)[0].W; w != 2 {
+		t.Fatalf("duplicate edge kept weight %v, want 2", w)
+	}
+}
+
+func TestFromEdgesValidation(t *testing.T) {
+	if _, err := FromEdges(2, []Edge{{0, 5, 1}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := FromEdges(2, []Edge{{0, 1, -1}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	in := []Edge{{0, 1, 2}, {1, 3, 4}, {2, 3, 0.5}}
+	g, err := FromEdges(4, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.Edges()
+	if len(out) != len(in) {
+		t.Fatalf("Edges() returned %d, want %d", len(out), len(in))
+	}
+	g2, err := FromEdges(4, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Dense().Equal(g2.Dense()) {
+		t.Fatal("edge-list round trip changed the graph")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	conn, _ := FromEdges(3, []Edge{{0, 1, 1}, {1, 2, 1}})
+	if !conn.Connected() {
+		t.Fatal("path graph reported disconnected")
+	}
+	disc, _ := FromEdges(4, []Edge{{0, 1, 1}, {2, 3, 1}})
+	if disc.Connected() {
+		t.Fatal("two components reported connected")
+	}
+	empty, _ := FromEdges(0, nil)
+	if !empty.Connected() {
+		t.Fatal("empty graph should be trivially connected")
+	}
+}
+
+func TestDense(t *testing.T) {
+	g, _ := FromEdges(3, []Edge{{0, 2, 4}})
+	a := g.Dense()
+	if a.At(0, 0) != 0 || a.At(1, 1) != 0 {
+		t.Fatal("diagonal not zero")
+	}
+	if a.At(0, 2) != 4 || a.At(2, 0) != 4 {
+		t.Fatal("edge weight not symmetric in dense form")
+	}
+	if !math.IsInf(a.At(0, 1), 1) {
+		t.Fatal("absent edge not +Inf")
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	g1, err := ErdosRenyi(100, 0.05, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := ErdosRenyi(100, 0.05, 10, 42)
+	if !g1.Dense().Equal(g2.Dense()) {
+		t.Fatal("same seed produced different graphs")
+	}
+	g3, _ := ErdosRenyi(100, 0.05, 10, 43)
+	if g1.Dense().Equal(g3.Dense()) {
+		t.Fatal("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestErdosRenyiEdgeCountConcentration(t *testing.T) {
+	n, p := 400, 0.05
+	g, err := ErdosRenyi(n, p, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := p * float64(n) * float64(n-1) / 2
+	got := float64(g.NumEdges())
+	// Binomial std ~ sqrt(mean); allow 6 sigma.
+	if math.Abs(got-mean) > 6*math.Sqrt(mean) {
+		t.Fatalf("edge count %v too far from mean %v", got, mean)
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	g0, err := ErdosRenyi(10, 0, 10, 1)
+	if err != nil || g0.NumEdges() != 0 {
+		t.Fatalf("p=0: edges=%d err=%v", g0.NumEdges(), err)
+	}
+	g1, err := ErdosRenyi(10, 1, 10, 1)
+	if err != nil || g1.NumEdges() != 45 {
+		t.Fatalf("p=1: edges=%d err=%v, want complete graph", g1.NumEdges(), err)
+	}
+	if _, err := ErdosRenyi(10, 1.5, 10, 1); err == nil {
+		t.Fatal("p>1 accepted")
+	}
+}
+
+func TestErdosRenyiWeightsInRange(t *testing.T) {
+	g, _ := ErdosRenyi(50, 0.3, 5, 11)
+	for _, e := range g.Edges() {
+		if e.W < 1 || e.W >= 5 {
+			t.Fatalf("weight %v outside [1,5)", e.W)
+		}
+	}
+}
+
+func TestErdosRenyiPaperProb(t *testing.T) {
+	if p := ErdosRenyiPaperProb(1); p != 0 {
+		t.Fatalf("n=1 prob = %v", p)
+	}
+	n := 1024
+	want := 1.1 * math.Log(float64(n)) / float64(n)
+	if got := ErdosRenyiPaperProb(n); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("paper prob = %v, want %v", got, want)
+	}
+	// The paper family is almost surely connected (p above the ln n / n
+	// threshold); check one sample.
+	g, err := ErdosRenyiPaper(512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Log("warning: sample not connected (possible but unlikely)")
+	}
+}
+
+func TestUnrankQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%97) + 2
+		if n < 2 {
+			n = 2
+		}
+		idx := int64(0)
+		for r := 0; r < n; r++ {
+			for c := r + 1; c < n; c++ {
+				gr, gc := unrank(idx, n)
+				if gr != r || gc != c {
+					return false
+				}
+				idx++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVisitAdjMatchesAdj(t *testing.T) {
+	g, _ := ErdosRenyi(60, 0.2, 10, 5)
+	for u := 0; u < g.N; u++ {
+		var visited []Neighbor
+		g.VisitAdj(u, func(v int, w float64) { visited = append(visited, Neighbor{v, w}) })
+		adj := g.Adj(u)
+		if len(visited) != len(adj) {
+			t.Fatalf("u=%d: VisitAdj %d entries, Adj %d", u, len(visited), len(adj))
+		}
+		for i := range adj {
+			if visited[i] != adj[i] {
+				t.Fatalf("u=%d entry %d: %v vs %v", u, i, visited[i], adj[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package matrix provides dense, row-major distance-matrix blocks and the
+// min-plus (tropical) semiring kernels used by every APSP solver in this
+// repository: element-wise minimum, min-plus matrix product, the
+// Floyd-Warshall kernel, and the rank-1 "outer sum" Floyd-Warshall update.
+//
+// Blocks exist in two flavours sharing one type:
+//
+//   - dense blocks carry data and are used when a solver runs "for real";
+//   - phantom blocks carry only their shape and are used by the virtual
+//     cluster, where kernel invocations charge calibrated costs to a
+//     simulated clock instead of touching floats.
+//
+// The infinity value for "no path" is math.Inf(1); kernels are written so
+// that +Inf behaves as the additive annihilator / minimum identity of the
+// semiring without special-casing NaN.
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the distance value representing "no path".
+var Inf = math.Inf(1)
+
+// Block is a dense, row-major matrix block over the min-plus semiring.
+// A Block with nil Data is a phantom: it has a shape and a byte size but no
+// elements. Phantom blocks flow through the same solver code paths as dense
+// ones; kernels detect them and return phantoms.
+type Block struct {
+	R, C int
+	Data []float64 // len R*C when dense; nil when phantom
+}
+
+// New returns a dense R x C block with every element set to +Inf.
+func New(r, c int) *Block {
+	b := &Block{R: r, C: c, Data: make([]float64, r*c)}
+	for i := range b.Data {
+		b.Data[i] = Inf
+	}
+	return b
+}
+
+// NewZero returns a dense R x C block with every element set to 0.
+func NewZero(r, c int) *Block {
+	return &Block{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// NewPhantom returns a phantom block: shape only, no data.
+func NewPhantom(r, c int) *Block {
+	return &Block{R: r, C: c}
+}
+
+// FromRows builds a dense block from a slice of equal-length rows.
+func FromRows(rows [][]float64) (*Block, error) {
+	if len(rows) == 0 {
+		return &Block{}, nil
+	}
+	r, c := len(rows), len(rows[0])
+	b := &Block{R: r, C: c, Data: make([]float64, 0, r*c)}
+	for i, row := range rows {
+		if len(row) != c {
+			return nil, fmt.Errorf("matrix: row %d has %d columns, want %d", i, len(row), c)
+		}
+		b.Data = append(b.Data, row...)
+	}
+	return b, nil
+}
+
+// Phantom reports whether the block carries no element data.
+func (b *Block) Phantom() bool { return b.Data == nil }
+
+// At returns element (i, j). It panics on phantom blocks, mirroring how an
+// out-of-bounds slice access would fail: reading a phantom is a logic error.
+func (b *Block) At(i, j int) float64 { return b.Data[i*b.C+j] }
+
+// Set assigns element (i, j).
+func (b *Block) Set(i, j int, v float64) { b.Data[i*b.C+j] = v }
+
+// Row returns row i as a slice aliasing the block's storage.
+func (b *Block) Row(i int) []float64 { return b.Data[i*b.C : (i+1)*b.C] }
+
+// SizeBytes returns the serialized payload size of the block. Phantom and
+// dense blocks of the same shape report the same size, which is what the
+// shuffle and storage cost accounting relies on.
+func (b *Block) SizeBytes() int64 { return int64(b.R) * int64(b.C) * 8 }
+
+// Clone returns a deep copy (phantoms clone to phantoms).
+func (b *Block) Clone() *Block {
+	nb := &Block{R: b.R, C: b.C}
+	if b.Data != nil {
+		nb.Data = make([]float64, len(b.Data))
+		copy(nb.Data, b.Data)
+	}
+	return nb
+}
+
+// Transpose returns a new block that is the transpose of b.
+func (b *Block) Transpose() *Block {
+	if b.Phantom() {
+		return NewPhantom(b.C, b.R)
+	}
+	t := &Block{R: b.C, C: b.R, Data: make([]float64, len(b.Data))}
+	for i := 0; i < b.R; i++ {
+		base := i * b.C
+		for j := 0; j < b.C; j++ {
+			t.Data[j*b.R+i] = b.Data[base+j]
+		}
+	}
+	return t
+}
+
+// Col returns a copy of column j.
+func (b *Block) Col(j int) []float64 {
+	out := make([]float64, b.R)
+	for i := 0; i < b.R; i++ {
+		out[i] = b.Data[i*b.C+j]
+	}
+	return out
+}
+
+// Fill sets every element of a dense block to v.
+func (b *Block) Fill(v float64) {
+	for i := range b.Data {
+		b.Data[i] = v
+	}
+}
+
+// Equal reports exact element-wise equality. Two phantoms are equal when
+// their shapes match; a phantom never equals a dense block.
+func (b *Block) Equal(o *Block) bool {
+	if b.R != o.R || b.C != o.C {
+		return false
+	}
+	if b.Phantom() || o.Phantom() {
+		return b.Phantom() == o.Phantom()
+	}
+	for i, v := range b.Data {
+		w := o.Data[i]
+		if v != w && !(math.IsInf(v, 1) && math.IsInf(w, 1)) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports element-wise equality within absolute tolerance tol,
+// treating two +Inf entries as equal.
+func (b *Block) AllClose(o *Block, tol float64) bool {
+	if b.R != o.R || b.C != o.C || b.Phantom() != o.Phantom() {
+		return false
+	}
+	if b.Phantom() {
+		return true
+	}
+	for i, v := range b.Data {
+		w := o.Data[i]
+		if math.IsInf(v, 1) && math.IsInf(w, 1) {
+			continue
+		}
+		if math.Abs(v-w) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small blocks for debugging; phantoms render as a shape tag.
+func (b *Block) String() string {
+	if b.Phantom() {
+		return fmt.Sprintf("phantom[%dx%d]", b.R, b.C)
+	}
+	s := ""
+	for i := 0; i < b.R; i++ {
+		for j := 0; j < b.C; j++ {
+			if j > 0 {
+				s += " "
+			}
+			v := b.At(i, j)
+			if math.IsInf(v, 1) {
+				s += "inf"
+			} else {
+				s += fmt.Sprintf("%g", v)
+			}
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,232 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomBlock(rng *rand.Rand, r, c int, infFrac float64) *Block {
+	b := New(r, c)
+	for i := range b.Data {
+		if rng.Float64() < infFrac {
+			b.Data[i] = Inf
+		} else {
+			b.Data[i] = math.Floor(rng.Float64()*100) / 4
+		}
+	}
+	return b
+}
+
+func TestNewIsAllInf(t *testing.T) {
+	b := New(3, 4)
+	if b.R != 3 || b.C != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", b.R, b.C)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if !math.IsInf(b.At(i, j), 1) {
+				t.Fatalf("At(%d,%d) = %v, want +Inf", i, j, b.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewZero(t *testing.T) {
+	b := NewZero(2, 2)
+	for _, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("NewZero has nonzero element %v", v)
+		}
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	b, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v, want 3", b.At(1, 0))
+	}
+	if _, err := FromRows([][]float64{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	b := New(4, 4)
+	b.Set(2, 3, 7.5)
+	if b.At(2, 3) != 7.5 {
+		t.Fatalf("At(2,3) = %v, want 7.5", b.At(2, 3))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	b := New(2, 2)
+	b.Set(0, 0, 1)
+	c := b.Clone()
+	c.Set(0, 0, 9)
+	if b.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestPhantomClone(t *testing.T) {
+	p := NewPhantom(5, 7)
+	c := p.Clone()
+	if !c.Phantom() || c.R != 5 || c.C != 7 {
+		t.Fatalf("phantom clone = %v", c)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	b, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := b.Transpose()
+	if tr.R != 3 || tr.C != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.R, tr.C)
+	}
+	for i := 0; i < b.R; i++ {
+		for j := 0; j < b.C; j++ {
+			if b.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := randomBlock(rng, 7, 5, 0.2)
+	if !b.Transpose().Transpose().Equal(b) {
+		t.Fatal("transpose is not an involution")
+	}
+}
+
+func TestTransposePhantom(t *testing.T) {
+	p := NewPhantom(3, 8).Transpose()
+	if !p.Phantom() || p.R != 8 || p.C != 3 {
+		t.Fatalf("phantom transpose = %v", p)
+	}
+}
+
+func TestColAndRow(t *testing.T) {
+	b, _ := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	col := b.Col(1)
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if col[i] != want[i] {
+			t.Fatalf("Col(1)[%d] = %v, want %v", i, col[i], want[i])
+		}
+	}
+	row := b.Row(2)
+	if row[0] != 5 || row[1] != 6 {
+		t.Fatalf("Row(2) = %v", row)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := New(4, 8).SizeBytes(); got != 256 {
+		t.Fatalf("SizeBytes = %d, want 256", got)
+	}
+	if got := NewPhantom(4, 8).SizeBytes(); got != 256 {
+		t.Fatalf("phantom SizeBytes = %d, want 256", got)
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	a := New(2, 2)
+	b := New(2, 2)
+	if !a.Equal(b) {
+		t.Fatal("all-Inf blocks should be equal")
+	}
+	b.Set(0, 0, 1)
+	if a.Equal(b) {
+		t.Fatal("different blocks reported equal")
+	}
+	if a.Equal(New(2, 3)) {
+		t.Fatal("different shapes reported equal")
+	}
+	if a.Equal(NewPhantom(2, 2)) {
+		t.Fatal("dense equals phantom")
+	}
+	if !NewPhantom(2, 2).Equal(NewPhantom(2, 2)) {
+		t.Fatal("same-shape phantoms should be equal")
+	}
+}
+
+func TestAllClose(t *testing.T) {
+	a := NewZero(2, 2)
+	b := NewZero(2, 2)
+	b.Set(1, 1, 1e-12)
+	if !a.AllClose(b, 1e-9) {
+		t.Fatal("AllClose too strict")
+	}
+	b.Set(1, 1, 1)
+	if a.AllClose(b, 1e-9) {
+		t.Fatal("AllClose too lax")
+	}
+	x, y := New(1, 1), New(1, 1)
+	if !x.AllClose(y, 0) {
+		t.Fatal("Inf vs Inf should be close")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if s := NewPhantom(2, 3).String(); s != "phantom[2x3]" {
+		t.Fatalf("phantom String = %q", s)
+	}
+	b, _ := FromRows([][]float64{{1, Inf}})
+	if s := b.String(); s != "1 inf\n" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := randomBlock(rng, 9, 6, 0.3)
+	got, err := Unmarshal(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(b) {
+		t.Fatal("marshal round trip changed block")
+	}
+}
+
+func TestMarshalPhantomRoundTrip(t *testing.T) {
+	got, err := Unmarshal(NewPhantom(11, 13).Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Phantom() || got.R != 11 || got.C != 13 {
+		t.Fatalf("phantom round trip = %v", got)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+	if _, err := Unmarshal(make([]byte, headerLen)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	buf := New(2, 2).Marshal()
+	if _, err := Unmarshal(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated dense buffer accepted")
+	}
+}
+
+func TestMarshalRoundTripQuick(t *testing.T) {
+	f := func(seed int64, rs, cs uint8) bool {
+		r, c := int(rs%16)+1, int(cs%16)+1
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBlock(rng, r, c, 0.25)
+		got, err := Unmarshal(b.Marshal())
+		return err == nil && got.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package matrix
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Serialization layout (little-endian):
+//
+//	[0]     magic byte 0xB1 (dense) or 0xB0 (phantom)
+//	[1:5]   uint32 rows
+//	[5:9]   uint32 cols
+//	[9:]    rows*cols float64 bits (dense only)
+//
+// The format mirrors what the paper's pySpark code does with NumPy
+// `tofile`: a raw row-major dump with a tiny header, cheap enough that the
+// shared-storage staging path is dominated by bandwidth, not encoding.
+
+const (
+	magicDense   = 0xB1
+	magicPhantom = 0xB0
+	headerLen    = 9
+)
+
+// Marshal encodes the block into a fresh byte slice.
+func (b *Block) Marshal() []byte {
+	if b.Phantom() {
+		buf := make([]byte, headerLen)
+		buf[0] = magicPhantom
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(b.R))
+		binary.LittleEndian.PutUint32(buf[5:9], uint32(b.C))
+		return buf
+	}
+	buf := make([]byte, headerLen+8*len(b.Data))
+	buf[0] = magicDense
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(b.R))
+	binary.LittleEndian.PutUint32(buf[5:9], uint32(b.C))
+	for i, v := range b.Data {
+		binary.LittleEndian.PutUint64(buf[headerLen+8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// Unmarshal decodes a block previously produced by Marshal.
+func Unmarshal(buf []byte) (*Block, error) {
+	if len(buf) < headerLen {
+		return nil, fmt.Errorf("matrix: short buffer (%d bytes)", len(buf))
+	}
+	r := int(binary.LittleEndian.Uint32(buf[1:5]))
+	c := int(binary.LittleEndian.Uint32(buf[5:9]))
+	switch buf[0] {
+	case magicPhantom:
+		return NewPhantom(r, c), nil
+	case magicDense:
+		want := headerLen + 8*r*c
+		if len(buf) != want {
+			return nil, fmt.Errorf("matrix: dense %dx%d needs %d bytes, got %d", r, c, want, len(buf))
+		}
+		b := &Block{R: r, C: c, Data: make([]float64, r*c)}
+		for i := range b.Data {
+			b.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[headerLen+8*i:]))
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("matrix: bad magic byte %#x", buf[0])
+	}
+}

@@ -1,0 +1,193 @@
+package mpi
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0, GbE()); err == nil {
+		t.Fatal("zero-rank world accepted")
+	}
+}
+
+func TestSendRecvAdvancesClock(t *testing.T) {
+	w, _ := NewWorld(2, GbE())
+	err := w.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			r.Compute(1.0)
+			return r.Send(1, "hello", 117e6) // ~1 s of bandwidth
+		}
+		v, bytes, err := r.Recv(0)
+		if err != nil {
+			return err
+		}
+		if v.(string) != "hello" || bytes != 117e6 {
+			t.Errorf("recv got %v/%d", v, bytes)
+		}
+		// Receiver clock = sender(1.0) + alpha + 1 s of transfer.
+		if r.Clock < 2.0 {
+			t.Errorf("receiver clock = %v, want >= 2", r.Clock)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MaxClock() < 2.0 {
+		t.Fatalf("makespan = %v", w.MaxClock())
+	}
+}
+
+func TestSendRecvRangeErrors(t *testing.T) {
+	w, _ := NewWorld(1, GbE())
+	err := w.Run(func(r *Rank) error {
+		if err := r.Send(5, nil, 0); err == nil {
+			t.Error("out-of-range send accepted")
+		}
+		if _, _, err := r.Recv(-1); err == nil {
+			t.Error("out-of-range recv accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastDeliversToAll(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8, 16} {
+		w, _ := NewWorld(p, GbE())
+		group := make([]int, p)
+		for i := range group {
+			group[i] = i
+		}
+		var got int64
+		err := w.Run(func(r *Rank) error {
+			var payload any
+			if r.ID == 0 {
+				payload = 42
+			}
+			v, err := r.Bcast(group, 0, payload, 8)
+			if err != nil {
+				return err
+			}
+			if v.(int) == 42 {
+				atomic.AddInt64(&got, 1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if got != int64(p) {
+			t.Fatalf("p=%d: %d ranks got the value", p, got)
+		}
+	}
+}
+
+func TestBcastNonZeroRoot(t *testing.T) {
+	w, _ := NewWorld(4, GbE())
+	group := []int{0, 1, 2, 3}
+	err := w.Run(func(r *Rank) error {
+		var payload any
+		if r.ID == 2 {
+			payload = "x"
+		}
+		v, err := r.Bcast(group, 2, payload, 8)
+		if err != nil {
+			return err
+		}
+		if v.(string) != "x" {
+			t.Errorf("rank %d got %v", r.ID, v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastSubgroup(t *testing.T) {
+	w, _ := NewWorld(6, GbE())
+	group := []int{1, 3, 5}
+	err := w.Run(func(r *Rank) error {
+		if r.ID%2 == 0 {
+			return nil // not in the group
+		}
+		var payload any
+		if r.ID == 3 {
+			payload = 7
+		}
+		v, err := r.Bcast(group, 3, payload, 8)
+		if err != nil {
+			return err
+		}
+		if v.(int) != 7 {
+			t.Errorf("rank %d got %v", r.ID, v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastOutsideGroupError(t *testing.T) {
+	w, _ := NewWorld(2, GbE())
+	err := w.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			_, err := r.Bcast([]int{1}, 1, nil, 0)
+			if err == nil {
+				t.Error("non-member bcast accepted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	w, _ := NewWorld(4, GbE())
+	err := w.Run(func(r *Rank) error {
+		r.Compute(float64(r.ID)) // ranks at 0, 1, 2, 3 seconds
+		r.Barrier()
+		if r.Clock < 3.0 {
+			t.Errorf("rank %d clock %v below barrier max", r.ID, r.Clock)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	w, _ := NewWorld(3, GbE())
+	err := w.Run(func(r *Rank) error {
+		for i := 0; i < 5; i++ {
+			r.Compute(0.1)
+			r.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MaxClock() < 0.5 {
+		t.Fatalf("makespan = %v", w.MaxClock())
+	}
+}
+
+func TestComputeIgnoresNegative(t *testing.T) {
+	w, _ := NewWorld(1, GbE())
+	_ = w.Run(func(r *Rank) error {
+		r.Compute(-5)
+		if r.Clock != 0 {
+			t.Errorf("clock = %v", r.Clock)
+		}
+		return nil
+	})
+}

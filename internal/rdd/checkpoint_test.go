@@ -1,0 +1,77 @@
+package rdd
+
+import (
+	"strings"
+	"testing"
+
+	"apspark/internal/cluster"
+)
+
+func TestCheckpointKeepsData(t *testing.T) {
+	ctx := newTestContext(t, cluster.Paper())
+	r := ctx.Parallelize("src", intPairs(20), Modulo{Parts: 4}).
+		Map("x2", func(tc *TaskContext, p Pair) (Pair, error) {
+			return Pair{Key: p.Key, Value: p.Value.(int) * 2}, nil
+		}).
+		Persist()
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	got := collectSortedInts(t, r)
+	if len(got) != 20 || got[3].Value.(int) != 60 {
+		t.Fatalf("post-checkpoint data wrong: %v", got[:4])
+	}
+}
+
+func TestCheckpointTruncatesLineage(t *testing.T) {
+	ctx := newTestContext(t, cluster.Paper())
+	r := ctx.Parallelize("src", intPairs(8), Modulo{Parts: 2}).
+		PartitionBy(Modulo{Parts: 4}).
+		Map("id", func(tc *TaskContext, p Pair) (Pair, error) { return p, nil }).
+		Persist()
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	r.Unpersist()
+	_, err := r.Collect()
+	if err == nil {
+		t.Fatal("recomputation succeeded through a truncated lineage")
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCheckpointRequiresBarrier(t *testing.T) {
+	ctx := newTestContext(t, cluster.Paper())
+	r := ctx.Parallelize("src", intPairs(4), Modulo{Parts: 2}).
+		Map("id", func(tc *TaskContext, p Pair) (Pair, error) { return p, nil })
+	if err := r.Checkpoint(); err == nil {
+		t.Fatal("narrow RDD checkpoint accepted")
+	}
+}
+
+func TestCheckpointedChainIterates(t *testing.T) {
+	// The solvers' pattern: rebuild an RDD each iteration from the
+	// previous one, checkpointing as they go. Data must stay correct and
+	// the lineage must not accumulate.
+	ctx := newTestContext(t, cluster.Paper())
+	r := ctx.Parallelize("src", intPairs(16), Modulo{Parts: 4})
+	for i := 0; i < 10; i++ {
+		r = r.Map("inc", func(tc *TaskContext, p Pair) (Pair, error) {
+			return Pair{Key: p.Key, Value: p.Value.(int) + 1}, nil
+		}).PartitionBy(Modulo{Parts: 4}).Persist()
+		if err := r.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if len(r.parents) != 0 {
+			t.Fatalf("iteration %d: lineage not severed", i)
+		}
+	}
+	got := collectSortedInts(t, r)
+	for i, p := range got {
+		if p.Value.(int) != i*10+10 {
+			t.Fatalf("record %d = %v after 10 iterations", i, p)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package rdd implements the Spark substrate the paper programs against: a
+// driver/executor engine with lazy, lineage-tracked RDDs of key-value
+// records, narrow transformations pipelined into stages, wide
+// transformations realized through a hash shuffle with local-SSD staging,
+// collect/broadcast actions, custom partitioners, and lineage-based task
+// retry. Real record payloads and phantom (shape-only) payloads flow
+// through identical code paths; the virtual cluster converts every task,
+// shuffle and storage access into virtual seconds either way.
+package rdd
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"apspark/internal/cluster"
+	"apspark/internal/costmodel"
+	"apspark/internal/matrix"
+	"apspark/internal/storage"
+)
+
+// Pair is one RDD record.
+type Pair struct {
+	Key   any
+	Value any
+}
+
+// SizeFunc reports the serialized size of a record value for cost
+// accounting.
+type SizeFunc func(v any) int64
+
+// DefaultSize sizes the value types that appear in the APSP solvers:
+// matrix blocks (dense or phantom), float vectors, block lists, and a flat
+// fallback for scalars.
+func DefaultSize(v any) int64 {
+	switch x := v.(type) {
+	case *matrix.Block:
+		return x.SizeBytes()
+	case []float64:
+		return int64(len(x)) * 8
+	case []any:
+		var total int64
+		for _, e := range x {
+			total += DefaultSize(e)
+		}
+		return total
+	case []Pair:
+		var total int64
+		for _, p := range x {
+			total += DefaultSize(p.Value)
+		}
+		return total
+	case nil:
+		return 0
+	default:
+		return 64
+	}
+}
+
+// ErrNotFaultTolerant is returned when a task fails during a run that has
+// side effects outside the RDD lineage (paper: "impure" solvers staging
+// data in shared storage are not fault-tolerant).
+var ErrNotFaultTolerant = errors.New("rdd: task failed during impure run; side effects make lineage recovery unsound")
+
+// TaskError wraps a task failure that exhausted its retry budget.
+type TaskError struct {
+	Stage string
+	Task  int
+	Err   error
+}
+
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("rdd: stage %q task %d failed permanently: %v", e.Stage, e.Task, e.Err)
+}
+
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// errInjected marks an injected fault.
+var errInjected = errors.New("rdd: injected task failure")
+
+// FailureInjector deterministically injects task failures for
+// fault-tolerance tests and the purity ablation.
+type FailureInjector struct {
+	mu sync.Mutex
+	// Scripted failures: "stage/task" -> number of attempts to fail.
+	scripted map[string]int
+	// Probabilistic failures.
+	prob float64
+	rng  *rand.Rand
+}
+
+// NewFailureInjector builds an injector with the given failure probability
+// and seed. Scripted failures can be added with FailNext.
+func NewFailureInjector(prob float64, seed int64) *FailureInjector {
+	return &FailureInjector{
+		scripted: make(map[string]int),
+		prob:     prob,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// FailNext schedules the first n attempts of the given stage/task to fail.
+// Stage names match the prefix of the stage label.
+func (f *FailureInjector) FailNext(stage string, task, n int) {
+	f.mu.Lock()
+	f.scripted[fmt.Sprintf("%s/%d", stage, task)] += n
+	f.mu.Unlock()
+}
+
+func (f *FailureInjector) shouldFail(stage string, task int) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := fmt.Sprintf("%s/%d", stage, task)
+	if f.scripted[key] > 0 {
+		f.scripted[key]--
+		return true
+	}
+	return f.prob > 0 && f.rng.Float64() < f.prob
+}
+
+// maxTaskAttempts mirrors Spark's default of 4 task attempts.
+const maxTaskAttempts = 4
+
+// Context is the driver: it owns the virtual cluster, the shared store,
+// the kernel cost model, and executes stages.
+type Context struct {
+	Cluster *cluster.Cluster
+	Model   costmodel.KernelModel
+	Store   *storage.Shared
+	SizeOf  SizeFunc
+
+	Injector *FailureInjector
+
+	mu       sync.Mutex
+	nextID   int
+	stageSeq int
+	impure   bool
+	failed   bool
+	workers  int
+}
+
+// NewContext builds a driver context over a virtual cluster.
+func NewContext(clu *cluster.Cluster, model costmodel.KernelModel) *Context {
+	return &Context{
+		Cluster: clu,
+		Model:   model,
+		Store:   storage.NewShared(clu),
+		SizeOf:  DefaultSize,
+		workers: runtime.GOMAXPROCS(0),
+	}
+}
+
+// MarkImpure records that the computation has side effects outside RDD
+// lineage (shared-storage staging). Task failures after this point abort
+// the run instead of retrying, reproducing the paper's purity distinction.
+func (c *Context) MarkImpure() {
+	c.mu.Lock()
+	c.impure = true
+	c.mu.Unlock()
+}
+
+// Impure reports whether the run has been marked impure.
+func (c *Context) Impure() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.impure
+}
+
+func (c *Context) newID() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	return c.nextID
+}
+
+// TaskContext carries per-task virtual cost accounting into user
+// functions; kernels and building blocks charge their model costs here.
+type TaskContext struct {
+	ctx      *Context
+	node     int
+	core     int
+	cost     float64
+	netBytes int64
+}
+
+// Model exposes the kernel cost model.
+func (tc *TaskContext) Model() costmodel.KernelModel { return tc.ctx.Model }
+
+// Node returns the virtual node executing the task.
+func (tc *TaskContext) Node() int { return tc.node }
+
+// Charge adds raw virtual seconds to the task.
+func (tc *TaskContext) Charge(sec float64) {
+	if sec > 0 {
+		tc.cost += sec
+	}
+}
+
+// ChargeSer charges (de)serialization of the given byte volume.
+func (tc *TaskContext) ChargeSer(bytes int64) {
+	tc.Charge(tc.ctx.Cluster.SerCost(bytes))
+}
+
+// ChargeNet charges a network fetch at full NIC speed and registers the
+// bytes toward the stage's aggregate-bandwidth floor.
+func (tc *TaskContext) ChargeNet(bytes int64, msgs int) {
+	tc.Charge(tc.ctx.Cluster.NetCost(bytes, msgs))
+	tc.netBytes += bytes
+}
+
+// SharedGet reads a key from the shared store, charging the read to the
+// task (free when the node's page cache holds it this epoch).
+func (tc *TaskContext) SharedGet(key string) (any, error) {
+	v, cost, err := tc.ctx.Store.Get(key, tc.node)
+	if err != nil {
+		return nil, err
+	}
+	tc.Charge(cost)
+	return v, nil
+}
+
+// stageResult carries one task's output.
+type stageResult struct {
+	pairs []Pair
+	err   error
+}
+
+// runStage executes n tasks with real parallelism while accounting virtual
+// time: task i is pinned to virtual core i mod p (Spark's wave
+// scheduling), core times accumulate task costs plus the executor launch
+// overhead, and the stage makespan is the maximum core time. Driver-side
+// scheduling overhead is charged per task; injected failures retry up to
+// maxTaskAttempts unless the run is impure.
+func (c *Context) runStage(name string, n int, task func(tc *TaskContext, i int) ([]Pair, error)) ([][]Pair, error) {
+	c.mu.Lock()
+	c.stageSeq++
+	stage := fmt.Sprintf("%s#%d", name, c.stageSeq)
+	c.mu.Unlock()
+
+	p := c.Cluster.Cores()
+	coreTime := make([]float64, p)
+	results := make([][]Pair, n)
+	var mu sync.Mutex
+	var firstErr error
+	var stageNetBytes int64
+
+	workers := c.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+
+	runOne := func(i int) error {
+		core := i % p
+		var lastErr error
+		for attempt := 1; attempt <= maxTaskAttempts; attempt++ {
+			tc := &TaskContext{ctx: c, node: c.Cluster.NodeOfCore(core), core: core}
+			pairs, err := task(tc, i)
+			if err == nil && c.Injector.shouldFail(name, i) {
+				err = errInjected
+			}
+			mu.Lock()
+			coreTime[core] += tc.cost // failed attempts still burn time
+			stageNetBytes += tc.netBytes
+			mu.Unlock()
+			if err == nil {
+				mu.Lock()
+				results[i] = pairs
+				mu.Unlock()
+				return nil
+			}
+			lastErr = err
+			var storageErr *cluster.ErrLocalStorage
+			if errors.As(err, &storageErr) {
+				// Out of staging space is not recoverable by retry.
+				return err
+			}
+			if c.Impure() {
+				return ErrNotFaultTolerant
+			}
+			c.Cluster.RecordRetry()
+		}
+		return &TaskError{Stage: stage, Task: i, Err: lastErr}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					continue
+				}
+				if err := runOne(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var makespan, sum float64
+	for _, t := range coreTime {
+		sum += t
+		if t > makespan {
+			makespan = t
+		}
+	}
+	// Executor-side launch overhead: each core pays it once per task wave.
+	waves := (n + p - 1) / p
+	makespan += float64(waves) * c.Cluster.Config().TaskExecOverhead
+	// The stage cannot beat the cluster's aggregate network bandwidth.
+	if floor := c.Cluster.AggregateNetFloor(stageNetBytes); floor > makespan {
+		makespan = floor
+	}
+	c.Cluster.RecordStage(stage, n, makespan, sum)
+
+	if firstErr != nil {
+		c.mu.Lock()
+		c.failed = true
+		c.mu.Unlock()
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// Broadcast distributes a value from the driver to every node over the
+// NIC tree (Spark's sc.broadcast). The cost lands on the driver clock.
+type Broadcast struct {
+	value any
+}
+
+// Value returns the broadcast payload.
+func (b *Broadcast) Value() any { return b.value }
+
+// Broadcast performs the broadcast and charges its virtual cost.
+func (c *Context) Broadcast(v any) *Broadcast {
+	bytes := c.SizeOf(v)
+	c.Cluster.AddBroadcast(bytes)
+	c.Cluster.Advance(c.Cluster.BroadcastCost(bytes))
+	return &Broadcast{value: v}
+}

@@ -1,0 +1,125 @@
+package rdd
+
+import (
+	"fmt"
+
+	"apspark/internal/graph"
+	"apspark/internal/pyhash"
+)
+
+// Partitioner assigns record keys to RDD partitions (paper §5.3). The two
+// implementations that matter are PortableHash — Spark's default pySpark
+// partitioner, whose XOR-mixing tuple hash skews badly on upper-triangular
+// block keys — and MultiDiagonal, the paper's partitioner that balances
+// block counts while spreading each block row/column across partitions.
+type Partitioner interface {
+	NumPartitions() int
+	Partition(key any) int
+	Name() string
+}
+
+// PortableHash reproduces pySpark's portable_hash-based default
+// partitioner ("PH" in the paper).
+type PortableHash struct {
+	Parts int
+}
+
+// NewPortableHash builds a PH partitioner with the given partition count.
+func NewPortableHash(parts int) PortableHash { return PortableHash{Parts: parts} }
+
+// NumPartitions implements Partitioner.
+func (p PortableHash) NumPartitions() int { return p.Parts }
+
+// Name implements Partitioner.
+func (p PortableHash) Name() string { return "PH" }
+
+// Partition implements Partitioner using the exact CPython hash values.
+func (p PortableHash) Partition(key any) int {
+	var h int64
+	switch k := key.(type) {
+	case graph.BlockKey:
+		h = pyhash.Tuple2(int64(k.I), int64(k.J))
+	case int:
+		h = pyhash.Int(int64(k))
+	case int64:
+		h = pyhash.Int(k)
+	case string:
+		h = pyhash.String(k)
+	default:
+		h = pyhash.String(fmt.Sprint(key))
+	}
+	return pyhash.Mod(h, p.Parts)
+}
+
+// MultiDiagonal is the paper's multi-diagonal partitioner ("MD", §5.3,
+// Figure 4): block (I, J) with wrapped diagonal d = J - I receives the
+// rank of the block in a diagonal-major enumeration of the upper triangle,
+// reduced modulo the partition count. The enumeration is a bijection, so
+// partition cardinalities differ by at most one block, and consecutive
+// blocks along a diagonal land in distinct partitions, which spreads every
+// block row and block column.
+type MultiDiagonal struct {
+	Parts int
+	Q     int // number of block rows/columns
+}
+
+// NewMultiDiagonal builds an MD partitioner for a q x q block grid.
+func NewMultiDiagonal(parts, q int) MultiDiagonal {
+	return MultiDiagonal{Parts: parts, Q: q}
+}
+
+// NumPartitions implements Partitioner.
+func (p MultiDiagonal) NumPartitions() int { return p.Parts }
+
+// Name implements Partitioner.
+func (p MultiDiagonal) Name() string { return "MD" }
+
+// Partition implements Partitioner. Lower-triangular keys (produced for
+// transposed block copies) are mirrored onto their upper-triangular twin,
+// matching the paper's rule that the executor owning A_IJ also owns A_JI.
+func (p MultiDiagonal) Partition(key any) int {
+	k, ok := key.(graph.BlockKey)
+	if !ok {
+		// Fall back to PH semantics for non-block keys.
+		return PortableHash{Parts: p.Parts}.Partition(key)
+	}
+	i, j := k.I, k.J
+	if i > j {
+		i, j = j, i
+	}
+	d := j - i
+	rank := p.diagStart(d) + int64(i)
+	return int(rank % int64(p.Parts))
+}
+
+// diagStart returns the rank of the first block on diagonal d: diagonals
+// 0..d-1 hold q, q-1, ..., q-d+1 blocks.
+func (p MultiDiagonal) diagStart(d int) int64 {
+	q := int64(p.Q)
+	dd := int64(d)
+	return dd*q - dd*(dd-1)/2
+}
+
+// Modulo is a trivial partitioner (key order modulo partitions) used in
+// engine tests where hash behaviour is irrelevant.
+type Modulo struct {
+	Parts int
+}
+
+// NumPartitions implements Partitioner.
+func (p Modulo) NumPartitions() int { return p.Parts }
+
+// Name implements Partitioner.
+func (p Modulo) Name() string { return "MOD" }
+
+// Partition implements Partitioner.
+func (p Modulo) Partition(key any) int {
+	switch k := key.(type) {
+	case int:
+		return ((k % p.Parts) + p.Parts) % p.Parts
+	case graph.BlockKey:
+		return (((k.I + k.J) % p.Parts) + p.Parts) % p.Parts
+	default:
+		return 0
+	}
+}

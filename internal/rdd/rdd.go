@@ -1,0 +1,670 @@
+package rdd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// RDD is a lazily evaluated, partitioned dataset of Pairs with tracked
+// lineage. Narrow transformations (Map, FlatMap, Filter, Union) pipeline
+// into their consumer's stage, exactly like Spark; wide transformations
+// (PartitionBy, ReduceByKey, CombineByKey, Cartesian) cut stage boundaries
+// and move data through the shuffle.
+type RDD struct {
+	ctx   *Context
+	id    int
+	name  string
+	parts int
+	// partitioner is non-nil when the RDD's layout is known (sources,
+	// shuffle outputs).
+	partitioner Partitioner
+	parents     []*RDD
+
+	// compute produces partition p, assuming every upstream barrier has
+	// been materialized.
+	compute func(tc *TaskContext, p int) ([]Pair, error)
+
+	// barrier marks RDDs that must materialize before dependents run:
+	// sources, shuffle outputs, persisted RDDs.
+	barrier bool
+	// isPersist marks persist wrappers (and sources, which are born
+	// cached); Persist is a no-op on them.
+	isPersist bool
+	// materialize runs this barrier's stage(s); idempotent.
+	materialize func() error
+
+	mu     sync.Mutex
+	cached [][]Pair // non-nil once materialized (barrier RDDs only)
+}
+
+// Name returns the RDD's debug name.
+func (r *RDD) Name() string { return r.name }
+
+// NumPartitions returns the partition count.
+func (r *RDD) NumPartitions() int { return r.parts }
+
+// Partitioner returns the partitioner, or nil when the layout is unknown.
+func (r *RDD) Partitioner() Partitioner { return r.partitioner }
+
+// Parallelize creates a source RDD from records laid out by the given
+// partitioner. As in the paper's experiments, the cost of populating the
+// initial RDD is not charged to the virtual clock (§5.1: "we disregard the
+// cost of populating RDD that stores the adjacency matrix").
+func (c *Context) Parallelize(name string, pairs []Pair, part Partitioner) *RDD {
+	buckets := make([][]Pair, part.NumPartitions())
+	for _, p := range pairs {
+		b := part.Partition(p.Key)
+		buckets[b] = append(buckets[b], p)
+	}
+	r := &RDD{
+		ctx:         c,
+		id:          c.newID(),
+		name:        name,
+		parts:       part.NumPartitions(),
+		partitioner: part,
+		barrier:     true,
+		isPersist:   true,
+		cached:      buckets,
+	}
+	r.materialize = func() error { return nil }
+	r.compute = func(tc *TaskContext, p int) ([]Pair, error) { return r.cached[p], nil }
+	return r
+}
+
+// ensureBarriers materializes every barrier RDD in the lineage, parents
+// first.
+func (r *RDD) ensureBarriers() error {
+	for _, dep := range r.parents {
+		if err := dep.ensureBarriers(); err != nil {
+			return err
+		}
+	}
+	if r.barrier {
+		return r.materialize()
+	}
+	return nil
+}
+
+// Map applies f to every record (narrow, pipelined).
+func (r *RDD) Map(name string, f func(tc *TaskContext, p Pair) (Pair, error)) *RDD {
+	out := &RDD{
+		ctx:     r.ctx,
+		id:      r.ctx.newID(),
+		name:    name,
+		parts:   r.parts,
+		parents: []*RDD{r},
+		// Map preserves keys' partitioning only if keys are unchanged;
+		// Spark drops the partitioner, and so do we.
+	}
+	out.compute = func(tc *TaskContext, p int) ([]Pair, error) {
+		in, err := r.compute(tc, p)
+		if err != nil {
+			return nil, err
+		}
+		res := make([]Pair, 0, len(in))
+		for _, rec := range in {
+			nr, err := f(tc, rec)
+			if err != nil {
+				return nil, err
+			}
+			res = append(res, nr)
+		}
+		return res, nil
+	}
+	return out
+}
+
+// FlatMap applies f to every record, concatenating outputs (narrow).
+func (r *RDD) FlatMap(name string, f func(tc *TaskContext, p Pair) ([]Pair, error)) *RDD {
+	out := &RDD{
+		ctx:     r.ctx,
+		id:      r.ctx.newID(),
+		name:    name,
+		parts:   r.parts,
+		parents: []*RDD{r},
+	}
+	out.compute = func(tc *TaskContext, p int) ([]Pair, error) {
+		in, err := r.compute(tc, p)
+		if err != nil {
+			return nil, err
+		}
+		var res []Pair
+		for _, rec := range in {
+			nrs, err := f(tc, rec)
+			if err != nil {
+				return nil, err
+			}
+			res = append(res, nrs...)
+		}
+		return res, nil
+	}
+	return out
+}
+
+// Filter keeps records matching pred (narrow, preserves partitioning).
+func (r *RDD) Filter(name string, pred func(p Pair) bool) *RDD {
+	out := &RDD{
+		ctx:         r.ctx,
+		id:          r.ctx.newID(),
+		name:        name,
+		parts:       r.parts,
+		partitioner: r.partitioner,
+		parents:     []*RDD{r},
+	}
+	out.compute = func(tc *TaskContext, p int) ([]Pair, error) {
+		in, err := r.compute(tc, p)
+		if err != nil {
+			return nil, err
+		}
+		var res []Pair
+		for _, rec := range in {
+			if pred(rec) {
+				res = append(res, rec)
+			}
+		}
+		return res, nil
+	}
+	return out
+}
+
+// Union concatenates RDDs. As in Spark, when every component shares the
+// same partitioner the result is partitioner-aware: partition p of the
+// union is the concatenation of the components' partitions p, and the
+// partitioner is preserved (Spark's PartitionerAwareUnionRDD) — the
+// property the paper's custom partitioning of block copies relies on.
+// Otherwise each component keeps its own partitions and the result has
+// the sum of the partition counts, which is exactly the partition-blowup
+// hazard the paper warns about in §5.2.
+func (c *Context) Union(rdds ...*RDD) *RDD {
+	if len(rdds) == 0 {
+		panic("rdd: Union of nothing")
+	}
+	if p := rdds[0].partitioner; p != nil {
+		aware := true
+		for _, r := range rdds[1:] {
+			if r.partitioner != p {
+				aware = false
+				break
+			}
+		}
+		if aware {
+			out := &RDD{
+				ctx:         c,
+				id:          c.newID(),
+				name:        "union",
+				parts:       p.NumPartitions(),
+				partitioner: p,
+				parents:     append([]*RDD(nil), rdds...),
+			}
+			out.compute = func(tc *TaskContext, part int) ([]Pair, error) {
+				var all []Pair
+				for _, r := range rdds {
+					pairs, err := r.compute(tc, part)
+					if err != nil {
+						return nil, err
+					}
+					all = append(all, pairs...)
+				}
+				return all, nil
+			}
+			return out
+		}
+	}
+	total := 0
+	for _, r := range rdds {
+		total += r.parts
+	}
+	out := &RDD{
+		ctx:     c,
+		id:      c.newID(),
+		name:    "union",
+		parts:   total,
+		parents: append([]*RDD(nil), rdds...),
+	}
+	out.compute = func(tc *TaskContext, p int) ([]Pair, error) {
+		for _, r := range rdds {
+			if p < r.parts {
+				return r.compute(tc, p)
+			}
+			p -= r.parts
+		}
+		return nil, fmt.Errorf("rdd: union partition out of range")
+	}
+	return out
+}
+
+// Persist materializes the RDD on first use and serves dependents from
+// cache afterwards (Spark's .persist() with MEMORY storage level).
+// Persisting a shuffle output matters for cost fidelity: without it every
+// consuming stage re-fetches and re-folds the shuffle, exactly as in
+// Spark.
+func (r *RDD) Persist() *RDD {
+	if r.isPersist {
+		return r
+	}
+	out := &RDD{
+		ctx:         r.ctx,
+		id:          r.ctx.newID(),
+		name:        r.name + ".persist",
+		parts:       r.parts,
+		partitioner: r.partitioner,
+		parents:     []*RDD{r},
+		barrier:     true,
+		isPersist:   true,
+	}
+	// The closure reads the parent through out.parents so Checkpoint can
+	// sever the lineage (and release every retained cache and shuffle
+	// upstream) by clearing that slice.
+	out.materialize = func() error {
+		out.mu.Lock()
+		done := out.cached != nil
+		var parent *RDD
+		if len(out.parents) > 0 {
+			parent = out.parents[0]
+		}
+		out.mu.Unlock()
+		if done {
+			return nil
+		}
+		if parent == nil {
+			return fmt.Errorf("rdd: cannot recompute %q: lineage truncated by Checkpoint", out.name)
+		}
+		res, err := out.ctx.runStage(out.name, out.parts, func(tc *TaskContext, p int) ([]Pair, error) {
+			return parent.compute(tc, p)
+		})
+		if err != nil {
+			return err
+		}
+		out.mu.Lock()
+		out.cached = res
+		out.mu.Unlock()
+		return nil
+	}
+	out.compute = func(tc *TaskContext, p int) ([]Pair, error) {
+		out.mu.Lock()
+		defer out.mu.Unlock()
+		if out.cached == nil {
+			return nil, fmt.Errorf("rdd: persisted %q not materialized", out.name)
+		}
+		return out.cached[p], nil
+	}
+	return out
+}
+
+// Unpersist drops the cached partitions (used by failure-recovery tests to
+// force lineage recomputation).
+func (r *RDD) Unpersist() {
+	r.mu.Lock()
+	r.cached = nil
+	r.mu.Unlock()
+}
+
+// shuffleOutput builds the wide-dependency machinery shared by
+// PartitionBy, ReduceByKey and CombineByKey: a map-side stage partitions
+// every parent record (charging serialization plus local-SSD staging on
+// the writer's node), and the returned RDD's compute merges the buckets
+// for its partition (charging network fetch plus deserialization).
+// mapSide, when non-nil, combines each map task's local bucket before it
+// is sized and staged (Spark's map-side combine for reduceByKey).
+//
+// As in Spark, a wide transformation over an RDD that is already laid out
+// by the target partitioner degenerates to a narrow, shuffle-free
+// dependency: the fold runs partition-local with no staging or network
+// traffic. The paper's Blocked In-Memory solver depends on this — its
+// combineByKey calls follow partitionBy with the same partitioner, so the
+// block pairing happens in place.
+func (r *RDD) shuffleOutput(name string, part Partitioner, mapSide func(tc *TaskContext, bucket []Pair) ([]Pair, error), fold func(tc *TaskContext, bucket []Pair) ([]Pair, error)) *RDD {
+	if r.partitioner != nil && r.partitioner == part {
+		out := &RDD{
+			ctx:         r.ctx,
+			id:          r.ctx.newID(),
+			name:        name + ".narrow",
+			parts:       part.NumPartitions(),
+			partitioner: part,
+			parents:     []*RDD{r},
+		}
+		out.compute = func(tc *TaskContext, p int) ([]Pair, error) {
+			in, err := r.compute(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			return fold(tc, in)
+		}
+		return out
+	}
+	out := &RDD{
+		ctx:         r.ctx,
+		id:          r.ctx.newID(),
+		name:        name,
+		parts:       part.NumPartitions(),
+		partitioner: part,
+		parents:     []*RDD{r},
+		barrier:     true,
+	}
+	type bucketSet struct {
+		pairs [][]Pair // per reduce partition
+		bytes []int64
+		maps  int
+		// committed guards against double-counting when a map task is
+		// retried after an injected failure: only the first completed
+		// attempt's output is registered (Spark's map-output commit).
+		committed []bool
+	}
+	var bs *bucketSet
+	mapParts := r.parts
+	out.materialize = func() error {
+		out.mu.Lock()
+		done := bs != nil
+		var parent *RDD
+		if len(out.parents) > 0 {
+			parent = out.parents[0]
+		}
+		out.mu.Unlock()
+		if done {
+			return nil
+		}
+		if parent == nil {
+			return fmt.Errorf("rdd: cannot recompute shuffle %q: lineage truncated by Checkpoint", name)
+		}
+		nb := &bucketSet{
+			pairs:     make([][]Pair, out.parts),
+			bytes:     make([]int64, out.parts),
+			maps:      mapParts,
+			committed: make([]bool, mapParts),
+		}
+		var bmu sync.Mutex
+		_, err := out.ctx.runStage(name+".map", mapParts, func(tc *TaskContext, p int) ([]Pair, error) {
+			in, err := parent.compute(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			var written int64
+			local := make([][]Pair, out.parts)
+			localBytes := make([]int64, out.parts)
+			for _, rec := range in {
+				b := part.Partition(rec.Key)
+				local[b] = append(local[b], rec)
+			}
+			for b := range local {
+				if mapSide != nil && len(local[b]) > 1 {
+					combined, err := mapSide(tc, local[b])
+					if err != nil {
+						return nil, err
+					}
+					local[b] = combined
+				}
+				var sz int64
+				for _, rec := range local[b] {
+					sz += out.ctx.SizeOf(rec.Value)
+				}
+				localBytes[b] = sz
+				written += sz
+			}
+			// Staged and transferred shuffle bytes are lz4-compressed by
+			// Spark; serialization still touches the raw volume.
+			compressed := out.ctx.Cluster.Config().CompressedShuffle(written)
+			tc.ChargeSer(written)
+			tc.Charge(out.ctx.Cluster.LocalWriteCost(compressed))
+			if err := out.ctx.Cluster.StageLocal(tc.Node(), compressed); err != nil {
+				return nil, err
+			}
+			out.ctx.Cluster.AddShuffleBytes(compressed)
+			bmu.Lock()
+			if !nb.committed[p] {
+				nb.committed[p] = true
+				for b := range local {
+					if len(local[b]) > 0 {
+						nb.pairs[b] = append(nb.pairs[b], local[b]...)
+						nb.bytes[b] += out.ctx.Cluster.Config().CompressedShuffle(localBytes[b])
+					}
+				}
+			}
+			bmu.Unlock()
+			return nil, nil
+		})
+		if err != nil {
+			return err
+		}
+		out.mu.Lock()
+		bs = nb
+		out.mu.Unlock()
+		return nil
+	}
+	out.compute = func(tc *TaskContext, p int) ([]Pair, error) {
+		out.mu.Lock()
+		cur := bs
+		out.mu.Unlock()
+		if cur == nil {
+			return nil, fmt.Errorf("rdd: shuffle %q not materialized", name)
+		}
+		// Fetch: one message per map partition that produced data for us
+		// (upper bound: all of them), streamed over the reader's NIC. The
+		// stage additionally pays the aggregate-bandwidth floor for the
+		// total volume (see runStage).
+		tc.ChargeNet(cur.bytes[p], cur.maps)
+		tc.ChargeSer(cur.bytes[p])
+		return fold(tc, cur.pairs[p])
+	}
+	return out
+}
+
+// PartitionBy redistributes records by the given partitioner (wide).
+func (r *RDD) PartitionBy(part Partitioner) *RDD {
+	return r.shuffleOutput("partitionBy", part, nil, func(tc *TaskContext, bucket []Pair) ([]Pair, error) {
+		return bucket, nil
+	})
+}
+
+// ReduceByKey merges all values sharing a key with f (wide). f must be
+// commutative and associative; like Spark, the fold runs both map-side
+// (combining before the shuffle write) and reduce-side.
+func (r *RDD) ReduceByKey(part Partitioner, f func(tc *TaskContext, a, b any) (any, error)) *RDD {
+	fold := func(tc *TaskContext, bucket []Pair) ([]Pair, error) {
+		return foldByKey(tc, bucket, func(tc *TaskContext, acc any, v any, first bool) (any, error) {
+			if first {
+				return v, nil
+			}
+			return f(tc, acc, v)
+		})
+	}
+	return r.shuffleOutput("reduceByKey", part, fold, fold)
+}
+
+// CombineByKey aggregates values per key with an explicit combiner, the
+// shape the paper's ListAppend building block plugs into (wide). No
+// map-side combine: the solvers' combiners build lists whose size equals
+// the inputs, so combining early would not reduce shuffle volume.
+func (r *RDD) CombineByKey(part Partitioner, create func(tc *TaskContext, v any) (any, error), merge func(tc *TaskContext, acc, v any) (any, error)) *RDD {
+	return r.shuffleOutput("combineByKey", part, nil, func(tc *TaskContext, bucket []Pair) ([]Pair, error) {
+		return foldByKey(tc, bucket, func(tc *TaskContext, acc any, v any, first bool) (any, error) {
+			if first {
+				return create(tc, v)
+			}
+			return merge(tc, acc, v)
+		})
+	})
+}
+
+// foldByKey folds a shuffled bucket by key, preserving the first-seen key
+// order for determinism of iteration (values order follows arrival).
+func foldByKey(tc *TaskContext, bucket []Pair, step func(tc *TaskContext, acc any, v any, first bool) (any, error)) ([]Pair, error) {
+	accs := make(map[any]any, len(bucket))
+	var order []any
+	for _, rec := range bucket {
+		acc, seen := accs[rec.Key]
+		nv, err := step(tc, acc, rec.Value, !seen)
+		if err != nil {
+			return nil, err
+		}
+		if !seen {
+			order = append(order, rec.Key)
+		}
+		accs[rec.Key] = nv
+	}
+	res := make([]Pair, 0, len(order))
+	for _, k := range order {
+		res = append(res, Pair{Key: k, Value: accs[k]})
+	}
+	return res, nil
+}
+
+// Cartesian pairs every record of r with every record of o (wide on the o
+// side: each of r's partitions pulls a full copy of o over the network).
+// The paper found exactly this operation "easily stalling even on small
+// problems" (§4.2); it exists here for the ablation that motivates the
+// column-block rewrite of Repeated Squaring.
+func (r *RDD) Cartesian(o *RDD) *RDD {
+	out := &RDD{
+		ctx:     r.ctx,
+		id:      r.ctx.newID(),
+		name:    "cartesian",
+		parts:   r.parts,
+		parents: []*RDD{r, o},
+		barrier: true,
+	}
+	var oAll []Pair
+	var oBytes int64
+	out.materialize = func() error {
+		out.mu.Lock()
+		done := oAll != nil
+		out.mu.Unlock()
+		if done {
+			return nil
+		}
+		res, err := out.ctx.runStage("cartesian.rhs", o.parts, func(tc *TaskContext, p int) ([]Pair, error) {
+			return o.compute(tc, p)
+		})
+		if err != nil {
+			return err
+		}
+		var all []Pair
+		var bytes int64
+		for _, part := range res {
+			all = append(all, part...)
+			bytes += out.ctx.SizeOf(part)
+		}
+		out.mu.Lock()
+		oAll, oBytes = all, bytes
+		out.mu.Unlock()
+		return nil
+	}
+	out.compute = func(tc *TaskContext, p int) ([]Pair, error) {
+		left, err := r.compute(tc, p)
+		if err != nil {
+			return nil, err
+		}
+		// Every task replicates the full right side across the network —
+		// the all-to-all blowup the paper hit.
+		tc.ChargeNet(oBytes, o.parts)
+		tc.ChargeSer(oBytes)
+		out.ctx.Cluster.AddShuffleBytes(oBytes)
+		res := make([]Pair, 0, len(left)*len(oAll))
+		for _, l := range left {
+			for _, rr := range oAll {
+				res = append(res, Pair{Key: [2]any{l.Key, rr.Key}, Value: [2]any{l.Value, rr.Value}})
+			}
+		}
+		return res, nil
+	}
+	return out
+}
+
+// Materialize forces every barrier in the lineage (sources, shuffles,
+// persisted RDDs) to compute, without running an extra action stage.
+// Solvers call it once per iteration so per-iteration virtual time is
+// attributed to the iteration that caused it.
+func (r *RDD) Materialize() error {
+	return r.ensureBarriers()
+}
+
+// Checkpoint materializes the RDD and truncates its lineage — the
+// equivalent of Spark's RDD.checkpoint. Iterative solvers call it once per
+// iteration: without it the lineage (and every retained shuffle and cache
+// along it) grows linearly with iteration count, which is exactly the
+// "complex RDD lineages" pressure the paper manages with a 180 GB driver
+// (§5). Recovery of tasks after a checkpoint restarts from the
+// checkpointed data rather than the full history, as in Spark.
+func (r *RDD) Checkpoint() error {
+	if err := r.ensureBarriers(); err != nil {
+		return err
+	}
+	if !r.barrier {
+		return fmt.Errorf("rdd: only barrier RDDs (persisted/shuffled/sources) can checkpoint; wrap %q in Persist first", r.name)
+	}
+	r.mu.Lock()
+	r.parents = nil
+	r.mu.Unlock()
+	return nil
+}
+
+// Collect materializes the RDD and returns all records to the driver,
+// charging the collect cost (paper Algorithms 1, 2, 4 all hinge on this
+// action).
+func (r *RDD) Collect() ([]Pair, error) {
+	if err := r.ensureBarriers(); err != nil {
+		return nil, err
+	}
+	res, err := r.ctx.runStage(r.name+".collect", r.parts, func(tc *TaskContext, p int) ([]Pair, error) {
+		return r.compute(tc, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []Pair
+	var bytes int64
+	for _, part := range res {
+		all = append(all, part...)
+		bytes += r.ctx.SizeOf(part)
+	}
+	r.ctx.Cluster.AddCollect(bytes)
+	r.ctx.Cluster.Advance(r.ctx.Cluster.CollectCost(bytes, r.parts))
+	return all, nil
+}
+
+// Count materializes the RDD and returns the number of records.
+func (r *RDD) Count() (int, error) {
+	if err := r.ensureBarriers(); err != nil {
+		return 0, err
+	}
+	res, err := r.ctx.runStage(r.name+".count", r.parts, func(tc *TaskContext, p int) ([]Pair, error) {
+		return r.compute(tc, p)
+	})
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, part := range res {
+		n += len(part)
+	}
+	return n, nil
+}
+
+// PartitionSizes materializes the RDD and returns the record count of each
+// partition — the census behind the paper's Figure 3 (bottom).
+func (r *RDD) PartitionSizes() ([]int, error) {
+	if err := r.ensureBarriers(); err != nil {
+		return nil, err
+	}
+	res, err := r.ctx.runStage(r.name+".sizes", r.parts, func(tc *TaskContext, p int) ([]Pair, error) {
+		return r.compute(tc, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int, len(res))
+	for i, part := range res {
+		sizes[i] = len(part)
+	}
+	return sizes, nil
+}
+
+// SortPairsByBlockKey orders pairs by their BlockKey for deterministic
+// post-processing of Collect output.
+func SortPairsByBlockKey(pairs []Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		a := fmt.Sprint(pairs[i].Key)
+		b := fmt.Sprint(pairs[j].Key)
+		return a < b
+	})
+}
