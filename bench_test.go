@@ -12,6 +12,8 @@ package apspark
 // tabulates); wall time measures only this repository's simulator.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"apspark/internal/bench"
@@ -253,6 +255,93 @@ func BenchmarkMPIDC(b *testing.B) {
 		virtual = res.Seconds
 	}
 	b.ReportMetric(virtual, "virtual-sec/op")
+}
+
+// --- fused kernel layer: the allocation-free min-plus path vs the
+// original product + MatMin pipeline (run with -benchmem; the fused path
+// must report 0 allocs/op) ---
+
+// BenchmarkKernelMinPlusUnfused is the pre-fusion pipeline: materialize
+// the min-plus product, then fold it element-wise into the destination —
+// two allocations and an extra O(b^2) pass per call. The measured steps
+// and operands live in internal/bench so apsp-bench's BENCH.json measures
+// the identical computation.
+func BenchmarkKernelMinPlusUnfused(b *testing.B) {
+	for _, n := range bench.KernelBlockSizes {
+		x, y, d := bench.KernelOperands(n)
+		b.Run(fmt.Sprintf("b=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := bench.KernelUnfusedStep(x, y, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelMinPlusFused is the same computation through the fused
+// path the solvers now use: seed an arena block from the destination and
+// fold the product into it in one pass. 0 allocs/op amortized.
+func BenchmarkKernelMinPlusFused(b *testing.B) {
+	for _, n := range bench.KernelBlockSizes {
+		x, y, d := bench.KernelOperands(n)
+		dst := matrix.Get(n, n)
+		b.Run(fmt.Sprintf("b=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := bench.KernelFusedStep(x, y, d, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelMinPlusFusedParallel adds the intra-kernel row-panel
+// sharding at the host's GOMAXPROCS (identical results, scaling with
+// cores; on a single-core host it degenerates to the serial path).
+func BenchmarkKernelMinPlusFusedParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	for _, n := range bench.KernelBlockSizes {
+		x, y, d := bench.KernelOperands(n)
+		dst := matrix.Get(n, n)
+		b.Run(fmt.Sprintf("b=%d/workers=%d", n, workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := bench.KernelFusedParStep(x, y, d, dst, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelFloydWarshall tracks the diagonal-block kernel family:
+// the classic serial kernel the solvers default to, and the blocked
+// variant built on the fused tiled product (whose parallel path the
+// engine selects when it has idle host workers).
+func BenchmarkKernelFloydWarshall(b *testing.B) {
+	x, _, _ := bench.KernelOperands(256)
+	work := matrix.Get(256, 256)
+	b.Run("classic/b=256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			work.CopyFrom(x)
+			if err := matrix.FloydWarshall(work); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("blocked/b=256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			work.CopyFrom(x)
+			if err := matrix.FloydWarshallBlocked(work); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- ablations called out in DESIGN.md ---

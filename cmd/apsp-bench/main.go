@@ -7,24 +7,61 @@
 //	apsp-bench fig3              # Figure 3: IM/CB sweep + partition census
 //	apsp-bench table2            # Table 2: block size / partitioner sweep
 //	apsp-bench table3            # Table 3 + Figure 5: weak scaling
+//	apsp-bench kernels           # fused vs unfused min-plus microbenchmarks
 //	apsp-bench all               # everything
 //
 // Flags scale the experiments down for quick runs (-quick) or swap in a
-// live-calibrated kernel model (-calibrate).
+// live-calibrated kernel model (-calibrate). Unless -json is set to "",
+// a run that produced measurements (kernels, fig3, table2, table3) also
+// writes a machine-readable BENCH.json with the host kernel
+// microbenchmarks (wall ns/op, allocs/op) and the virtual seconds of each
+// regenerated experiment, so the performance trajectory can be tracked
+// across PRs; targets with nothing to record (fig2) leave any existing
+// report untouched.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"testing"
 
 	"apspark/internal/bench"
 	"apspark/internal/costmodel"
+	"apspark/internal/matrix"
 )
+
+// kernelResult is one host microbenchmark line in BENCH.json.
+type kernelResult struct {
+	Name        string `json:"name"`
+	BlockSize   int    `json:"block_size"`
+	Workers     int    `json:"workers,omitempty"`
+	NsPerOp     int64  `json:"wall_ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// experimentResult is one virtual-cluster measurement in BENCH.json.
+type experimentResult struct {
+	Experiment string  `json:"experiment"`
+	Label      string  `json:"label"`
+	VirtualSec float64 `json:"virtual_sec"`
+}
+
+// report aggregates everything a run produced.
+type report struct {
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	Quick       bool               `json:"quick"`
+	Kernels     []kernelResult     `json:"kernels,omitempty"`
+	Experiments []experimentResult `json:"experiments,omitempty"`
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "scaled-down configurations (seconds instead of minutes)")
 	calibrate := flag.Bool("calibrate", false, "calibrate the kernel model on this machine first")
+	jsonPath := flag.String("json", "BENCH.json", "write a machine-readable report here (empty to disable)")
 	flag.Parse()
 
 	model := costmodel.PaperKernels()
@@ -34,15 +71,17 @@ func main() {
 			model.FWRateIn/1e9, model.MPRateIn/1e9)
 	}
 
+	rep := &report{GoMaxProcs: runtime.GOMAXPROCS(0), Quick: *quick}
+
 	what := "all"
 	if flag.NArg() > 0 {
 		what = flag.Arg(0)
 	}
-	run := func(name string, f func(costmodel.KernelModel, bool) error) {
+	run := func(name string, f func(costmodel.KernelModel, bool, *report) error) {
 		if what != "all" && what != name {
 			return
 		}
-		if err := f(model, *quick); err != nil {
+		if err := f(model, *quick, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "apsp-bench %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -51,15 +90,30 @@ func main() {
 	run("fig3", fig3)
 	run("table2", table2)
 	run("table3", table3)
+	run("kernels", kernels)
 	switch what {
-	case "all", "fig2", "fig3", "table2", "table3":
+	case "all", "fig2", "fig3", "table2", "table3", "kernels":
 	default:
-		fmt.Fprintf(os.Stderr, "apsp-bench: unknown target %q (want fig2|fig3|table2|table3|all)\n", what)
+		fmt.Fprintf(os.Stderr, "apsp-bench: unknown target %q (want fig2|fig3|table2|table3|kernels|all)\n", what)
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" && (len(rep.Kernels) > 0 || len(rep.Experiments) > 0) {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apsp-bench: marshal report: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "apsp-bench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }
 
-func fig2(model costmodel.KernelModel, quick bool) error {
+func fig2(model costmodel.KernelModel, quick bool, _ *report) error {
 	cfg := bench.Fig2Config{Model: model, Measure: true}
 	if quick {
 		cfg.Sizes = []int{256, 512, 1024, 2048, 4096}
@@ -69,7 +123,7 @@ func fig2(model costmodel.KernelModel, quick bool) error {
 	return nil
 }
 
-func fig3(model costmodel.KernelModel, quick bool) error {
+func fig3(model costmodel.KernelModel, quick bool, rep *report) error {
 	cfg := bench.Fig3Config{Model: model}
 	if quick {
 		cfg.N = 32768
@@ -81,6 +135,13 @@ func fig3(model costmodel.KernelModel, quick bool) error {
 		return err
 	}
 	fmt.Println(bench.Figure3Table(pts))
+	for _, p := range pts {
+		rep.Experiments = append(rep.Experiments, experimentResult{
+			Experiment: "fig3",
+			Label:      fmt.Sprintf("%s b=%d", p.Solver, p.BlockSize),
+			VirtualSec: p.Seconds,
+		})
+	}
 
 	n, sizes := 131072, []int(nil)
 	if quick {
@@ -94,7 +155,7 @@ func fig3(model costmodel.KernelModel, quick bool) error {
 	return nil
 }
 
-func table2(model costmodel.KernelModel, quick bool) error {
+func table2(model costmodel.KernelModel, quick bool, rep *report) error {
 	cfg := bench.Table2Config{Model: model}
 	if quick {
 		cfg.N = 32768
@@ -106,10 +167,20 @@ func table2(model costmodel.KernelModel, quick bool) error {
 		return err
 	}
 	fmt.Println(bench.Table2Table(rows))
+	for _, r := range rows {
+		if r.Err != "" {
+			continue
+		}
+		rep.Experiments = append(rep.Experiments, experimentResult{
+			Experiment: "table2",
+			Label:      fmt.Sprintf("%s b=%d %s", r.Solver, r.BlockSize, r.Partitioner),
+			VirtualSec: r.SingleSec,
+		})
+	}
 	return nil
 }
 
-func table3(model costmodel.KernelModel, quick bool) error {
+func table3(model costmodel.KernelModel, quick bool, rep *report) error {
 	cfg := bench.Table3Config{Model: model}
 	if quick {
 		cfg.Ps = []int{64, 256}
@@ -121,5 +192,61 @@ func table3(model costmodel.KernelModel, quick bool) error {
 		return err
 	}
 	fmt.Println(bench.Table3Table(rows, model, cfg.VerticesPerCore))
+	for _, r := range rows {
+		if r.Failed {
+			continue
+		}
+		rep.Experiments = append(rep.Experiments, experimentResult{
+			Experiment: "table3",
+			Label:      fmt.Sprintf("%s p=%d", r.Method, r.P),
+			VirtualSec: r.Seconds,
+		})
+	}
+	return nil
+}
+
+// kernels measures the host-side min-plus kernel family: the original
+// unfused product + MatMin pipeline, the fused allocation-free MinPlusInto
+// path, and the intra-kernel parallel variant at GOMAXPROCS. Operands and
+// measured steps are the shared harness in internal/bench, so these
+// numbers track exactly what `go test -bench Kernel` measures.
+func kernels(_ costmodel.KernelModel, quick bool, rep *report) error {
+	sizes := bench.KernelBlockSizes
+	if quick {
+		sizes = sizes[:1]
+	}
+	workers := runtime.GOMAXPROCS(0)
+	fmt.Println("host min-plus kernels (wall clock, this machine):")
+	for _, n := range sizes {
+		x, y, d := bench.KernelOperands(n)
+		dst := matrix.Get(n, n)
+
+		measure := func(step func() error) testing.BenchmarkResult {
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		unfused := measure(func() error { return bench.KernelUnfusedStep(x, y, d) })
+		fused := measure(func() error { return bench.KernelFusedStep(x, y, d, dst) })
+		par := measure(func() error { return bench.KernelFusedParStep(x, y, d, dst, workers) })
+
+		for _, kr := range []kernelResult{
+			{Name: "minplus_unfused", BlockSize: n, NsPerOp: unfused.NsPerOp(), AllocsPerOp: unfused.AllocsPerOp(), BytesPerOp: unfused.AllocedBytesPerOp()},
+			{Name: "minplus_fused", BlockSize: n, NsPerOp: fused.NsPerOp(), AllocsPerOp: fused.AllocsPerOp(), BytesPerOp: fused.AllocedBytesPerOp()},
+			{Name: "minplus_fused_parallel", BlockSize: n, Workers: workers, NsPerOp: par.NsPerOp(), AllocsPerOp: par.AllocsPerOp(), BytesPerOp: par.AllocedBytesPerOp()},
+		} {
+			rep.Kernels = append(rep.Kernels, kr)
+			fmt.Printf("  %-24s b=%-5d %12d ns/op %6d allocs/op\n", kr.Name, kr.BlockSize, kr.NsPerOp, kr.AllocsPerOp)
+		}
+		if f, u := fused.NsPerOp(), unfused.NsPerOp(); f > 0 {
+			fmt.Printf("  fused speedup at b=%d: %.2fx\n", n, float64(u)/float64(f))
+		}
+		matrix.Put(dst)
+	}
 	return nil
 }

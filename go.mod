@@ -1,0 +1,3 @@
+module apspark
+
+go 1.24

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"apspark/internal/matrix"
+)
+
+// The kernel microbenchmark harness shared by the repository's
+// BenchmarkKernel* suite (bench_test.go) and apsp-bench's "kernels" target
+// (which writes BENCH.json). Both measure exactly these steps on exactly
+// these operands, so the CI benchmark output and the tracked BENCH.json
+// trajectory stay comparable by construction.
+
+// KernelBlockSizes are the block edges the kernel comparison is tracked
+// at: the acceptance point b=256 and the out-of-cache point b=512.
+var KernelBlockSizes = []int{256, 512}
+
+// KernelOperand builds one dense benchmark operand at block edge n: varied
+// finite values with a sprinkling of +Inf, as in a partially-relaxed
+// distance block.
+func KernelOperand(n, salt int) *matrix.Block {
+	b := matrix.New(n, n)
+	for i := range b.Data {
+		if (i+salt)%11 == 0 {
+			continue // leave +Inf
+		}
+		b.Data[i] = float64(((i+salt)*1103515245+12345)%1000) + 1
+	}
+	return b
+}
+
+// KernelOperands builds the three operands of one MinPlus call.
+func KernelOperands(n int) (x, y, d *matrix.Block) {
+	return KernelOperand(n, 0), KernelOperand(n, 1), KernelOperand(n, 2)
+}
+
+// KernelUnfusedStep is one iteration of the pre-fusion pipeline:
+// materialize the min-plus product, then fold it element-wise into the
+// destination — two allocations and an extra O(b^2) pass.
+func KernelUnfusedStep(x, y, d *matrix.Block) error {
+	prod, err := matrix.MinPlusMul(x, y)
+	if err != nil {
+		return err
+	}
+	_, err = matrix.MatMin(prod, d)
+	return err
+}
+
+// KernelFusedStep is one iteration of the fused path the solvers use:
+// seed the arena destination from d and fold the product into it in one
+// pass. 0 allocs/op amortized.
+func KernelFusedStep(x, y, d, dst *matrix.Block) error {
+	if err := dst.CopyFrom(d); err != nil {
+		return err
+	}
+	return matrix.MinPlusInto(x, y, dst)
+}
+
+// KernelFusedParStep is KernelFusedStep through the intra-kernel
+// row-panel-sharded path at the given worker budget.
+func KernelFusedParStep(x, y, d, dst *matrix.Block, workers int) error {
+	if err := dst.CopyFrom(d); err != nil {
+		return err
+	}
+	return matrix.MinPlusIntoPar(x, y, dst, workers)
+}

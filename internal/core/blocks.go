@@ -62,14 +62,24 @@ func OnDiagonal(x int) func(p rdd.Pair) bool {
 }
 
 // FloydWarshallBlock runs the sequential FW kernel on a diagonal block
-// (Table 1: FloydWarshall), charging its O(b^3) cost.
+// (Table 1: FloydWarshall), charging its O(b^3) cost. The working copy
+// comes from the matrix arena (the input block stays untouched — it is
+// shared through the RDD lineage), and when the engine grants this task
+// more than one host worker the row-sharded parallel kernel is used;
+// either path produces exactly the serial kernel's values.
 func FloydWarshallBlock(tc *rdd.TaskContext, p rdd.Pair) (rdd.Pair, error) {
 	tb := p.Value.(*TaggedBlock)
-	nb := tb.B.Clone()
-	if err := matrix.FloydWarshall(nb); err != nil {
+	tc.Charge(tc.Model().FloydWarshall(tb.B.R))
+	if tb.B.Phantom() {
+		return rdd.Pair{Key: p.Key, Value: &TaggedBlock{Tag: TagBase, B: tb.B.Clone()}}, nil
+	}
+	nb := matrix.Get(tb.B.R, tb.B.C)
+	if err := nb.CopyFrom(tb.B); err != nil {
 		return rdd.Pair{}, err
 	}
-	tc.Charge(tc.Model().FloydWarshall(nb.R))
+	if err := matrix.FloydWarshallPar(nb, tc.Workers()); err != nil {
+		return rdd.Pair{}, err
+	}
 	return rdd.Pair{Key: p.Key, Value: &TaggedBlock{Tag: TagBase, B: nb}}, nil
 }
 
@@ -113,31 +123,100 @@ func panelOf(tc *rdd.TaskContext, k graph.BlockKey, b *matrix.Block, i int) (int
 // orientation, panel = min(panel (x) diag, panel) (Table 1: MinPlus /
 // ListUnpack's single-operand branch). The result is stored back in the
 // block's original orientation.
+//
+// The whole pipeline — canonicalizing transpose, fused min-plus fold,
+// de-canonicalizing transpose — runs through arena blocks: the product
+// folds straight into the result via MinPlusInto (no intermediate product,
+// no second element-wise pass) and the transpose scratch returns to the
+// pool. Virtual-clock charges mirror the original kernel pipeline exactly.
 func UpdatePanel(tc *rdd.TaskContext, k graph.BlockKey, base *matrix.Block, diag *matrix.Block, i int) (*matrix.Block, error) {
-	_, canon := panelOf(tc, k, base, i)
-	tc.Charge(tc.Model().MinPlusMul(canon.R, canon.C, diag.C))
-	tc.Charge(tc.Model().MatMin(canon.R, canon.C))
-	upd, err := matrix.MinPlus(canon, diag, canon)
-	if err != nil {
+	canonical := k.J == i && k.I != i
+	cr, cc := base.R, base.C
+	if !canonical {
+		tc.Charge(tc.Model().MatMin(base.R, base.C)) // canonicalizing transpose pass
+		cr, cc = base.C, base.R
+	}
+	tc.Charge(tc.Model().MinPlusMul(cr, cc, diag.C))
+	tc.Charge(tc.Model().MatMin(cr, cc))
+	if !canonical {
+		tc.Charge(tc.Model().MatMin(cr, cc)) // de-canonicalizing transpose pass
+	}
+	if base.Phantom() || diag.Phantom() {
+		// Run the fused kernel on phantom stand-ins shaped exactly like
+		// the dense path's operands: its shape validation fires before its
+		// phantom no-op, so phantom and dense runs reject identical shapes
+		// from one source of truth.
+		if err := matrix.MinPlusInto(matrix.NewPhantom(cr, cc), diag, matrix.NewPhantom(cr, cc)); err != nil {
+			return nil, err
+		}
+		return matrix.NewPhantom(base.R, base.C), nil
+	}
+	canon := base
+	var scratch *matrix.Block
+	if !canonical {
+		scratch = matrix.Get(base.C, base.R)
+		if err := base.TransposeInto(scratch); err != nil {
+			return nil, err
+		}
+		canon = scratch
+	}
+	dst := matrix.Get(canon.R, canon.C)
+	if err := dst.CopyFrom(canon); err != nil {
 		return nil, err
 	}
-	if k.J == i && k.I != i {
-		return upd, nil
+	err := matrix.MinPlusIntoPar(canon, diag, dst, tc.Workers())
+	if scratch != nil {
+		matrix.Put(scratch)
 	}
-	tc.Charge(tc.Model().MatMin(upd.R, upd.C))
-	return upd.Transpose(), nil
+	if err != nil {
+		matrix.Put(dst)
+		return nil, err
+	}
+	if canonical {
+		return dst, nil
+	}
+	out := matrix.Get(dst.C, dst.R)
+	if err := dst.TransposeInto(out); err != nil {
+		return nil, err
+	}
+	matrix.Put(dst)
+	return out, nil
 }
 
 // UpdateOff applies the Phase-3 update to an off-column block (K, L):
 // A_KL = min(A_KL, A_Ki (x) A_iL), where A_Ki is panel K in canonical
 // orientation and A_iL is the transpose of panel L (Table 1: ListUnpack's
-// two-operand branch followed by MatMin).
+// two-operand branch followed by MatMin). The transpose scratch is pooled
+// and the product folds into the result block in one fused pass.
 func UpdateOff(tc *rdd.TaskContext, base *matrix.Block, panelK, panelL *matrix.Block) (*matrix.Block, error) {
 	tc.Charge(tc.Model().MatMin(panelL.R, panelL.C)) // transpose pass
-	right := panelL.Transpose()
-	tc.Charge(tc.Model().MinPlusMul(panelK.R, panelK.C, right.C))
+	tc.Charge(tc.Model().MinPlusMul(panelK.R, panelK.C, panelL.R))
 	tc.Charge(tc.Model().MatMin(base.R, base.C))
-	return matrix.MinPlus(panelK, right, base)
+	if base.Phantom() || panelK.Phantom() || panelL.Phantom() {
+		// Validate through the fused kernel on phantom stand-ins shaped
+		// like the dense operands (panelK times transposed panelL into a
+		// base-shaped destination), so phantom and dense runs reject
+		// identical shapes from one source of truth.
+		if err := matrix.MinPlusInto(panelK, matrix.NewPhantom(panelL.C, panelL.R), matrix.NewPhantom(base.R, base.C)); err != nil {
+			return nil, err
+		}
+		return matrix.NewPhantom(base.R, base.C), nil
+	}
+	right := matrix.Get(panelL.C, panelL.R)
+	if err := panelL.TransposeInto(right); err != nil {
+		return nil, err
+	}
+	dst := matrix.Get(base.R, base.C)
+	if err := dst.CopyFrom(base); err != nil {
+		return nil, err
+	}
+	err := matrix.MinPlusIntoPar(panelK, right, dst, tc.Workers())
+	matrix.Put(right)
+	if err != nil {
+		matrix.Put(dst)
+		return nil, err
+	}
+	return dst, nil
 }
 
 // CopyCol distributes the updated panel blocks of column-block i to every

@@ -72,7 +72,12 @@ func (s FW2D) Solve(ctx *rdd.Context, in Input, opts Options) (*Result, error) {
 			if base.B.Phantom() {
 				return rdd.Pair{Key: key, Value: base}, nil
 			}
-			nb := base.B.Clone()
+			// The working copy comes from the block arena; the input
+			// stays untouched (it is shared through the lineage).
+			nb := matrix.Get(base.B.R, base.B.C)
+			if err := nb.CopyFrom(base.B); err != nil {
+				return rdd.Pair{}, err
+			}
 			if err := matrix.FloydWarshallUpdate(nb, colI.Data, colJ.Data); err != nil {
 				return rdd.Pair{}, err
 			}

@@ -89,7 +89,9 @@ squaring:
 				var out []rdd.Pair
 				// Only output rows I <= j are produced here: rows below
 				// the diagonal of column j live in later columns' T (the
-				// upper-triangular dedup rule of §4).
+				// upper-triangular dedup rule of §4). Products land in
+				// arena blocks via the fused kernel; the transposed left
+				// operand is pooled scratch.
 				emit := func(outRow int, left *matrix.Block, colRow int) error {
 					if outRow > j {
 						return nil
@@ -100,8 +102,17 @@ squaring:
 					}
 					col := cv.(*matrix.Block)
 					tc.Charge(tc.Model().MinPlusMul(left.R, left.C, col.C))
-					prod, err := matrix.MinPlusMul(left, col)
-					if err != nil {
+					// One kernel call serves both modes: with any phantom
+					// operand MinPlusMulIntoPar validates shapes and then
+					// no-ops, so phantom runs reject exactly the shapes
+					// dense runs do.
+					var prod *matrix.Block
+					if left.Phantom() || col.Phantom() {
+						prod = matrix.NewPhantom(left.R, col.C)
+					} else {
+						prod = matrix.Get(left.R, col.C)
+					}
+					if err := matrix.MinPlusMulIntoPar(left, col, prod, tc.Workers()); err != nil {
 						return err
 					}
 					out = append(out, rdd.Pair{
@@ -117,8 +128,20 @@ squaring:
 				if k.I != k.J && k.J <= j {
 					// C[K, j] gets A[K, I] (x) col[I] = A[I, K]^T (x) col[I].
 					tc.Charge(tc.Model().MatMin(tb.B.R, tb.B.C)) // transpose pass
-					if err := emit(k.J, tb.B.Transpose(), k.I); err != nil {
-						return nil, err
+					if tb.B.Phantom() {
+						if err := emit(k.J, tb.B.Transpose(), k.I); err != nil {
+							return nil, err
+						}
+					} else {
+						left := matrix.Get(tb.B.C, tb.B.R)
+						if err := tb.B.TransposeInto(left); err != nil {
+							return nil, err
+						}
+						err := emit(k.J, left, k.I)
+						matrix.Put(left)
+						if err != nil {
+							return nil, err
+						}
 					}
 				}
 				return out, nil

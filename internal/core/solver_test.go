@@ -292,3 +292,44 @@ func graphBlock(t *testing.T) *matrix.Block {
 	g, _ := graph.ErdosRenyi(6, 0.5, 10, 1)
 	return g.Dense()
 }
+
+// TestSolversWithIntraKernelParallelism pins the parallel tile paths.
+// Block size 128 matters: the product kernels' row-panel sharding only
+// engages at matrix.ParallelMinEdge (128) rows, so smaller blocks would
+// silently compare the serial path against itself. With a host-worker
+// surplus forcing TaskContext.Workers() > 1, the kernel-bound solvers
+// (RS via the parallel product, IM/CB via parallel panel updates) must
+// produce exactly the distances of the serial-kernel run. FW2D is
+// excluded: its rank-1 update has no parallel tile path. (The diagonal
+// FloydWarshallPar needs 256-row blocks to shard and so stays serial
+// here; its parallel path is pinned by the matrix package tests.)
+func TestSolversWithIntraKernelParallelism(t *testing.T) {
+	g, err := graph.ErdosRenyi(256, 0.05, 10, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Solver{RepeatedSquaring{}, BlockedInMemory{}, BlockedCollectBroadcast{}} {
+		in, err := NewInput(g.Dense(), 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialCtx := testContext(t)
+		serialCtx.SetHostWorkers(1)
+		serial, err := s.Solve(serialCtx, in, Options{})
+		if err != nil {
+			t.Fatalf("%s serial: %v", s.Name(), err)
+		}
+		parCtx := testContext(t)
+		parCtx.SetHostWorkers(16)
+		par, err := s.Solve(parCtx, in, Options{})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", s.Name(), err)
+		}
+		if !par.Dist.Equal(serial.Dist) {
+			t.Fatalf("%s: parallel kernels diverge from serial", s.Name())
+		}
+		if par.VirtualSeconds != serial.VirtualSeconds {
+			t.Fatalf("%s: host parallelism changed the virtual clock (%v vs %v)", s.Name(), par.VirtualSeconds, serial.VirtualSeconds)
+		}
+	}
+}

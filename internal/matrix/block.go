@@ -95,6 +95,20 @@ func (b *Block) Clone() *Block {
 	return nb
 }
 
+// CopyFrom copies o's elements into b. Shapes must match and both blocks
+// must be dense; pair it with Get to clone through the arena instead of
+// the heap.
+func (b *Block) CopyFrom(o *Block) error {
+	if b.R != o.R || b.C != o.C {
+		return fmt.Errorf("matrix: CopyFrom shape mismatch %dx%d vs %dx%d", b.R, b.C, o.R, o.C)
+	}
+	if b.Phantom() || o.Phantom() {
+		return fmt.Errorf("matrix: CopyFrom needs dense blocks")
+	}
+	copy(b.Data, o.Data)
+	return nil
+}
+
 // Transpose returns a new block that is the transpose of b.
 func (b *Block) Transpose() *Block {
 	if b.Phantom() {
@@ -108,6 +122,24 @@ func (b *Block) Transpose() *Block {
 		}
 	}
 	return t
+}
+
+// TransposeInto writes b's transpose into dst (which must be dense and
+// C x R shaped), allocating nothing — the pooled counterpart of Transpose.
+func (b *Block) TransposeInto(dst *Block) error {
+	if dst.R != b.C || dst.C != b.R {
+		return fmt.Errorf("matrix: TransposeInto destination is %dx%d, want %dx%d", dst.R, dst.C, b.C, b.R)
+	}
+	if b.Phantom() || dst.Phantom() {
+		return fmt.Errorf("matrix: TransposeInto needs dense blocks")
+	}
+	for i := 0; i < b.R; i++ {
+		base := i * b.C
+		for j := 0; j < b.C; j++ {
+			dst.Data[j*b.R+i] = b.Data[base+j]
+		}
+	}
+	return nil
 }
 
 // Col returns a copy of column j.

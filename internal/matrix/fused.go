@@ -1,0 +1,369 @@
+package matrix
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file is the fused min-plus kernel layer. The paper's blocked solvers
+// are kernel-bound: essentially all compute time goes into MatProd /
+// MinPlus / FloydWarshall on b x b blocks, invoked O(q^3)-ish times per
+// solve. The original kernels allocate a fresh output per call and realize
+// MinPlus as a materialized product followed by a separate MatMin pass.
+// The kernels here instead fold the tiled i-k-j product directly into a
+// caller-provided destination block — no intermediate, no second pass —
+// with the k loop unrolled four-wide so destination traffic is amortized
+// across four pivots, and an optional row-panel parallel path that shards
+// the tile grid across host goroutines when the engine reports idle
+// workers. Every variant computes the exact same element values as the
+// reference kernels: min-plus candidates are identical sums and float64
+// min is exact, so reassociating the fold cannot change results.
+
+// parMinRows is the smallest per-goroutine row panel worth forking for.
+// Below it, goroutine startup dominates the O(rows * k * cols) work.
+const parMinRows = 64
+
+// ParallelMinEdge is the block edge below which the parallel tile path is
+// never attempted (callers may use it to gate worker-budget plumbing).
+const ParallelMinEdge = 2 * parMinRows
+
+// sameBacking reports whether two dense blocks share a backing array (the
+// aliasing case the fused in-place kernels must detour around).
+func sameBacking(a, b *Block) bool {
+	return len(a.Data) > 0 && len(b.Data) > 0 && &a.Data[0] == &b.Data[0]
+}
+
+// minPlusPanel folds dst = min(dst, a (x) b) over row-major panels with
+// explicit leading dimensions (BLAS-style): a is m x kd with stride lda,
+// b is kd x n with stride ldb, dst is m x n with stride ldd. Panels may be
+// sub-views of larger matrices; dst must not overlap a or b.
+//
+// The loop nest is the same kk/jj 2D tiling as MinPlusMul, with the pivot
+// loop unrolled 4-wide: the four candidate sums are reduced in registers
+// and dst is read and written once per pivot group instead of once per
+// pivot. A pivot group that is entirely +Inf on the a side is skipped.
+func minPlusPanel(a []float64, lda int, b []float64, ldb int, dst []float64, ldd int, m, kd, n int) {
+	for kk := 0; kk < kd; kk += tile {
+		kmax := kk + tile
+		if kmax > kd {
+			kmax = kd
+		}
+		for jj := 0; jj < n; jj += tile {
+			jmax := jj + tile
+			if jmax > n {
+				jmax = n
+			}
+			for i := 0; i < m; i++ {
+				arow := a[i*lda : i*lda+kd]
+				drow := dst[i*ldd+jj : i*ldd+jmax]
+				k := kk
+				for ; k+3 < kmax; k += 4 {
+					a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+					if a0 == Inf && a1 == Inf && a2 == Inf && a3 == Inf {
+						continue
+					}
+					b0 := b[k*ldb+jj : k*ldb+jmax]
+					b1 := b[(k+1)*ldb+jj : (k+1)*ldb+jmax]
+					b2 := b[(k+2)*ldb+jj : (k+2)*ldb+jmax]
+					b3 := b[(k+3)*ldb+jj : (k+3)*ldb+jmax]
+					b0 = b0[:len(drow)]
+					b1 = b1[:len(drow)]
+					b2 = b2[:len(drow)]
+					b3 = b3[:len(drow)]
+					// The min builtin lowers to branchless float min
+					// instructions; with the unconditional store the loop
+					// body has no data-dependent branches at all.
+					for j, d := range drow {
+						s := min(a0+b0[j], a1+b1[j])
+						s = min(s, a2+b2[j])
+						s = min(s, a3+b3[j])
+						drow[j] = min(d, s)
+					}
+				}
+				for ; k < kmax; k++ {
+					aik := arow[k]
+					if aik == Inf {
+						continue
+					}
+					brow := b[k*ldb+jj : k*ldb+jmax]
+					brow = brow[:len(drow)]
+					for j, d := range drow {
+						drow[j] = min(d, aik+brow[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// minPlusPanelPar shards minPlusPanel across workers goroutines by
+// contiguous destination row panels, so writes never overlap and the
+// result is identical to the serial path regardless of worker count.
+// Falls back to the serial path when the panel is too small to split.
+func minPlusPanelPar(a []float64, lda int, b []float64, ldb int, dst []float64, ldd int, m, kd, n, workers int) {
+	shards := workers
+	if maxShards := m / parMinRows; shards > maxShards {
+		shards = maxShards
+	}
+	if shards < 2 {
+		minPlusPanel(a, lda, b, ldb, dst, ldd, m, kd, n)
+		return
+	}
+	chunk := (m + shards - 1) / shards
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			minPlusPanel(a[lo*lda:], lda, b, ldb, dst[lo*ldd:], ldd, hi-lo, kd, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// checkMinPlusShapes validates one fused min-plus call.
+func checkMinPlusShapes(op string, a, b, dst *Block) error {
+	if a.C != b.R {
+		return fmt.Errorf("matrix: %s inner dim mismatch %dx%d vs %dx%d", op, a.R, a.C, b.R, b.C)
+	}
+	if dst.R != a.R || dst.C != b.C {
+		return fmt.Errorf("matrix: %s destination is %dx%d, want %dx%d", op, dst.R, dst.C, a.R, b.C)
+	}
+	return nil
+}
+
+// MinPlusInto folds the min-plus product into the destination in one fused
+// pass: dst = min(dst, a (x) b). It allocates nothing on the fast path and
+// never materializes the product. If any operand is phantom the call is a
+// no-op (phantoms carry no elements to fold). If dst aliases a or b the
+// kernel detours through a pooled temporary so the result keeps the exact
+// functional min(dst, a (x) b) semantics.
+func MinPlusInto(a, b, dst *Block) error { return MinPlusIntoPar(a, b, dst, 1) }
+
+// MinPlusIntoPar is MinPlusInto with an intra-kernel host-parallelism
+// budget: when the destination has at least 2*parMinRows rows and
+// workers > 1, the tile grid is sharded across goroutines by destination
+// row panel. Results are identical to the serial path for any worker
+// count.
+func MinPlusIntoPar(a, b, dst *Block, workers int) error {
+	if err := checkMinPlusShapes("MinPlusInto", a, b, dst); err != nil {
+		return err
+	}
+	if a.Phantom() || b.Phantom() || dst.Phantom() {
+		return nil
+	}
+	if sameBacking(dst, a) || sameBacking(dst, b) {
+		tmp := GetInf(dst.R, dst.C)
+		minPlusPanelPar(a.Data, a.C, b.Data, b.C, tmp.Data, tmp.C, a.R, a.C, b.C, workers)
+		err := MatMinInPlace(dst, tmp)
+		Put(tmp)
+		return err
+	}
+	minPlusPanelPar(a.Data, a.C, b.Data, b.C, dst.Data, dst.C, a.R, a.C, b.C, workers)
+	return nil
+}
+
+// MinPlusMulInto computes dst = a (x) b, overwriting dst, with no
+// intermediate allocation. Phantom operands make the call a no-op; an
+// aliased destination detours through a pooled temporary.
+func MinPlusMulInto(a, b, dst *Block) error { return MinPlusMulIntoPar(a, b, dst, 1) }
+
+// MinPlusMulIntoPar is MinPlusMulInto with an intra-kernel parallelism
+// budget (see MinPlusIntoPar).
+func MinPlusMulIntoPar(a, b, dst *Block, workers int) error {
+	if err := checkMinPlusShapes("MinPlusMulInto", a, b, dst); err != nil {
+		return err
+	}
+	if a.Phantom() || b.Phantom() || dst.Phantom() {
+		return nil
+	}
+	if sameBacking(dst, a) || sameBacking(dst, b) {
+		tmp := GetInf(dst.R, dst.C)
+		minPlusPanelPar(a.Data, a.C, b.Data, b.C, tmp.Data, tmp.C, a.R, a.C, b.C, workers)
+		copy(dst.Data, tmp.Data)
+		Put(tmp)
+		return nil
+	}
+	for i := range dst.Data {
+		dst.Data[i] = Inf
+	}
+	minPlusPanelPar(a.Data, a.C, b.Data, b.C, dst.Data, dst.C, a.R, a.C, b.C, workers)
+	return nil
+}
+
+// FloydWarshallPar is the classic in-place Floyd-Warshall kernel with
+// intra-kernel host parallelism: within each pivot k the row updates are
+// independent (row k itself is a fixed point of its own pivot, so the
+// pivot row is stable while workers read it), and sharding rows across
+// goroutines yields exactly the serial kernel's results. Falls back to the
+// serial kernel when the block is small or workers <= 1.
+func FloydWarshallPar(a *Block, workers int) error {
+	if a.R != a.C {
+		return fmt.Errorf("matrix: FloydWarshall needs a square block, got %dx%d", a.R, a.C)
+	}
+	if a.Phantom() {
+		return nil
+	}
+	n := a.R
+	shards := workers
+	// FW forks and joins once per pivot (n rounds), unlike the product
+	// kernels' single fork per call, so sharding needs twice the row
+	// panel (2*parMinRows per shard) before the per-pivot fork/join
+	// overhead is safely amortized.
+	if maxShards := n / (2 * parMinRows); shards > maxShards {
+		shards = maxShards
+	}
+	if shards < 2 {
+		return FloydWarshall(a)
+	}
+	for _, v := range a.Data {
+		if v < 0 {
+			// Sharding is only safe while every pivot row is a fixed point
+			// of its own pivot, which holds iff the diagonal stays
+			// non-negative for the whole run. Any negative entry can
+			// manufacture a negative cycle (hence a negative diagonal)
+			// mid-run, making row k rewrite itself while other shards read
+			// it — a data race. Non-negative inputs (every APSP input in
+			// this repository) keep all entries non-negative inductively,
+			// so the check is exact, not conservative. Fall back to the
+			// serial kernel, whose results we promise to match.
+			return FloydWarshall(a)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if a.Data[i*n+i] > 0 {
+			a.Data[i*n+i] = 0
+		}
+	}
+	chunk := (n + shards - 1) / shards
+	data := a.Data
+	for k := 0; k < n; k++ {
+		var wg sync.WaitGroup
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				fwRelax(data, n, lo, hi, 0, n, k)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	return nil
+}
+
+// fwBlockEdge is the internal decomposition edge of the blocked in-place
+// Floyd-Warshall: small enough that the phase-1/2 pivot panels stay cache
+// resident, large enough that phase 3 — which is (q-1)^2/q^2 of the work —
+// runs through the fused tiled product.
+const fwBlockEdge = 64
+
+// fwRelax applies the Floyd-Warshall inner update with pivot k to the
+// sub-rectangle [iLo,iHi) x [jLo,jHi) of the square matrix held in data
+// with stride n.
+func fwRelax(data []float64, n, iLo, iHi, jLo, jHi, k int) {
+	krow := data[k*n+jLo : k*n+jHi]
+	for i := iLo; i < iHi; i++ {
+		aik := data[i*n+k]
+		if aik == Inf {
+			continue
+		}
+		row := data[i*n+jLo : i*n+jHi]
+		row = row[:len(krow)]
+		for j, kv := range krow {
+			if s := aik + kv; s < row[j] {
+				row[j] = s
+			}
+		}
+	}
+}
+
+// FloydWarshallBlocked runs Floyd-Warshall in place on a square dense
+// block via the 3-phase Venkataraman blocked scheme, with the dominant
+// phase-3 off-diagonal updates expressed as fused tiled min-plus products
+// (minPlusPanel) instead of a scalar triple loop. The diagonal is clamped
+// to 0 first, matching FloydWarshall. Element values equal the classic
+// kernel's up to float addition order across pivot blocks; for the
+// distance semiring both compute exact shortest paths within the block.
+func FloydWarshallBlocked(a *Block) error { return FloydWarshallBlockedPar(a, 1) }
+
+// FloydWarshallBlockedPar is FloydWarshallBlocked with an intra-kernel
+// parallelism budget: phase-3 row panels are sharded across goroutines.
+func FloydWarshallBlockedPar(a *Block, workers int) error {
+	return FloydWarshallBlockedSize(a, fwBlockEdge, workers)
+}
+
+// FloydWarshallBlockedSize exposes the decomposition edge, primarily so
+// the sequential reference solver can run the paper's blocked algorithm at
+// an arbitrary block size on the same kernel.
+func FloydWarshallBlockedSize(a *Block, bs, workers int) error {
+	if a.R != a.C {
+		return fmt.Errorf("matrix: FloydWarshallBlocked needs a square block, got %dx%d", a.R, a.C)
+	}
+	if bs < 1 {
+		return fmt.Errorf("matrix: FloydWarshallBlocked block size %d < 1", bs)
+	}
+	if a.Phantom() {
+		return nil
+	}
+	n := a.R
+	if bs >= n {
+		return FloydWarshall(a)
+	}
+	for i := 0; i < n; i++ {
+		if a.Data[i*n+i] > 0 {
+			a.Data[i*n+i] = 0
+		}
+	}
+	data := a.Data
+	for lo := 0; lo < n; lo += bs {
+		hi := lo + bs
+		if hi > n {
+			hi = n
+		}
+		// Phase 1: close the diagonal block over its own pivots.
+		for k := lo; k < hi; k++ {
+			fwRelax(data, n, lo, hi, lo, hi, k)
+		}
+		// Phase 2: sweep the pivot row and column panels. The in-place
+		// ascending-pivot relaxation is the reference blocked algorithm's;
+		// keeping it bit-compatible with the sequential solver matters more
+		// than fusing this O(n^2 b) slice of the work.
+		for k := lo; k < hi; k++ {
+			fwRelax(data, n, lo, hi, 0, lo, k)
+			fwRelax(data, n, lo, hi, hi, n, k)
+			fwRelax(data, n, 0, lo, lo, hi, k)
+			fwRelax(data, n, hi, n, lo, hi, k)
+		}
+		// Phase 3: every off block gets dst = min(dst, A[I,t] (x) A[t,J]).
+		// The panels are final after phase 2 and disjoint from every
+		// destination, so this is a pure fused product — the same candidate
+		// sums, in a faster loop order.
+		kd := hi - lo
+		for _, rows := range [2][2]int{{0, lo}, {hi, n}} {
+			rLo, rHi := rows[0], rows[1]
+			if rLo >= rHi {
+				continue
+			}
+			for _, cols := range [2][2]int{{0, lo}, {hi, n}} {
+				cLo, cHi := cols[0], cols[1]
+				if cLo >= cHi {
+					continue
+				}
+				minPlusPanelPar(
+					data[rLo*n+lo:], n,
+					data[lo*n+cLo:], n,
+					data[rLo*n+cLo:], n,
+					rHi-rLo, kd, cHi-cLo, workers)
+			}
+		}
+	}
+	return nil
+}

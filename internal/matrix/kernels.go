@@ -82,16 +82,26 @@ func MinPlusMul(a, b *Block) (*Block, error) {
 	return out, nil
 }
 
-// MinPlus computes min(a (x) b, b2) in one call (paper Table 1: MinPlus —
-// MatProd followed by MatMin against b2). Used by the Blocked
-// Collect/Broadcast solver where the product is immediately folded into the
-// destination block.
+// MinPlus computes min(a (x) b, dst) in one call (paper Table 1: MinPlus —
+// MatProd followed by MatMin against dst), returning a fresh block and
+// leaving dst untouched. It is a thin compatibility wrapper over the fused
+// MinPlusInto: the result block is seeded from dst and the product folds
+// straight into it, so the intermediate product and its extra element-wise
+// pass are gone. The returned block is an ordinary heap allocation the
+// caller owns outright; hot paths that want arena recycling use
+// MinPlusInto with Get/Put directly.
 func MinPlus(a, b, dst *Block) (*Block, error) {
-	prod, err := MinPlusMul(a, b)
-	if err != nil {
+	if err := checkMinPlusShapes("MinPlus", a, b, dst); err != nil {
 		return nil, err
 	}
-	return MatMin(prod, dst)
+	if a.Phantom() || b.Phantom() || dst.Phantom() {
+		return NewPhantom(a.R, b.C), nil
+	}
+	out := dst.Clone()
+	if err := MinPlusInto(a, b, out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // FloydWarshall runs the classic O(r^3) Floyd-Warshall kernel in place on a

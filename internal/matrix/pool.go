@@ -1,0 +1,54 @@
+package matrix
+
+import "sync"
+
+// The block arena: a sync.Pool recycling dense block backing arrays across
+// kernel invocations. The blocked APSP solvers churn through b x b
+// temporaries on every task of every iteration; recycling them keeps the
+// hot kernel path at zero amortized heap allocations instead of feeding the
+// GC O(q^3) short-lived multi-megabyte slices per solve.
+//
+// Discipline: a block obtained from Get is exclusively owned by the caller.
+// Put hands ownership back; the caller must not retain any reference
+// (including row slices) afterwards. Blocks that escape into long-lived
+// structures (RDD values, shared storage) are simply never Put — they
+// behave like ordinary allocations.
+var pool sync.Pool
+
+// Get returns a dense r x c block from the arena. The element contents are
+// unspecified; callers must fully initialize them (or use GetInf /
+// CopyFrom). Blocks whose pooled capacity is too small are dropped and a
+// fresh one is allocated, so Get never fails.
+func Get(r, c int) *Block {
+	need := r * c
+	if v := pool.Get(); v != nil {
+		b := v.(*Block)
+		if cap(b.Data) >= need {
+			b.R, b.C = r, c
+			b.Data = b.Data[:need]
+			return b
+		}
+		// Too small for this request: let the GC take it rather than
+		// holding ever-growing dead capacity in the pool.
+	}
+	return &Block{R: r, C: c, Data: make([]float64, need)}
+}
+
+// GetInf returns a pooled dense r x c block with every element set to +Inf
+// — the min-plus additive identity, the state MinPlusMulInto starts from.
+func GetInf(r, c int) *Block {
+	b := Get(r, c)
+	for i := range b.Data {
+		b.Data[i] = Inf
+	}
+	return b
+}
+
+// Put returns a block to the arena. Phantom and nil blocks are ignored.
+// The block must not be used (or Put again) after this call.
+func Put(b *Block) {
+	if b == nil || b.Data == nil {
+		return
+	}
+	pool.Put(b)
+}

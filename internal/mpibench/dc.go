@@ -30,9 +30,10 @@ func DCDense(a *matrix.Block) error {
 	return dcDense(a, 0, n)
 }
 
-// view copies the square region [lo, lo+half) x [co, co+half).
+// view copies the region [ro, ro+rs) x [co, co+cs) into an arena block;
+// callers Put it back once it is stored to the parent matrix.
 func view(a *matrix.Block, ro, co, rs, cs int) *matrix.Block {
-	out := matrix.NewZero(rs, cs)
+	out := matrix.Get(rs, cs)
 	for i := 0; i < rs; i++ {
 		copy(out.Row(i), a.Row(ro + i)[co:co+cs])
 	}
@@ -52,6 +53,7 @@ func dcDense(a *matrix.Block, off, s int) error {
 			return err
 		}
 		storeView(a, off, off, sub)
+		matrix.Put(sub)
 		return nil
 	}
 	h := s / 2
@@ -64,42 +66,38 @@ func dcDense(a *matrix.Block, off, s int) error {
 	C := view(a, off+h, off, rest, h)
 	D := view(a, off+h, off+h, rest, rest)
 
-	var err error
-	if B, err = minPlusInto(A, B, B); err != nil {
+	// Each step folds a min-plus product into its destination with the
+	// fused kernel (dst = min(dst, x (x) y)); MinPlusInto detours through
+	// a pooled temporary when the destination aliases an operand, so the
+	// functional Kleene-step semantics are preserved verbatim.
+	steps := []struct{ x, y, dst *matrix.Block }{
+		{A, B, B}, {C, A, C}, {C, B, D},
+	}
+	for _, st := range steps {
+		if err := matrix.MinPlusInto(st.x, st.y, st.dst); err != nil {
+			return err
+		}
+	}
+	if err := matrix.FloydWarshall(D); err != nil {
 		return err
 	}
-	if C, err = minPlusInto(C, A, C); err != nil {
-		return err
+	steps = []struct{ x, y, dst *matrix.Block }{
+		{D, C, C}, {B, D, B}, {B, C, A},
 	}
-	if D, err = minPlusInto(C, B, D); err != nil {
-		return err
-	}
-	if err = matrix.FloydWarshall(D); err != nil {
-		return err
-	}
-	if C, err = minPlusInto(D, C, C); err != nil {
-		return err
-	}
-	if B, err = minPlusInto(B, D, B); err != nil {
-		return err
-	}
-	if A, err = minPlusInto(B, C, A); err != nil {
-		return err
+	for _, st := range steps {
+		if err := matrix.MinPlusInto(st.x, st.y, st.dst); err != nil {
+			return err
+		}
 	}
 	storeView(a, off, off, A)
 	storeView(a, off, off+h, B)
 	storeView(a, off+h, off, C)
 	storeView(a, off+h, off+h, D)
+	matrix.Put(A)
+	matrix.Put(B)
+	matrix.Put(C)
+	matrix.Put(D)
 	return nil
-}
-
-// minPlusInto returns min(x (x) y, dst).
-func minPlusInto(x, y, dst *matrix.Block) (*matrix.Block, error) {
-	p, err := matrix.MinPlusMul(x, y)
-	if err != nil {
-		return nil, err
-	}
-	return matrix.MatMin(p, dst)
 }
 
 // DC runs the DC-GbE baseline: the Kleene recursion scheduled over a

@@ -155,6 +155,20 @@ func NewContext(clu *cluster.Cluster, model costmodel.KernelModel) *Context {
 	}
 }
 
+// SetHostWorkers overrides how many host OS threads the engine uses to run
+// tasks (default runtime.GOMAXPROCS). The surplus over a stage's task
+// count becomes each task's intra-kernel parallelism budget
+// (TaskContext.Workers). Tests use it to pin the parallel kernel paths on
+// deterministically; results and virtual time never depend on it.
+func (c *Context) SetHostWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.workers = n
+	c.mu.Unlock()
+}
+
 // MarkImpure records that the computation has side effects outside RDD
 // lineage (shared-storage staging). Task failures after this point abort
 // the run instead of retrying, reproducing the paper's purity distinction.
@@ -181,11 +195,12 @@ func (c *Context) newID() int {
 // TaskContext carries per-task virtual cost accounting into user
 // functions; kernels and building blocks charge their model costs here.
 type TaskContext struct {
-	ctx      *Context
-	node     int
-	core     int
-	cost     float64
-	netBytes int64
+	ctx        *Context
+	node       int
+	core       int
+	cost       float64
+	netBytes   int64
+	hostBudget int
 }
 
 // Model exposes the kernel cost model.
@@ -193,6 +208,19 @@ func (tc *TaskContext) Model() costmodel.KernelModel { return tc.ctx.Model }
 
 // Node returns the virtual node executing the task.
 func (tc *TaskContext) Node() int { return tc.node }
+
+// Workers reports how many host OS threads this task may claim for
+// intra-kernel parallelism. When a stage has fewer tasks than the machine
+// has host workers, the surplus is divided among the running tasks so the
+// big matrix kernels can shard their tile grids instead of leaving cores
+// idle. Purely a host-speed hint: it never affects results or the virtual
+// clock.
+func (tc *TaskContext) Workers() int {
+	if tc.hostBudget < 1 {
+		return 1
+	}
+	return tc.hostBudget
+}
 
 // Charge adds raw virtual seconds to the task.
 func (tc *TaskContext) Charge(sec float64) {
@@ -240,6 +268,7 @@ func (c *Context) runStage(name string, n int, task func(tc *TaskContext, i int)
 	c.mu.Lock()
 	c.stageSeq++
 	stage := fmt.Sprintf("%s#%d", name, c.stageSeq)
+	hostWorkers := c.workers
 	c.mu.Unlock()
 
 	p := c.Cluster.Cores()
@@ -249,12 +278,19 @@ func (c *Context) runStage(name string, n int, task func(tc *TaskContext, i int)
 	var firstErr error
 	var stageNetBytes int64
 
-	workers := c.workers
+	workers := hostWorkers
 	if workers > n {
 		workers = n
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	// Idle-core budget: with fewer tasks than host workers, each task may
+	// fan its kernels out over the surplus threads (intra-kernel
+	// parallelism). With n >= workers every task gets exactly one.
+	hostBudget := hostWorkers / workers
+	if hostBudget < 1 {
+		hostBudget = 1
 	}
 	var wg sync.WaitGroup
 	next := make(chan int, n)
@@ -267,7 +303,7 @@ func (c *Context) runStage(name string, n int, task func(tc *TaskContext, i int)
 		core := i % p
 		var lastErr error
 		for attempt := 1; attempt <= maxTaskAttempts; attempt++ {
-			tc := &TaskContext{ctx: c, node: c.Cluster.NodeOfCore(core), core: core}
+			tc := &TaskContext{ctx: c, node: c.Cluster.NodeOfCore(core), core: core, hostBudget: hostBudget}
 			pairs, err := task(tc, i)
 			if err == nil && c.Injector.shouldFail(name, i) {
 				err = errInjected

@@ -49,65 +49,19 @@ func BlockedFloydWarshall(g *graph.Graph, b int) (*matrix.Block, error) {
 }
 
 // BlockedFloydWarshallDense runs the blocked algorithm in place on a dense
-// symmetric adjacency matrix.
+// symmetric adjacency matrix. It is now a thin wrapper over the matrix
+// package's fused blocked kernel: phases 1 and 2 are the reference
+// ascending-pivot relaxation, phase 3 — the dominant (q-1)^2/q^2 of the
+// work — runs through the same fused tiled min-plus product the
+// distributed solvers use.
 func BlockedFloydWarshallDense(a *matrix.Block, b int) error {
 	if a.R != a.C {
 		return fmt.Errorf("seq: blocked FW needs a square matrix, got %dx%d", a.R, a.C)
 	}
-	d, err := graph.NewDecomposition(a.R, b)
-	if err != nil {
+	if _, err := graph.NewDecomposition(a.R, b); err != nil {
 		return err
 	}
-	n := a.R
-	// sub returns the half-open global index range of block t.
-	sub := func(t int) (int, int) {
-		lo := d.RowOffset(t)
-		return lo, lo + d.Rows(t)
-	}
-	// relax runs the FW inner update on block (I,J) using pivot column k
-	// limited to the block's ranges.
-	relax := func(iLo, iHi, jLo, jHi, k int) {
-		for i := iLo; i < iHi; i++ {
-			aik := a.At(i, k)
-			if aik == matrix.Inf {
-				continue
-			}
-			row := a.Data[i*n : (i+1)*n]
-			krow := a.Data[k*n : (k+1)*n]
-			for j := jLo; j < jHi; j++ {
-				if s := aik + krow[j]; s < row[j] {
-					row[j] = s
-				}
-			}
-		}
-	}
-	for i := 0; i < n; i++ {
-		if a.Data[i*n+i] > 0 {
-			a.Data[i*n+i] = 0
-		}
-	}
-	for t := 0; t < d.Q; t++ {
-		kLo, kHi := sub(t)
-		// Phase 1: diagonal block, pivots restricted to the block.
-		for k := kLo; k < kHi; k++ {
-			relax(kLo, kHi, kLo, kHi, k)
-		}
-		// Phase 2: block row and block column t.
-		for k := kLo; k < kHi; k++ {
-			relax(kLo, kHi, 0, kLo, k)
-			relax(kLo, kHi, kHi, n, k)
-			relax(0, kLo, kLo, kHi, k)
-			relax(kHi, n, kLo, kHi, k)
-		}
-		// Phase 3: everything else.
-		for k := kLo; k < kHi; k++ {
-			relax(0, kLo, 0, kLo, k)
-			relax(0, kLo, kHi, n, k)
-			relax(kHi, n, 0, kLo, k)
-			relax(kHi, n, kHi, n, k)
-		}
-	}
-	return nil
+	return matrix.FloydWarshallBlockedSize(a, b, 1)
 }
 
 // RepeatedSquaring computes APSP as A^n over the min-plus semiring by
@@ -122,15 +76,19 @@ func RepeatedSquaring(g *graph.Graph) (*matrix.Block, error) {
 	if steps < 1 {
 		steps = 1
 	}
+	// Each squaring folds a (x) a into a pooled copy of a in one fused
+	// pass (sq = min(a, a (x) a)); the previous iterate returns to the
+	// arena, so the loop allocates one matrix amortized, not two per step.
 	for s := 0; s < steps; s++ {
-		sq, err := matrix.MinPlusMul(a, a)
-		if err != nil {
+		sq := matrix.Get(n, n)
+		if err := sq.CopyFrom(a); err != nil {
 			return nil, err
 		}
-		a, err = matrix.MatMin(sq, a)
-		if err != nil {
+		if err := matrix.MinPlusInto(a, a, sq); err != nil {
 			return nil, err
 		}
+		matrix.Put(a)
+		a = sq
 	}
 	return a, nil
 }
