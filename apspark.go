@@ -38,6 +38,7 @@ import (
 	"apspark/internal/matrix"
 	"apspark/internal/rdd"
 	"apspark/internal/seq"
+	"apspark/internal/store"
 )
 
 // SolverKind selects one of the paper's four APSP strategies.
@@ -181,6 +182,42 @@ func wrap(res *core.Result) *Result {
 		Metrics:          res.Metrics,
 		Solver:           res.Solver,
 	}
+}
+
+// Store is a read handle on a persisted tiled distance store: the solved
+// matrix cut into b x b tiles on disk, queried back through a
+// byte-budgeted LRU tile cache. See Result.WriteStore and OpenStore.
+type Store struct {
+	*store.Store
+}
+
+// WriteStore persists the solve's distance matrix as a tiled store file
+// at path. blockSize is the tile edge (<= 0 picks 256, capped to n);
+// queries later touch only the tiles they need, so a store can be served
+// from far less memory than the dense matrix. Phantom and truncated runs
+// carry no distances and return an error.
+func (r *Result) WriteStore(path string, blockSize int) error {
+	if r.Dist == nil {
+		return fmt.Errorf("apspark: result has no distance matrix (phantom or truncated run)")
+	}
+	if blockSize <= 0 {
+		blockSize = 256
+		if r.Dist.R < blockSize {
+			blockSize = r.Dist.R
+		}
+	}
+	return store.Write(path, r.Dist, blockSize)
+}
+
+// OpenStore opens a tiled distance store for querying. cacheBytes bounds
+// the decoded tile bytes held in memory at any instant; it may be far
+// smaller than the full matrix.
+func OpenStore(path string, cacheBytes int64) (*Store, error) {
+	s, err := store.Open(path, cacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{Store: s}, nil
 }
 
 // Solve runs a distributed APSP solve with real data and returns the

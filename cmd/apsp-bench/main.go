@@ -8,6 +8,7 @@
 //	apsp-bench table2            # Table 2: block size / partitioner sweep
 //	apsp-bench table3            # Table 3 + Figure 5: weak scaling
 //	apsp-bench kernels           # fused vs unfused min-plus microbenchmarks
+//	apsp-bench store             # tiled-store query throughput (dist/row/knn/path)
 //	apsp-bench all               # everything
 //
 // Flags scale the experiments down for quick runs (-quick) or swap in a
@@ -24,13 +25,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"apspark/internal/bench"
 	"apspark/internal/costmodel"
+	"apspark/internal/graph"
 	"apspark/internal/matrix"
+	"apspark/internal/seq"
+	"apspark/internal/serve"
+	"apspark/internal/store"
 )
 
 // kernelResult is one host microbenchmark line in BENCH.json.
@@ -50,12 +57,24 @@ type experimentResult struct {
 	VirtualSec float64 `json:"virtual_sec"`
 }
 
+// storeQueryResult is one serving-layer throughput measurement: queries
+// against a persisted tile store on this host.
+type storeQueryResult struct {
+	Query      string  `json:"query"`
+	N          int     `json:"n"`
+	BlockSize  int     `json:"block_size"`
+	CacheBytes int64   `json:"cache_bytes"`
+	NsPerOp    int64   `json:"wall_ns_per_op"`
+	QPS        float64 `json:"queries_per_sec"`
+}
+
 // report aggregates everything a run produced.
 type report struct {
 	GoMaxProcs  int                `json:"gomaxprocs"`
 	Quick       bool               `json:"quick"`
 	Kernels     []kernelResult     `json:"kernels,omitempty"`
 	Experiments []experimentResult `json:"experiments,omitempty"`
+	StoreQuery  []storeQueryResult `json:"store_query,omitempty"`
 }
 
 func main() {
@@ -91,14 +110,15 @@ func main() {
 	run("table2", table2)
 	run("table3", table3)
 	run("kernels", kernels)
+	run("store", storeQueries)
 	switch what {
-	case "all", "fig2", "fig3", "table2", "table3", "kernels":
+	case "all", "fig2", "fig3", "table2", "table3", "kernels", "store":
 	default:
-		fmt.Fprintf(os.Stderr, "apsp-bench: unknown target %q (want fig2|fig3|table2|table3|kernels|all)\n", what)
+		fmt.Fprintf(os.Stderr, "apsp-bench: unknown target %q (want fig2|fig3|table2|table3|kernels|store|all)\n", what)
 		os.Exit(2)
 	}
 
-	if *jsonPath != "" && (len(rep.Kernels) > 0 || len(rep.Experiments) > 0) {
+	if *jsonPath != "" && (len(rep.Kernels) > 0 || len(rep.Experiments) > 0 || len(rep.StoreQuery) > 0) {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "apsp-bench: marshal report: %v\n", err)
@@ -249,4 +269,94 @@ func kernels(_ costmodel.KernelModel, quick bool, rep *report) error {
 		matrix.Put(dst)
 	}
 	return nil
+}
+
+// storeQueries measures the serving layer: solve a graph once, persist it
+// as a tiled store, reopen it with a cache an eighth of the dense matrix,
+// and measure point, row, k-nearest and path query throughput. The
+// numbers land in BENCH.json as store_query entries so serving-path
+// regressions are as visible across PRs as kernel regressions.
+func storeQueries(_ costmodel.KernelModel, quick bool, rep *report) error {
+	n, bs := 2048, 256
+	if quick {
+		n, bs = 512, 64
+	}
+	g, err := graph.ErdosRenyiPaper(n, 42)
+	if err != nil {
+		return err
+	}
+	dist := seq.FloydWarshall(g)
+
+	dir, err := os.MkdirTemp("", "apsp-bench-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "dist.apsp")
+	if err := store.Write(path, dist, bs); err != nil {
+		return err
+	}
+	cacheBytes := int64(n) * int64(n) // dense matrix / 8
+	st, err := store.Open(path, cacheBytes)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	eng, err := serve.New(st, g)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("store query throughput (n=%d b=%d, cache %.1f MiB of %.1f MiB dense):\n",
+		n, bs, float64(cacheBytes)/(1<<20), float64(n)*float64(n)*8/(1<<20))
+	rng := rand.New(rand.NewSource(1))
+	measure := func(name string, query func() error) error {
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := query(); err != nil {
+					failed = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if failed != nil {
+			return failed
+		}
+		qps := 0.0
+		if r.NsPerOp() > 0 {
+			qps = 1e9 / float64(r.NsPerOp())
+		}
+		rep.StoreQuery = append(rep.StoreQuery, storeQueryResult{
+			Query: name, N: n, BlockSize: bs, CacheBytes: cacheBytes,
+			NsPerOp: r.NsPerOp(), QPS: qps,
+		})
+		fmt.Printf("  %-6s %12d ns/op %12.0f queries/sec\n", name, r.NsPerOp(), qps)
+		return nil
+	}
+	if err := measure("dist", func() error {
+		_, err := eng.Dist(rng.Intn(n), rng.Intn(n))
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := measure("row", func() error {
+		_, err := eng.Row(rng.Intn(n))
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := measure("knn", func() error {
+		_, err := eng.KNN(rng.Intn(n), 10)
+		return err
+	}); err != nil {
+		return err
+	}
+	return measure("path", func() error {
+		_, err := eng.Path(rng.Intn(n), rng.Intn(n))
+		if err == serve.ErrNoPath {
+			err = nil // disconnected pair: still a served query
+		}
+		return err
+	})
 }

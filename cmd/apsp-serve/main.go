@@ -1,0 +1,87 @@
+// Command apsp-serve answers shortest-path queries over HTTP from a
+// persisted tiled distance store — the serving end of the pipeline: solve
+// once, write the store, then query forever without re-solving (or even
+// holding the matrix in memory; the tile cache is byte-budgeted).
+//
+// Usage:
+//
+//	apsp -n 2048 -b 256 -solver cb -store dist.apsp   # solve + persist
+//	apsp-serve -store dist.apsp -graph graph.txt -addr :8080
+//
+//	curl 'localhost:8080/dist?from=0&to=100'
+//	curl 'localhost:8080/row?from=0'
+//	curl 'localhost:8080/knn?from=0&k=5'
+//	curl 'localhost:8080/path?from=0&to=100'   # needs -graph
+//	curl 'localhost:8080/healthz'
+//
+// -graph enables /path: hops are reconstructed from the distance matrix
+// and the adjacency lists via d[i][k] + w(k,j) == d[i][j], so no
+// successor matrix is ever stored.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"apspark/internal/graph"
+	"apspark/internal/serve"
+	"apspark/internal/store"
+)
+
+func main() {
+	var (
+		storePath = flag.String("store", "", "tiled distance store written by apsp -store (required)")
+		graphPath = flag.String("graph", "", "edge-list file of the solved graph; enables /path")
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheMB   = flag.Int64("cache-mb", 64, "tile cache budget in MiB (0 disables caching)")
+	)
+	flag.Parse()
+
+	if *storePath == "" {
+		fatal(fmt.Errorf("missing -store (write one with: apsp -n ... -store dist.apsp)"))
+	}
+	st, err := store.Open(*storePath, *cacheMB<<20)
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+
+	var g *graph.Graph
+	if *graphPath != "" {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		g, err = graph.ReadEdgeList(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	eng, err := serve.New(st, g)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("apsp-serve: n=%d b=%d tiles=%dx%d file=%.1f MiB cache=%d MiB path=%v listening on %s\n",
+		st.N(), st.BlockSize(), st.TilesPerSide(), st.TilesPerSide(),
+		float64(st.FileBytes())/(1<<20), *cacheMB, g != nil, *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.Handler(eng),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	fatal(srv.ListenAndServe())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apsp-serve:", err)
+	os.Exit(1)
+}

@@ -37,6 +37,7 @@ func main() {
 		calibrate = flag.Bool("calibrate", false, "calibrate the kernel model on this machine")
 		input     = flag.String("input", "", "read the graph from an edge-list file instead of generating one")
 		trace     = flag.Bool("trace", false, "print the slowest virtual stages afterwards")
+		storeOut  = flag.String("store", "", "persist the solved distances as a tiled store file (real runs only; serve it with apsp-serve)")
 	)
 	flag.Parse()
 
@@ -58,6 +59,10 @@ func main() {
 		m := costmodel.Calibrate(256)
 		cfg.Model = &m
 		fmt.Printf("calibrated: FW %.2f Gops, min-plus %.2f Gops\n", m.FWRateIn/1e9, m.MPRateIn/1e9)
+	}
+
+	if *storeOut != "" && *phantom {
+		fatal(fmt.Errorf("-store needs a real solve; phantom runs carry no distances"))
 	}
 
 	var res *apspark.Result
@@ -99,6 +104,17 @@ func main() {
 	fmt.Printf("peak local SSD:    %s per node\n", fmtBytes(m.LocalPeakBytes))
 	if res.Dist != nil && *verify {
 		fmt.Println("verification:      OK (matches sequential Floyd-Warshall)")
+	}
+	if *storeOut != "" {
+		if err := res.WriteStore(*storeOut, *b); err != nil {
+			fatal(err)
+		}
+		st, err := os.Stat(*storeOut)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("store:             %s (%s, b=%d; serve with apsp-serve -store %s)\n",
+			*storeOut, fmtBytes(st.Size()), *b, *storeOut)
 	}
 	if *trace && len(res.Timeline) > 0 {
 		tl := res.Timeline

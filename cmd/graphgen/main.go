@@ -1,15 +1,28 @@
 // Command graphgen generates the paper's Erdős–Rényi test graphs
 // (§5.1: p_e = 1.1·ln(n)/n, uniform weights) and writes them as an edge
-// list: one "u v w" line per undirected edge, preceded by a "n m" header.
+// list via graph.WriteEdgeList: one "u v w" line per undirected edge,
+// preceded by a "n m" header. The same file feeds apsp -input for solving
+// and apsp-serve -graph for path reconstruction, so a persisted distance
+// store is always reproducible from its saved graph.
 //
 // Usage:
 //
 //	graphgen -n 4096 -seed 42 -o graph.txt
-//	graphgen -n 1024 -p 0.01            # explicit edge probability, stdout
+//	graphgen -n 1024 -p 0.01                  # explicit edge probability, stdout
+//	graphgen -n 1024 -weights unit            # hop-count graphs (all weights 1)
+//	graphgen -n 1024 -weights int -maxw 100   # integer weights in [1, 100]
+//
+// -weights selects the edge-weight distribution:
+//
+//	uniform   weights uniform in [1, maxw) — the paper's default
+//	unit      every weight 1 (shortest paths become hop counts)
+//	int       integer weights uniform in [1, maxw]
+//
+// Edge placement depends only on -n, -p and -seed, so changing -weights
+// re-weights the exact same topology.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -20,11 +33,12 @@ import (
 
 func main() {
 	var (
-		n    = flag.Int("n", 1024, "number of vertices")
-		p    = flag.Float64("p", -1, "edge probability (default: the paper's 1.1*ln(n)/n)")
-		maxW = flag.Float64("maxw", 10, "weights are uniform in [1, maxw)")
-		seed = flag.Int64("seed", 42, "random seed")
-		out  = flag.String("o", "", "output file (default stdout)")
+		n       = flag.Int("n", 1024, "number of vertices")
+		p       = flag.Float64("p", -1, "edge probability (default: the paper's 1.1*ln(n)/n)")
+		maxW    = flag.Float64("maxw", 10, "weight scale: uniform draws from [1, maxw), int from [1, maxw]")
+		weights = flag.String("weights", "uniform", "weight distribution: uniform | unit | int")
+		seed    = flag.Int64("seed", 42, "random seed")
+		out     = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
 
@@ -32,7 +46,11 @@ func main() {
 	if prob < 0 {
 		prob = graph.ErdosRenyiPaperProb(*n)
 	}
-	g, err := graph.ErdosRenyi(*n, prob, *maxW, *seed)
+	wf, err := graph.WeightsByName(*weights, *maxW)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := graph.ErdosRenyiWeighted(*n, prob, wf, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -50,14 +68,11 @@ func main() {
 		}()
 		w = f
 	}
-	bw := bufio.NewWriter(w)
-	defer bw.Flush()
-
-	fmt.Fprintf(bw, "%d %d\n", g.N, g.NumEdges())
-	for _, e := range g.Edges() {
-		fmt.Fprintf(bw, "%d %d %.6f\n", e.U, e.V, e.W)
+	if err := g.WriteEdgeList(w); err != nil {
+		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "graphgen: n=%d m=%d p=%.6f connected=%v\n", g.N, g.NumEdges(), prob, g.Connected())
+	fmt.Fprintf(os.Stderr, "graphgen: n=%d m=%d p=%.6f weights=%s connected=%v\n",
+		g.N, g.NumEdges(), prob, *weights, g.Connected())
 }
 
 func fatal(err error) {

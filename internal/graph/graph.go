@@ -192,17 +192,69 @@ func ErdosRenyiPaperProb(n int) float64 {
 	return 1.1 * math.Log(float64(n)) / float64(n)
 }
 
+// WeightFn draws one edge weight. Implementations must consume a
+// deterministic number of rng values per call so graphs stay reproducible
+// from their seed.
+type WeightFn func(rng *rand.Rand) float64
+
+// UniformWeights draws weights uniform in [1, maxW) — the paper's §5.1
+// distribution. maxW below 1 degenerates to constant 1.
+func UniformWeights(maxW float64) WeightFn {
+	if maxW < 1 {
+		maxW = 1
+	}
+	return func(rng *rand.Rand) float64 { return 1 + rng.Float64()*(maxW-1) }
+}
+
+// UnitWeights makes every edge weight 1, turning shortest paths into hop
+// counts (still consuming one rng draw, keeping edge placement identical
+// to the other distributions at the same seed).
+func UnitWeights() WeightFn {
+	return func(rng *rand.Rand) float64 { rng.Float64(); return 1 }
+}
+
+// IntegerWeights draws integer weights uniform in {1, ..., maxW}.
+func IntegerWeights(maxW int) WeightFn {
+	if maxW < 1 {
+		maxW = 1
+	}
+	return func(rng *rand.Rand) float64 { return float64(1 + int(rng.Float64()*float64(maxW))) }
+}
+
+// WeightsByName maps a CLI-friendly name to a weight distribution:
+// "uniform" (paper default, [1, maxW)), "unit" (all 1), "int" (integers
+// in [1, maxW]).
+func WeightsByName(name string, maxW float64) (WeightFn, error) {
+	switch name {
+	case "", "uniform":
+		return UniformWeights(maxW), nil
+	case "unit":
+		return UnitWeights(), nil
+	case "int":
+		return IntegerWeights(int(maxW)), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown weight distribution %q (want uniform|unit|int)", name)
+	}
+}
+
 // ErdosRenyi generates a G(n, p) graph with uniform edge weights in
 // [1, maxW) using the given seed. Generation walks the upper triangle with
 // geometric skips, so the cost is proportional to the number of edges, not
 // n^2 — the same trick that makes the paper's "graph generation is fast"
 // claim hold at n = 262,144.
 func ErdosRenyi(n int, p float64, maxW float64, seed int64) (*Graph, error) {
+	return ErdosRenyiWeighted(n, p, UniformWeights(maxW), seed)
+}
+
+// ErdosRenyiWeighted is ErdosRenyi with an arbitrary weight distribution.
+// Edge placement depends only on n, p and seed, so two distributions at
+// the same seed produce the same topology with different weights.
+func ErdosRenyiWeighted(n int, p float64, wf WeightFn, seed int64) (*Graph, error) {
 	if p < 0 || p > 1 {
 		return nil, fmt.Errorf("graph: edge probability %v outside [0,1]", p)
 	}
-	if maxW < 1 {
-		maxW = 1
+	if wf == nil {
+		wf = UniformWeights(10)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	var edges []Edge
@@ -223,8 +275,7 @@ func ErdosRenyi(n int, p float64, maxW float64, seed int64) (*Graph, error) {
 				break
 			}
 			u, v := unrank(idx, n)
-			w := 1 + rng.Float64()*(maxW-1)
-			edges = append(edges, Edge{U: u, V: v, W: w})
+			edges = append(edges, Edge{U: u, V: v, W: wf(rng)})
 			idx++
 		}
 	}

@@ -204,3 +204,74 @@ func TestVisitAdjMatchesAdj(t *testing.T) {
 		}
 	}
 }
+
+func TestWeightDistributions(t *testing.T) {
+	const n, seed = 200, 5
+	p := ErdosRenyiPaperProb(n)
+	uniform, err := ErdosRenyiWeighted(n, p, UniformWeights(10), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := ErdosRenyiWeighted(n, p, UnitWeights(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	integer, err := ErdosRenyiWeighted(n, p, IntegerWeights(100), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same seed, same p: identical topology across distributions.
+	ue, ne, ie := uniform.Edges(), unit.Edges(), integer.Edges()
+	if len(ue) != len(ne) || len(ue) != len(ie) {
+		t.Fatalf("edge counts diverge: %d / %d / %d", len(ue), len(ne), len(ie))
+	}
+	for k := range ue {
+		if ue[k].U != ne[k].U || ue[k].V != ne[k].V || ue[k].U != ie[k].U || ue[k].V != ie[k].V {
+			t.Fatalf("edge %d topology diverges across weight distributions", k)
+		}
+	}
+
+	sawBigInt := false
+	for k := range ue {
+		if w := ue[k].W; w < 1 || w >= 10 {
+			t.Fatalf("uniform weight %v outside [1,10)", w)
+		}
+		if ne[k].W != 1 {
+			t.Fatalf("unit weight %v != 1", ne[k].W)
+		}
+		w := ie[k].W
+		if w != math.Trunc(w) || w < 1 || w > 100 {
+			t.Fatalf("integer weight %v outside {1..100}", w)
+		}
+		if w > 1 {
+			sawBigInt = true
+		}
+	}
+	if !sawBigInt {
+		t.Fatal("integer weights never exceeded 1; distribution looks broken")
+	}
+
+	// The uniform path is the historical ErdosRenyi: bit-identical graphs.
+	legacy, err := ErdosRenyi(n, p, 10, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le := legacy.Edges()
+	for k := range ue {
+		if ue[k] != le[k] {
+			t.Fatalf("ErdosRenyiWeighted(UniformWeights) diverges from ErdosRenyi at edge %d", k)
+		}
+	}
+}
+
+func TestWeightsByName(t *testing.T) {
+	for _, name := range []string{"", "uniform", "unit", "int"} {
+		if _, err := WeightsByName(name, 10); err != nil {
+			t.Errorf("WeightsByName(%q): %v", name, err)
+		}
+	}
+	if _, err := WeightsByName("gaussian", 10); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}

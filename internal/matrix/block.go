@@ -109,6 +109,25 @@ func (b *Block) CopyFrom(o *Block) error {
 	return nil
 }
 
+// ExtractInto copies the dst.R x dst.C sub-block of b anchored at element
+// (r0, c0) into dst. Both blocks must be dense and the window must lie
+// entirely inside b. It is the tile-extraction primitive the persistent
+// store uses to cut a solved matrix into cache-friendly tiles.
+func (b *Block) ExtractInto(dst *Block, r0, c0 int) error {
+	if b.Phantom() || dst.Phantom() {
+		return fmt.Errorf("matrix: ExtractInto needs dense blocks")
+	}
+	if r0 < 0 || c0 < 0 || r0+dst.R > b.R || c0+dst.C > b.C {
+		return fmt.Errorf("matrix: ExtractInto window %dx%d at (%d,%d) outside %dx%d",
+			dst.R, dst.C, r0, c0, b.R, b.C)
+	}
+	for i := 0; i < dst.R; i++ {
+		src := b.Data[(r0+i)*b.C+c0:]
+		copy(dst.Data[i*dst.C:(i+1)*dst.C], src[:dst.C])
+	}
+	return nil
+}
+
 // Transpose returns a new block that is the transpose of b.
 func (b *Block) Transpose() *Block {
 	if b.Phantom() {

@@ -16,6 +16,12 @@ import (
 // The format mirrors what the paper's pySpark code does with NumPy
 // `tofile`: a raw row-major dump with a tiny header, cheap enough that the
 // shared-storage staging path is dominated by bandwidth, not encoding.
+//
+// Unmarshal accepts arbitrary (possibly hostile) input: every slice access
+// is preceded by a length check computed in overflow-safe uint64
+// arithmetic, and malformed buffers produce errors, never panics. The
+// persistent tiled store feeds it bytes straight off disk, so truncated or
+// corrupt files must surface as errors.
 
 const (
 	magicDense   = 0xB1
@@ -23,39 +29,76 @@ const (
 	headerLen    = 9
 )
 
-// Marshal encodes the block into a fresh byte slice.
-func (b *Block) Marshal() []byte {
-	if b.Phantom() {
-		buf := make([]byte, headerLen)
-		buf[0] = magicPhantom
-		binary.LittleEndian.PutUint32(buf[1:5], uint32(b.R))
-		binary.LittleEndian.PutUint32(buf[5:9], uint32(b.C))
-		return buf
-	}
-	buf := make([]byte, headerLen+8*len(b.Data))
-	buf[0] = magicDense
-	binary.LittleEndian.PutUint32(buf[1:5], uint32(b.R))
-	binary.LittleEndian.PutUint32(buf[5:9], uint32(b.C))
-	for i, v := range b.Data {
-		binary.LittleEndian.PutUint64(buf[headerLen+8*i:], math.Float64bits(v))
-	}
-	return buf
+// DenseMarshaledSize returns the number of bytes Marshal produces for a
+// dense r x c block, letting writers lay out file offsets from shapes
+// alone, before any block exists.
+func DenseMarshaledSize(r, c int) int64 {
+	return headerLen + 8*int64(r)*int64(c)
 }
 
-// Unmarshal decodes a block previously produced by Marshal.
+// MarshaledSize returns the exact number of bytes Marshal produces for the
+// block.
+func (b *Block) MarshaledSize() int64 {
+	if b.Phantom() {
+		return headerLen
+	}
+	return headerLen + 8*int64(len(b.Data))
+}
+
+// AppendMarshal encodes the block and appends the bytes to dst, returning
+// the extended slice. Passing a reused buffer keeps tile-at-a-time writers
+// allocation-free in steady state.
+func (b *Block) AppendMarshal(dst []byte) []byte {
+	var hdr [headerLen]byte
+	if b.Phantom() {
+		hdr[0] = magicPhantom
+	} else {
+		hdr[0] = magicDense
+	}
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(b.R))
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(b.C))
+	dst = append(dst, hdr[:]...)
+	if b.Phantom() {
+		return dst
+	}
+	var scratch [8]byte
+	for _, v := range b.Data {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+		dst = append(dst, scratch[:]...)
+	}
+	return dst
+}
+
+// Marshal encodes the block into a fresh byte slice.
+func (b *Block) Marshal() []byte {
+	return b.AppendMarshal(make([]byte, 0, b.MarshaledSize()))
+}
+
+// Unmarshal decodes a block previously produced by Marshal. It never
+// panics on truncated or corrupt input: the header is validated before the
+// payload is touched, and the payload length must match the header's shape
+// exactly (computed without integer overflow).
 func Unmarshal(buf []byte) (*Block, error) {
 	if len(buf) < headerLen {
-		return nil, fmt.Errorf("matrix: short buffer (%d bytes)", len(buf))
+		return nil, fmt.Errorf("matrix: short buffer (%d bytes, need at least %d)", len(buf), headerLen)
 	}
 	r := int(binary.LittleEndian.Uint32(buf[1:5]))
 	c := int(binary.LittleEndian.Uint32(buf[5:9]))
 	switch buf[0] {
 	case magicPhantom:
+		if len(buf) != headerLen {
+			return nil, fmt.Errorf("matrix: phantom %dx%d has %d trailing bytes", r, c, len(buf)-headerLen)
+		}
 		return NewPhantom(r, c), nil
 	case magicDense:
-		want := headerLen + 8*r*c
-		if len(buf) != want {
-			return nil, fmt.Errorf("matrix: dense %dx%d needs %d bytes, got %d", r, c, want, len(buf))
+		// Overflow-safe length check: r and c are up to 2^32-1, so their
+		// product fits uint64 exactly but 8*r*c can wrap (r=2^31, c=2^30
+		// wraps to 0); divide the payload instead of multiplying the shape
+		// so a forged header can never alias a small buffer.
+		rc := uint64(r) * uint64(c)
+		payload := uint64(len(buf) - headerLen)
+		if payload%8 != 0 || payload/8 != rc {
+			return nil, fmt.Errorf("matrix: dense %dx%d needs %d payload bytes, got %d", r, c, rc*8, payload)
 		}
 		b := &Block{R: r, C: c, Data: make([]float64, r*c)}
 		for i := range b.Data {

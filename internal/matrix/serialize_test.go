@@ -1,0 +1,159 @@
+package matrix
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// seededBlock builds a deterministic pseudo-random block (via the shared
+// randomBlock helper), sprinkling +Inf entries so the "no path" value is
+// always exercised.
+func seededBlock(r, c int, seed int64) *Block {
+	return randomBlock(rand.New(rand.NewSource(seed)), r, c, 0.2)
+}
+
+func TestMarshaledSizeMatchesMarshal(t *testing.T) {
+	for _, b := range []*Block{
+		NewZero(3, 7), New(1, 1), NewZero(0, 5),
+		NewPhantom(4, 4), NewPhantom(0, 0), seededBlock(5, 9, 3),
+	} {
+		if got := int64(len(b.Marshal())); got != b.MarshaledSize() {
+			t.Errorf("%dx%d phantom=%v: Marshal len %d, MarshaledSize %d",
+				b.R, b.C, b.Phantom(), got, b.MarshaledSize())
+		}
+	}
+}
+
+func TestAppendMarshalExtends(t *testing.T) {
+	prefix := []byte{1, 2, 3}
+	b := seededBlock(3, 4, 1)
+	out := b.AppendMarshal(append([]byte(nil), prefix...))
+	if !bytes.Equal(out[:3], prefix) {
+		t.Fatal("AppendMarshal clobbered the prefix")
+	}
+	got, err := Unmarshal(out[3:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(b) {
+		t.Fatal("AppendMarshal payload does not round-trip")
+	}
+}
+
+// TestUnmarshalRejectsCorruption exercises the hostile-input paths: the
+// decoder must return an error (never panic, never allocate absurdly) on
+// every malformed buffer.
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	good := seededBlock(4, 5, 2).Marshal()
+	cases := map[string][]byte{
+		"empty":             {},
+		"short header":      good[:headerLen-1],
+		"truncated payload": good[:len(good)-1],
+		"extended payload":  append(append([]byte(nil), good...), 0),
+		"bad magic":         append([]byte{0x77}, good[1:]...),
+		"phantom trailing":  append(NewPhantom(4, 5).Marshal(), 0xFF),
+	}
+	// Shape lies: header claims a different shape than the payload carries.
+	lied := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(lied[1:5], 6)
+	cases["shape mismatch"] = lied
+	// Overflow forgery: 2^31 x 2^30 makes 8*r*c wrap to 0 in uint64; the
+	// 9-byte buffer must not pass the length check and trigger a 2^61
+	// element allocation.
+	forged := make([]byte, headerLen)
+	forged[0] = magicDense
+	binary.LittleEndian.PutUint32(forged[1:5], 1<<31)
+	binary.LittleEndian.PutUint32(forged[5:9], 1<<30)
+	cases["overflow forgery"] = forged
+
+	for name, buf := range cases {
+		if _, err := Unmarshal(buf); err == nil {
+			t.Errorf("%s: corrupt buffer accepted", name)
+		}
+	}
+}
+
+// TestMarshalRoundTripProperty is the deterministic property test: many
+// random shapes (including empty, skinny, and phantom blocks) must survive
+// Marshal -> Unmarshal bit-exactly.
+func TestMarshalRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		r, c := rng.Intn(12), rng.Intn(12)
+		var b *Block
+		if i%4 == 0 {
+			b = NewPhantom(r, c)
+		} else {
+			b = seededBlock(r, c, int64(i))
+		}
+		got, err := Unmarshal(b.Marshal())
+		if err != nil {
+			t.Fatalf("round trip %dx%d phantom=%v: %v", r, c, b.Phantom(), err)
+		}
+		if !got.Equal(b) {
+			t.Fatalf("round trip %dx%d phantom=%v: mismatch", r, c, b.Phantom())
+		}
+	}
+}
+
+// FuzzUnmarshal feeds arbitrary bytes to the decoder. Accepted inputs must
+// re-encode to the exact same bytes (Marshal is the canonical form);
+// everything else must error cleanly.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(NewPhantom(3, 4).Marshal())
+	f.Add(seededBlock(2, 3, 1).Marshal())
+	f.Add(New(1, 1).Marshal())
+	f.Add([]byte{magicDense, 0, 0, 0, 128, 0, 0, 0, 64}) // overflow forgery
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		b, err := Unmarshal(buf)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(b.Marshal(), buf) {
+			t.Fatalf("accepted %d bytes but re-encoding differs", len(buf))
+		}
+	})
+}
+
+// FuzzMarshalRoundTrip drives the encoder side: any shape (dense with
+// arbitrary float bits, or phantom) must round-trip through the wire
+// format, including NaN and both infinities.
+func FuzzMarshalRoundTrip(f *testing.F) {
+	f.Add(uint8(3), uint8(4), int64(7), false)
+	f.Add(uint8(0), uint8(9), int64(1), false)
+	f.Add(uint8(5), uint8(5), int64(0), true)
+	f.Fuzz(func(t *testing.T, r, c uint8, seed int64, phantom bool) {
+		var b *Block
+		if phantom {
+			b = NewPhantom(int(r), int(c))
+		} else {
+			b = seededBlock(int(r), int(c), seed)
+			rng := rand.New(rand.NewSource(seed))
+			for i := range b.Data {
+				switch rng.Intn(10) {
+				case 0:
+					b.Data[i] = math.NaN()
+				case 1:
+					b.Data[i] = math.Inf(-1)
+				}
+			}
+		}
+		got, err := Unmarshal(b.Marshal())
+		if err != nil {
+			t.Fatalf("round trip %dx%d: %v", r, c, err)
+		}
+		if got.R != b.R || got.C != b.C || got.Phantom() != b.Phantom() {
+			t.Fatalf("shape changed: %dx%d -> %dx%d", b.R, b.C, got.R, got.C)
+		}
+		for i := range b.Data {
+			w, v := got.Data[i], b.Data[i]
+			if math.Float64bits(w) != math.Float64bits(v) {
+				t.Fatalf("element %d: %x -> %x", i, math.Float64bits(v), math.Float64bits(w))
+			}
+		}
+	})
+}

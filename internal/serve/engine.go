@@ -1,0 +1,230 @@
+// Package serve answers shortest-path queries over a solved distance
+// matrix: point-to-point distance, single-source rows, k-nearest targets,
+// and explicit path reconstruction. It is the user-facing half of the
+// pipeline — the solvers (or a persisted tile store) provide the
+// distances, this package turns them into answers.
+//
+// Paths are recovered without a successor matrix, using only one distance
+// row and the input graph: on a shortest i->j path every hop (k, j)
+// satisfies d[i][k] + w(k, j) == d[i][j], so walking backwards from j and
+// greedily following any neighbour that satisfies the identity peels off
+// one optimal hop at a time. This is what lets a store hold n^2 distances
+// instead of 2·n^2 values.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"apspark/internal/graph"
+	"apspark/internal/matrix"
+)
+
+// Source supplies distances. Implementations must be safe for concurrent
+// use and must hand out caller-owned row slices.
+type Source interface {
+	// N returns the number of vertices.
+	N() int
+	// Dist returns d(i, j), matrix.Inf when unreachable.
+	Dist(i, j int) (float64, error)
+	// Row returns a fresh copy of vertex i's full distance row.
+	Row(i int) ([]float64, error)
+}
+
+// matrixSource adapts an in-memory dense matrix to Source; it is how
+// tests and small deployments serve straight from a Solve result.
+type matrixSource struct {
+	m *matrix.Block
+}
+
+// NewMatrixSource wraps a dense square matrix as a query source. The
+// matrix is shared, not copied: callers must stop mutating it.
+func NewMatrixSource(m *matrix.Block) (Source, error) {
+	if m == nil || m.Phantom() {
+		return nil, fmt.Errorf("serve: need a dense matrix")
+	}
+	if m.R != m.C {
+		return nil, fmt.Errorf("serve: matrix is %dx%d, want square", m.R, m.C)
+	}
+	return &matrixSource{m: m}, nil
+}
+
+func (s *matrixSource) N() int { return s.m.R }
+
+func (s *matrixSource) Dist(i, j int) (float64, error) {
+	if i < 0 || i >= s.m.R || j < 0 || j >= s.m.R {
+		return 0, fmt.Errorf("serve: vertex pair (%d,%d) outside [0,%d)", i, j, s.m.R)
+	}
+	return s.m.At(i, j), nil
+}
+
+func (s *matrixSource) Row(i int) ([]float64, error) {
+	if i < 0 || i >= s.m.R {
+		return nil, fmt.Errorf("serve: vertex %d outside [0,%d)", i, s.m.R)
+	}
+	out := make([]float64, s.m.C)
+	copy(out, s.m.Row(i))
+	return out, nil
+}
+
+// Target is one k-nearest-neighbour answer entry.
+type Target struct {
+	To   int     `json:"to"`
+	Dist float64 `json:"dist"`
+}
+
+// Path is a reconstructed shortest path.
+type Path struct {
+	// Dist is the total path length, equal to d(from, to).
+	Dist float64
+	// Hops lists the vertices from source to destination inclusive.
+	Hops []int
+}
+
+// ErrNoPath is returned by Path queries between disconnected vertices.
+var ErrNoPath = fmt.Errorf("serve: no path exists")
+
+// ErrNoGraph is returned by Path queries when the engine has no graph to
+// recover hops from.
+var ErrNoGraph = fmt.Errorf("serve: path reconstruction needs the input graph (-graph)")
+
+// Engine answers queries over a distance source, optionally armed with
+// the original graph for path reconstruction. Safe for concurrent use as
+// long as the Source is.
+type Engine struct {
+	src Source
+	g   *graph.Graph
+}
+
+// New builds an engine. g may be nil, disabling Path queries; when
+// present its vertex count must match the source.
+func New(src Source, g *graph.Graph) (*Engine, error) {
+	if src == nil {
+		return nil, fmt.Errorf("serve: nil source")
+	}
+	if g != nil && g.N != src.N() {
+		return nil, fmt.Errorf("serve: graph has %d vertices, distance source has %d", g.N, src.N())
+	}
+	return &Engine{src: src, g: g}, nil
+}
+
+// N returns the number of vertices served.
+func (e *Engine) N() int { return e.src.N() }
+
+// HasGraph reports whether Path queries are available.
+func (e *Engine) HasGraph() bool { return e.g != nil }
+
+// Dist returns d(from, to).
+func (e *Engine) Dist(from, to int) (float64, error) { return e.src.Dist(from, to) }
+
+// Row returns the full distance row of from.
+func (e *Engine) Row(from int) ([]float64, error) { return e.src.Row(from) }
+
+// KNN returns the k nearest reachable targets of from, excluding from
+// itself, ordered by distance with vertex id breaking ties. Fewer than k
+// entries come back when the reachable set is smaller.
+func (e *Engine) KNN(from, k int) ([]Target, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("serve: k = %d, want >= 1", k)
+	}
+	row, err := e.src.Row(from)
+	if err != nil {
+		return nil, err
+	}
+	targets := make([]Target, 0, len(row)-1)
+	for v, d := range row {
+		if v == from || math.IsInf(d, 1) {
+			continue
+		}
+		targets = append(targets, Target{To: v, Dist: d})
+	}
+	sort.Slice(targets, func(a, b int) bool {
+		if targets[a].Dist != targets[b].Dist {
+			return targets[a].Dist < targets[b].Dist
+		}
+		return targets[a].To < targets[b].To
+	})
+	if len(targets) > k {
+		targets = targets[:k]
+	}
+	return targets, nil
+}
+
+// pathTol is the relative tolerance for the hop identity
+// d[i][k] + w(k,j) == d[i][j]: distances come out of long chains of
+// float64 min-plus folds, so exact equality is one rounding error away
+// from a false "no hop found".
+func pathTol(d float64) float64 { return 1e-9 * (1 + math.Abs(d)) }
+
+// Path reconstructs one shortest path from -> to. Only the single
+// distance row of the source vertex is consulted (one row-band of tile
+// reads against a store), plus the graph adjacency of each hop. Among
+// equally short paths the one following the smallest vertex ids (walking
+// backwards from the destination) is returned deterministically.
+func (e *Engine) Path(from, to int) (Path, error) {
+	if e.g == nil {
+		return Path{}, ErrNoGraph
+	}
+	row, err := e.src.Row(from)
+	if err != nil {
+		return Path{}, err
+	}
+	if to < 0 || to >= len(row) {
+		return Path{}, fmt.Errorf("serve: vertex %d outside [0,%d)", to, len(row))
+	}
+	total := row[to]
+	if math.IsInf(total, 1) {
+		return Path{}, ErrNoPath
+	}
+	if from == to {
+		return Path{Dist: 0, Hops: []int{from}}, nil
+	}
+
+	// Walk backwards from the destination: at cur, an optimal predecessor
+	// k satisfies row[k] + w(k, cur) == row[cur]. Requiring row[k] <
+	// row[cur] guarantees progress on positive-weight edges; zero-weight
+	// edges are admitted as a fallback with a visited guard so cycles of
+	// free edges cannot loop forever.
+	hops := []int{to}
+	visited := map[int]bool{to: true}
+	cur := to
+	for cur != from && len(hops) <= e.g.N {
+		best, bestZero := -1, -1
+		e.g.VisitAdj(cur, func(k int, w float64) {
+			if row[k]+w > row[cur]+pathTol(row[cur]) || math.IsInf(row[k], 1) {
+				return
+			}
+			if row[k]+w < row[cur]-pathTol(row[cur]) {
+				return
+			}
+			if row[k] < row[cur] {
+				if best == -1 || k < best {
+					best = k
+				}
+			} else if !visited[k] {
+				if bestZero == -1 || k < bestZero {
+					bestZero = k
+				}
+			}
+		})
+		next := best
+		if next == -1 {
+			next = bestZero
+		}
+		if next == -1 {
+			return Path{}, fmt.Errorf("serve: path %d->%d: no predecessor of %d satisfies the hop identity (graph does not match the distance matrix?)", from, to, cur)
+		}
+		hops = append(hops, next)
+		visited[next] = true
+		cur = next
+	}
+	if cur != from {
+		return Path{}, fmt.Errorf("serve: path %d->%d: reconstruction exceeded %d hops", from, to, e.g.N)
+	}
+	// Reverse into source -> destination order.
+	for a, b := 0, len(hops)-1; a < b; a, b = a+1, b-1 {
+		hops[a], hops[b] = hops[b], hops[a]
+	}
+	return Path{Dist: total, Hops: hops}, nil
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"apspark/internal/store"
+)
+
+// The HTTP surface of the query engine:
+//
+//	GET /dist?from=I&to=J      -> {"from":I,"to":J,"dist":D}
+//	GET /row?from=I            -> {"from":I,"n":N,"dist":[...]}
+//	GET /knn?from=I&k=K        -> {"from":I,"k":K,"targets":[{"to":..,"dist":..}]}
+//	GET /path?from=I&to=J      -> {"from":I,"to":J,"dist":D,"hops":[I,..,J]}
+//	GET /healthz               -> {"status":"ok","n":N,...}
+//
+// Unreachable distances serialize as JSON null (float64 +Inf has no JSON
+// encoding); /path to an unreachable vertex is 404. Handlers only read
+// shared state, so the standard library's per-connection goroutines need
+// no extra locking beyond what Source already provides.
+
+// jsonDist encodes a distance, mapping +Inf ("no path") to null.
+type jsonDist float64
+
+func (d jsonDist) MarshalJSON() ([]byte, error) {
+	if math.IsInf(float64(d), 1) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(float64(d))
+}
+
+type distResponse struct {
+	From int      `json:"from"`
+	To   int      `json:"to"`
+	Dist jsonDist `json:"dist"`
+}
+
+type rowResponse struct {
+	From int        `json:"from"`
+	N    int        `json:"n"`
+	Dist []jsonDist `json:"dist"`
+}
+
+type knnTarget struct {
+	To   int      `json:"to"`
+	Dist jsonDist `json:"dist"`
+}
+
+type knnResponse struct {
+	From    int         `json:"from"`
+	K       int         `json:"k"`
+	Targets []knnTarget `json:"targets"`
+}
+
+type pathResponse struct {
+	From int      `json:"from"`
+	To   int      `json:"to"`
+	Dist jsonDist `json:"dist"`
+	Hops []int    `json:"hops"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	Status    string `json:"status"`
+	N         int    `json:"n"`
+	PathReady bool   `json:"path_ready"`
+	// Cache carries the tile-cache counters when the engine serves from a
+	// persistent store (absent for in-memory sources).
+	Cache *store.CacheStats `json:"cache,omitempty"`
+}
+
+// Handler builds the HTTP mux for an engine.
+func Handler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := Health{Status: "ok", N: e.N(), PathReady: e.HasGraph()}
+		if st, ok := e.src.(*store.Store); ok {
+			stats := st.Stats()
+			h.Cache = &stats
+		}
+		writeJSON(w, http.StatusOK, h)
+	})
+	mux.HandleFunc("GET /dist", func(w http.ResponseWriter, r *http.Request) {
+		from, to, ok := vertexPair(w, r, e.N())
+		if !ok {
+			return
+		}
+		d, err := e.Dist(from, to)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, distResponse{From: from, To: to, Dist: jsonDist(d)})
+	})
+	mux.HandleFunc("GET /row", func(w http.ResponseWriter, r *http.Request) {
+		from, ok := vertexParam(w, r, "from", e.N())
+		if !ok {
+			return
+		}
+		row, err := e.Row(from)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out := make([]jsonDist, len(row))
+		for i, d := range row {
+			out[i] = jsonDist(d)
+		}
+		writeJSON(w, http.StatusOK, rowResponse{From: from, N: len(row), Dist: out})
+	})
+	mux.HandleFunc("GET /knn", func(w http.ResponseWriter, r *http.Request) {
+		from, ok := vertexParam(w, r, "from", e.N())
+		if !ok {
+			return
+		}
+		k := 10
+		if s := r.URL.Query().Get("k"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("k must be a positive integer, got %q", s))
+				return
+			}
+			k = v
+		}
+		targets, err := e.KNN(from, k)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out := make([]knnTarget, len(targets))
+		for i, t := range targets {
+			out[i] = knnTarget{To: t.To, Dist: jsonDist(t.Dist)}
+		}
+		writeJSON(w, http.StatusOK, knnResponse{From: from, K: k, Targets: out})
+	})
+	mux.HandleFunc("GET /path", func(w http.ResponseWriter, r *http.Request) {
+		from, to, ok := vertexPair(w, r, e.N())
+		if !ok {
+			return
+		}
+		p, err := e.Path(from, to)
+		switch {
+		case errors.Is(err, ErrNoPath):
+			writeError(w, http.StatusNotFound, err)
+			return
+		case errors.Is(err, ErrNoGraph):
+			writeError(w, http.StatusNotImplemented, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, pathResponse{From: from, To: to, Dist: jsonDist(p.Dist), Hops: p.Hops})
+	})
+	return mux
+}
+
+func vertexParam(w http.ResponseWriter, r *http.Request, name string, n int) (int, bool) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing query parameter %q", name))
+		return 0, false
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parameter %q: %q is not an integer", name, s))
+		return 0, false
+	}
+	if v < 0 || v >= n {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parameter %q: vertex %d outside [0,%d)", name, v, n))
+		return 0, false
+	}
+	return v, true
+}
+
+func vertexPair(w http.ResponseWriter, r *http.Request, n int) (int, int, bool) {
+	from, ok := vertexParam(w, r, "from", n)
+	if !ok {
+		return 0, 0, false
+	}
+	to, ok := vertexParam(w, r, "to", n)
+	if !ok {
+		return 0, 0, false
+	}
+	return from, to, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"apspark/internal/cluster"
@@ -103,5 +105,122 @@ func TestOverwriteAndBookkeeping(t *testing.T) {
 	}
 	if s.Bytes("absent") != 0 {
 		t.Fatal("absent key has non-zero bytes")
+	}
+}
+
+// TestOverwriteWithinEpochStaysPageCached pins a subtle corner of the
+// epoch semantics: Put does not invalidate node page caches, so a node
+// that read a key earlier in the epoch keeps its free reads even after
+// the driver overwrites the key. Solvers rely on keys being epoch-scoped
+// (fresh key names or NewEpoch between rewrites), and this documents why.
+func TestOverwriteWithinEpochStaysPageCached(t *testing.T) {
+	s, _ := newTestStore(t)
+	s.Put("k", 1, 1<<20)
+	if _, cost, _ := s.Get("k", 0); cost <= 0 {
+		t.Fatal("first read should pay")
+	}
+	s.Put("k", 2, 1<<20)
+	v, cost, err := s.Get("k", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Fatalf("same-epoch re-read after overwrite cost %v, want 0 (page cache is epoch-scoped, not version-scoped)", cost)
+	}
+	if v.(int) != 2 {
+		t.Fatalf("value = %v, want the overwritten 2", v)
+	}
+}
+
+// TestEpochCacheIsPerNode verifies that one node's page cache never
+// serves another node, across several epochs: after each NewEpoch every
+// node pays exactly once again.
+func TestEpochCacheIsPerNode(t *testing.T) {
+	s, clu := newTestStore(t)
+	s.Put("col", nil, 1<<10)
+	nodes := clu.Config().Nodes
+	if nodes < 3 {
+		t.Skip("needs >= 3 nodes")
+	}
+	var wantReads int64
+	for epoch := 0; epoch < 3; epoch++ {
+		for node := 0; node < 3; node++ {
+			for rep := 0; rep < 2; rep++ {
+				_, cost, err := s.Get("col", node)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep == 0 && cost <= 0 {
+					t.Fatalf("epoch %d node %d: first read was free", epoch, node)
+				}
+				if rep == 1 && cost != 0 {
+					t.Fatalf("epoch %d node %d: second read cost %v, want 0", epoch, node, cost)
+				}
+			}
+		}
+		wantReads += 3 << 10
+		if got := clu.Metrics().SharedReadBytes; got != wantReads {
+			t.Fatalf("epoch %d: shared read bytes %d, want %d (one paid fetch per node per epoch)", epoch, got, wantReads)
+		}
+		s.NewEpoch()
+		if s.Epoch() != int64(epoch)+1 {
+			t.Fatalf("epoch counter = %d after %d NewEpoch calls", s.Epoch(), epoch+1)
+		}
+	}
+}
+
+// TestNewEpochKeepsData checks that advancing the epoch only drops page
+// caches — the stored values themselves survive.
+func TestNewEpochKeepsData(t *testing.T) {
+	s, _ := newTestStore(t)
+	s.Put("persist", "v", 128)
+	for i := 0; i < 5; i++ {
+		s.NewEpoch()
+	}
+	v, cost, err := s.Get("persist", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(string) != "v" || cost <= 0 {
+		t.Fatalf("after 5 epochs: value %v cost %v", v, cost)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+// TestConcurrentGets hammers the store from many goroutines (tasks of one
+// stage reading shared columns); under -race this guards the page-cache
+// bookkeeping.
+func TestConcurrentGets(t *testing.T) {
+	s, clu := newTestStore(t)
+	nodes := clu.Config().Nodes
+	for k := 0; k < 4; k++ {
+		s.Put(fmt.Sprintf("col-%d", k), k, 1<<12)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < 50; it++ {
+				key := fmt.Sprintf("col-%d", (w+it)%4)
+				v, _, err := s.Get(key, (w+it)%nodes)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v.(int) != (w+it)%4 {
+					errs <- fmt.Errorf("key %s returned %v", key, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

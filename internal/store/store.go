@@ -1,0 +1,414 @@
+// Package store persists a solved all-pairs distance matrix as an on-disk
+// tiled file and serves it back tile-at-a-time through a byte-budgeted LRU
+// cache, so a matrix far larger than RAM can be queried point-wise.
+//
+// The paper's solvers stage b x b blocks through a shared file system
+// (§4.2/§4.5) but discard the result after printing; this package turns
+// that final matrix into a durable, queryable artifact — the missing
+// serving half of the pipeline. Layout (little-endian):
+//
+//	[0:8]    magic "APSPTDS1"
+//	[8:12]   uint32 format version (1)
+//	[12:16]  uint32 n (vertices per side)
+//	[16:20]  uint32 b (tile edge; trailing tiles are ragged)
+//	[20:24]  uint32 q = ceil(n/b) (tiles per side, redundant, validated)
+//	[24:...] q*q index entries {uint64 offset, uint64 length}, row-major
+//	[...]    tile payloads: matrix.Block.Marshal bytes, h x w dense tiles
+//
+// Tiles returned by the reader are shared read-only between concurrent
+// callers and owned by the cache: they are allocated on the heap, never
+// drawn from or returned to the matrix block arena, so eviction simply
+// drops the reference and the pool-safety rule ("never Put a block that
+// escaped") holds by construction.
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"apspark/internal/matrix"
+)
+
+const (
+	magic       = "APSPTDS1"
+	version     = 1
+	fileHdrLen  = 24
+	idxEntryLen = 16
+)
+
+// Write cuts the dense n x n distance matrix into blockSize-edged tiles
+// and writes the store file at path (atomically: a temp file renamed into
+// place). The matrix is only read, never retained.
+func Write(path string, dist *matrix.Block, blockSize int) error {
+	if dist == nil || dist.Phantom() {
+		return fmt.Errorf("store: need a dense matrix (phantom or truncated solves have no distances)")
+	}
+	if dist.R != dist.C {
+		return fmt.Errorf("store: matrix is %dx%d, want square", dist.R, dist.C)
+	}
+	n := dist.R
+	if blockSize < 1 {
+		return fmt.Errorf("store: block size %d < 1", blockSize)
+	}
+	if blockSize > n && n > 0 {
+		blockSize = n
+	}
+	q := (n + blockSize - 1) / blockSize
+	if n == 0 {
+		return fmt.Errorf("store: empty matrix")
+	}
+
+	tmp, err := os.CreateTemp(dirOf(path), ".apsp-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	defer tmp.Close()
+
+	// Tile sizes are deterministic, so the whole index is computable
+	// before any payload is written: header + index first, tiles appended
+	// in row-major order.
+	index := make([]tileRef, q*q)
+	off := int64(fileHdrLen + q*q*idxEntryLen)
+	for bi := 0; bi < q; bi++ {
+		h := tileEdge(n, blockSize, bi)
+		for bj := 0; bj < q; bj++ {
+			w := tileEdge(n, blockSize, bj)
+			length := matrix.DenseMarshaledSize(h, w)
+			index[bi*q+bj] = tileRef{off: off, length: length}
+			off += length
+		}
+	}
+
+	hdr := make([]byte, 0, fileHdrLen+q*q*idxEntryLen)
+	hdr = append(hdr, magic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, version)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(n))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(blockSize))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(q))
+	for _, ref := range index {
+		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ref.off))
+		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ref.length))
+	}
+	if _, err := tmp.Write(hdr); err != nil {
+		return err
+	}
+
+	// One pooled tile block and one marshal buffer, reused across tiles:
+	// the writer allocates O(b^2), not O(n^2). The tile never escapes, so
+	// returning it to the arena is safe.
+	var buf []byte
+	for bi := 0; bi < q; bi++ {
+		h := tileEdge(n, blockSize, bi)
+		for bj := 0; bj < q; bj++ {
+			w := tileEdge(n, blockSize, bj)
+			tile := matrix.Get(h, w)
+			err := dist.ExtractInto(tile, bi*blockSize, bj*blockSize)
+			if err == nil {
+				buf = tile.AppendMarshal(buf[:0])
+				if int64(len(buf)) != index[bi*q+bj].length {
+					err = fmt.Errorf("store: tile (%d,%d) encoded to %d bytes, index says %d",
+						bi, bj, len(buf), index[bi*q+bj].length)
+				}
+			}
+			if err == nil {
+				_, err = tmp.Write(buf)
+			}
+			matrix.Put(tile)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == os.PathSeparator {
+			return path[:i+1]
+		}
+	}
+	return "."
+}
+
+// tileEdge returns the edge length of the k-th tile along one dimension:
+// blockSize for all but possibly the last, which may be ragged.
+func tileEdge(n, blockSize, k int) int {
+	e := n - k*blockSize
+	if e > blockSize {
+		e = blockSize
+	}
+	return e
+}
+
+type tileRef struct {
+	off, length int64
+}
+
+// CacheStats is a point-in-time snapshot of the tile cache.
+type CacheStats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	BytesInUse  int64 `json:"bytes_in_use"`
+	BytesBudget int64 `json:"bytes_budget"`
+	TilesCached int   `json:"tiles_cached"`
+}
+
+// Store is a read handle on a tiled distance store. All methods are safe
+// for concurrent use; tiles handed out are shared and must be treated as
+// read-only.
+type Store struct {
+	f         *os.File
+	n, b, q   int
+	index     []tileRef
+	fileBytes int64
+
+	mu                      sync.Mutex
+	budget                  int64
+	inUse                   int64
+	tiles                   map[int]*list.Element // tile id -> *cacheEntry element
+	lru                     *list.List            // front = most recently used
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	id    int
+	block *matrix.Block
+	bytes int64
+}
+
+// Open opens a store file for querying. cacheBytes bounds the decoded
+// bytes the tile cache may hold at any instant (the hard invariant the
+// serving layer relies on); a budget of 0 disables caching entirely, so
+// every query pays a disk read.
+func Open(path string, cacheBytes int64) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := open(f, cacheBytes)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func open(f *os.File, cacheBytes int64) (*Store, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, fileHdrLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, fmt.Errorf("store: header: %w", err)
+	}
+	if string(hdr[:8]) != magic {
+		return nil, fmt.Errorf("store: bad magic %q", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != version {
+		return nil, fmt.Errorf("store: format version %d, this build reads %d", v, version)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[12:16]))
+	b := int(binary.LittleEndian.Uint32(hdr[16:20]))
+	q := int(binary.LittleEndian.Uint32(hdr[20:24]))
+	if n < 1 || b < 1 || b > n {
+		return nil, fmt.Errorf("store: implausible shape n=%d b=%d", n, b)
+	}
+	if want := (n + b - 1) / b; q != want {
+		return nil, fmt.Errorf("store: header says %d tiles/side, n=%d b=%d implies %d", q, n, b, want)
+	}
+	// Overflow-safe index-size check: q is up to 2^32-1 straight from the
+	// header, so q*q*idxEntryLen can wrap 64-bit int and slip past a naive
+	// file-size comparison into a panicking make(). Bound by division
+	// instead (q >= 1 here): q*q > maxEntries <=> q > maxEntries/q.
+	maxEntries := (st.Size() - fileHdrLen) / idxEntryLen
+	if maxEntries < 1 || int64(q) > maxEntries/int64(q) {
+		return nil, fmt.Errorf("store: file of %d bytes too small for %dx%d tile index", st.Size(), q, q)
+	}
+	idxBuf := make([]byte, q*q*idxEntryLen)
+	if _, err := io.ReadFull(f, idxBuf); err != nil {
+		return nil, fmt.Errorf("store: tile index: %w", err)
+	}
+	index := make([]tileRef, q*q)
+	for i := range index {
+		off := int64(binary.LittleEndian.Uint64(idxBuf[i*idxEntryLen:]))
+		length := int64(binary.LittleEndian.Uint64(idxBuf[i*idxEntryLen+8:]))
+		if off < fileHdrLen || length < 9 || off > st.Size()-length {
+			return nil, fmt.Errorf("store: tile %d index entry (off=%d len=%d) outside file of %d bytes",
+				i, off, length, st.Size())
+		}
+		index[i] = tileRef{off: off, length: length}
+	}
+	if cacheBytes < 0 {
+		cacheBytes = 0
+	}
+	return &Store{
+		f: f, n: n, b: b, q: q, index: index, fileBytes: st.Size(),
+		budget: cacheBytes,
+		tiles:  make(map[int]*list.Element),
+		lru:    list.New(),
+	}, nil
+}
+
+// Close releases the file handle and drops the cache.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	s.tiles = make(map[int]*list.Element)
+	s.lru.Init()
+	s.inUse = 0
+	s.mu.Unlock()
+	return s.f.Close()
+}
+
+// N returns the number of vertices.
+func (s *Store) N() int { return s.n }
+
+// BlockSize returns the tile edge length b.
+func (s *Store) BlockSize() int { return s.b }
+
+// TilesPerSide returns q = ceil(n/b).
+func (s *Store) TilesPerSide() int { return s.q }
+
+// FileBytes returns the on-disk size of the store.
+func (s *Store) FileBytes() int64 { return s.fileBytes }
+
+// Stats snapshots the cache counters.
+func (s *Store) Stats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CacheStats{
+		Hits: s.hits, Misses: s.misses, Evictions: s.evictions,
+		BytesInUse: s.inUse, BytesBudget: s.budget,
+		TilesCached: s.lru.Len(),
+	}
+}
+
+// Tile returns tile (bi, bj) — an h x w dense block, ragged at the matrix
+// edge. The block is shared: callers must neither mutate it nor return it
+// to the block arena.
+func (s *Store) Tile(bi, bj int) (*matrix.Block, error) {
+	if bi < 0 || bi >= s.q || bj < 0 || bj >= s.q {
+		return nil, fmt.Errorf("store: tile (%d,%d) outside %dx%d grid", bi, bj, s.q, s.q)
+	}
+	id := bi*s.q + bj
+
+	s.mu.Lock()
+	if el, ok := s.tiles[id]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		blk := el.Value.(*cacheEntry).block
+		s.mu.Unlock()
+		return blk, nil
+	}
+	s.misses++
+	s.mu.Unlock()
+
+	// Disk read and decode happen outside the lock so concurrent misses on
+	// different tiles overlap their IO. Two goroutines missing the same
+	// tile may both read it; the second insert wins nothing but wastes
+	// only one decode.
+	blk, err := s.readTile(bi, bj, id)
+	if err != nil {
+		return nil, err
+	}
+	bytes := blk.SizeBytes()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.tiles[id]; ok {
+		// Raced with another reader: share the already-cached copy.
+		s.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).block, nil
+	}
+	if bytes > s.budget {
+		// A tile that alone exceeds the budget is served uncached rather
+		// than blowing the invariant.
+		return blk, nil
+	}
+	el := s.lru.PushFront(&cacheEntry{id: id, block: blk, bytes: bytes})
+	s.tiles[id] = el
+	s.inUse += bytes
+	for s.inUse > s.budget {
+		back := s.lru.Back()
+		ent := back.Value.(*cacheEntry)
+		s.lru.Remove(back)
+		delete(s.tiles, ent.id)
+		s.inUse -= ent.bytes
+		s.evictions++
+	}
+	return blk, nil
+}
+
+// readTile fetches and decodes one tile from disk, validating its shape
+// against the geometry the header promised.
+func (s *Store) readTile(bi, bj, id int) (*matrix.Block, error) {
+	ref := s.index[id]
+	buf := make([]byte, ref.length)
+	if _, err := s.f.ReadAt(buf, ref.off); err != nil {
+		return nil, fmt.Errorf("store: tile (%d,%d): %w", bi, bj, err)
+	}
+	blk, err := matrix.Unmarshal(buf)
+	if err != nil {
+		return nil, fmt.Errorf("store: tile (%d,%d): %w", bi, bj, err)
+	}
+	h, w := tileEdge(s.n, s.b, bi), tileEdge(s.n, s.b, bj)
+	if blk.Phantom() || blk.R != h || blk.C != w {
+		return nil, fmt.Errorf("store: tile (%d,%d) decoded as %dx%d phantom=%v, want dense %dx%d",
+			bi, bj, blk.R, blk.C, blk.Phantom(), h, w)
+	}
+	return blk, nil
+}
+
+// Dist returns the shortest-path distance from i to j (matrix.Inf when no
+// path exists).
+func (s *Store) Dist(i, j int) (float64, error) {
+	if err := s.checkVertex(i); err != nil {
+		return 0, err
+	}
+	if err := s.checkVertex(j); err != nil {
+		return 0, err
+	}
+	tile, err := s.Tile(i/s.b, j/s.b)
+	if err != nil {
+		return 0, err
+	}
+	return tile.At(i%s.b, j%s.b), nil
+}
+
+// Row returns a fresh copy of the full distance row of vertex i, assembled
+// from the q tiles of its row band.
+func (s *Store) Row(i int) ([]float64, error) {
+	if err := s.checkVertex(i); err != nil {
+		return nil, err
+	}
+	out := make([]float64, s.n)
+	bi, r := i/s.b, i%s.b
+	for bj := 0; bj < s.q; bj++ {
+		tile, err := s.Tile(bi, bj)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[bj*s.b:bj*s.b+tile.C], tile.Row(r))
+	}
+	return out, nil
+}
+
+func (s *Store) checkVertex(v int) error {
+	if v < 0 || v >= s.n {
+		return fmt.Errorf("store: vertex %d outside [0,%d)", v, s.n)
+	}
+	return nil
+}

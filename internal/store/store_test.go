@@ -1,0 +1,333 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"apspark/internal/matrix"
+)
+
+// testMatrix builds a deterministic n x n "distance-like" matrix: zero
+// diagonal, symmetric values, a sprinkle of +Inf pairs.
+func testMatrix(n int, seed int64) *matrix.Block {
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 0)
+		for j := i + 1; j < n; j++ {
+			v := matrix.Inf
+			if rng.Intn(10) != 0 {
+				v = 1 + rng.Float64()*100
+			}
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func writeTestStore(t *testing.T, m *matrix.Block, blockSize int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "dist.apsp")
+	if err := Write(path, m, blockSize); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestWriteRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	for name, tc := range map[string]struct {
+		m  *matrix.Block
+		bs int
+	}{
+		"nil":        {nil, 4},
+		"phantom":    {matrix.NewPhantom(8, 8), 4},
+		"non-square": {matrix.NewZero(4, 6), 2},
+		"zero bs":    {matrix.NewZero(4, 4), 0},
+		"empty":      {matrix.NewZero(0, 0), 1},
+	} {
+		if err := Write(filepath.Join(dir, "x.apsp"), tc.m, tc.bs); err == nil {
+			t.Errorf("%s: Write accepted bad input", name)
+		}
+	}
+}
+
+// TestRoundTripExact checks every element of every tile against the
+// source matrix, across even and ragged tilings, with an unlimited and a
+// tiny cache.
+func TestRoundTripExact(t *testing.T) {
+	for _, tc := range []struct {
+		n, bs  int
+		budget int64
+	}{
+		{n: 32, bs: 8, budget: 1 << 20}, // even tiling, everything cached
+		{n: 33, bs: 8, budget: 1 << 20}, // ragged last tile row/col
+		{n: 32, bs: 8, budget: 2 * 8 * 8 * 8},
+		{n: 30, bs: 7, budget: 0},       // caching disabled
+		{n: 16, bs: 16, budget: 1},      // single tile larger than budget
+		{n: 5, bs: 64, budget: 1 << 20}, // blockSize clamped to n
+	} {
+		m := testMatrix(tc.n, int64(tc.n))
+		s, err := Open(writeTestStore(t, m, tc.bs), tc.budget)
+		if err != nil {
+			t.Fatalf("n=%d bs=%d: %v", tc.n, tc.bs, err)
+		}
+		if s.N() != tc.n {
+			t.Fatalf("N = %d, want %d", s.N(), tc.n)
+		}
+		for i := 0; i < tc.n; i++ {
+			row, err := s.Row(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < tc.n; j++ {
+				want := m.At(i, j)
+				d, err := s.Dist(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				same := d == want || (math.IsInf(d, 1) && math.IsInf(want, 1))
+				if !same || (row[j] != d && !(math.IsInf(row[j], 1) && math.IsInf(d, 1))) {
+					t.Fatalf("n=%d bs=%d (%d,%d): Dist=%v Row=%v want %v", tc.n, tc.bs, i, j, d, row[j], want)
+				}
+			}
+			if st := s.Stats(); st.BytesInUse > st.BytesBudget {
+				t.Fatalf("n=%d bs=%d: cache %d bytes over budget %d", tc.n, tc.bs, st.BytesInUse, st.BytesBudget)
+			}
+		}
+		s.Close()
+	}
+}
+
+func TestCacheHitsAndEvictions(t *testing.T) {
+	n, bs := 32, 8 // 16 tiles of 512 bytes each
+	m := testMatrix(n, 1)
+	tileBytes := int64(8 * bs * bs)
+	s, err := Open(writeTestStore(t, m, bs), 2*tileBytes) // room for 2 tiles
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, err := s.Tile(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Tile(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Tile(0, 0)
+	if a != b {
+		t.Fatal("cache hit returned a different block")
+	}
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Evictions != 0 {
+		t.Fatalf("stats after hits: %+v", st)
+	}
+
+	// Touch two more tiles: the budget holds 2, so the LRU one (0,1) must
+	// go while the re-touched (0,0) survives.
+	if _, err := s.Tile(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tile(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tile(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Evictions != 1 || st.TilesCached != 2 || st.BytesInUse != 2*tileBytes {
+		t.Fatalf("stats after evictions: %+v", st)
+	}
+	// (0,0) still cached, (0,1) evicted: hit count isolates which.
+	before := s.Stats().Hits
+	s.Tile(0, 0)
+	if s.Stats().Hits != before+1 {
+		t.Fatal("recently used tile was evicted")
+	}
+	before = s.Stats().Misses
+	s.Tile(0, 1)
+	if s.Stats().Misses != before+1 {
+		t.Fatal("LRU tile survived eviction")
+	}
+	if st := s.Stats(); st.BytesInUse > st.BytesBudget {
+		t.Fatalf("over budget: %+v", st)
+	}
+}
+
+func TestOversizeTileServedUncached(t *testing.T) {
+	m := testMatrix(16, 2)
+	s, err := Open(writeTestStore(t, m, 8), 100) // tile = 512 bytes > 100
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Tile(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.TilesCached != 0 || st.BytesInUse != 0 {
+		t.Fatalf("oversize tile was cached: %+v", st)
+	}
+}
+
+func TestBoundsErrors(t *testing.T) {
+	s, err := Open(writeTestStore(t, testMatrix(10, 3), 4), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Dist(-1, 0); err == nil {
+		t.Error("negative vertex accepted")
+	}
+	if _, err := s.Dist(0, 10); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if _, err := s.Row(10); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	if _, err := s.Tile(3, 0); err == nil {
+		t.Error("out-of-range tile accepted")
+	}
+}
+
+// TestOpenRejectsCorruption flips every interesting failure knob on the
+// file format: the reader must refuse, never panic.
+func TestOpenRejectsCorruption(t *testing.T) {
+	m := testMatrix(12, 4)
+	good, err := os.ReadFile(writeTestStore(t, m, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tryOpen := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		buf := mutate(append([]byte(nil), good...))
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if s, err := Open(path, 1<<20); err == nil {
+			s.Close()
+			t.Errorf("%s: corrupt store opened cleanly", name)
+		}
+	}
+	tryOpen("truncated-header", func(b []byte) []byte { return b[:10] })
+	tryOpen("bad-magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	tryOpen("bad-version", func(b []byte) []byte { b[8] = 99; return b })
+	tryOpen("zero-n", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[12:16], 0)
+		return b
+	})
+	tryOpen("q-mismatch", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[20:24], 7)
+		return b
+	})
+	tryOpen("index-out-of-file", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[24:32], 1<<40)
+		return b
+	})
+	tryOpen("truncated-body", func(b []byte) []byte { return b[:len(b)-5] })
+	// Forged q = n = 2^32-1 with b = 1 passes the shape plausibility
+	// checks but makes q*q*idxEntryLen wrap 64-bit int; the index-size
+	// guard must reject it instead of panicking in make().
+	tryOpen("q-overflow-forgery", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[12:16], 0xFFFFFFFF)
+		binary.LittleEndian.PutUint32(b[16:20], 1)
+		binary.LittleEndian.PutUint32(b[20:24], 0xFFFFFFFF)
+		return b
+	})
+}
+
+// TestCorruptTilePayload corrupts a tile body (not the index): Open
+// succeeds, the read of that tile must error.
+func TestCorruptTilePayload(t *testing.T) {
+	path := writeTestStore(t, testMatrix(12, 5), 4)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First tile starts right after header+index; smash its magic byte.
+	tileOff := 24 + 9*16
+	buf[tileOff] = 0x42
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Tile(0, 0); err == nil {
+		t.Fatal("corrupt tile decoded cleanly")
+	}
+	if _, err := s.Tile(1, 1); err != nil {
+		t.Fatalf("undamaged tile unreadable: %v", err)
+	}
+}
+
+// TestConcurrentQueries hammers one store from many goroutines with a
+// cache that can only hold a fraction of the tiles, verifying answers
+// against the source matrix and the budget invariant throughout. Run
+// under -race this is the store half of the acceptance criterion.
+func TestConcurrentQueries(t *testing.T) {
+	n, bs := 48, 8 // 36 tiles
+	m := testMatrix(n, 7)
+	tileBytes := int64(8 * bs * bs)
+	s, err := Open(writeTestStore(t, m, bs), 3*tileBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for it := 0; it < 300; it++ {
+				i, j := rng.Intn(n), rng.Intn(n)
+				d, err := s.Dist(i, j)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := m.At(i, j)
+				if d != want && !(math.IsInf(d, 1) && math.IsInf(want, 1)) {
+					errs <- fmt.Errorf("Dist(%d,%d) = %v, want %v", i, j, d, want)
+					return
+				}
+				if it%25 == 0 {
+					if _, err := s.Row(rng.Intn(n)); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if st := s.Stats(); st.BytesInUse > st.BytesBudget {
+					errs <- fmt.Errorf("cache %d bytes over budget %d", st.BytesInUse, st.BytesBudget)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Hits == 0 || st.Evictions == 0 {
+		t.Fatalf("workload did not exercise the cache: %+v", st)
+	}
+}
