@@ -17,18 +17,30 @@
 //
 // # Quick start
 //
+// The context-first Session API is the entry point: a Session owns the
+// virtual cluster configuration and solve defaults, jobs run against it
+// with cancellation and progress streaming.
+//
+//	s, _ := apspark.New()                     // the paper's 1,024-core cluster
 //	g, _ := apspark.NewErdosRenyiGraph(512, apspark.PaperEdgeProb(512), 42)
-//	res, _ := apspark.Solve(g, apspark.Config{Solver: apspark.SolverCB, BlockSize: 64})
+//	res, _ := s.Solve(ctx, g, apspark.WithBlockSize(64))
 //	fmt.Println(res.Dist.At(0, 100))          // shortest-path length 0 -> 100
 //	fmt.Println(res.VirtualSeconds)           // simulated cluster time
 //
 // Paper-scale projections run on phantom (shape-only) data:
 //
-//	res, _ := apspark.Project(262144, apspark.Config{Solver: apspark.SolverCB, BlockSize: 2560})
+//	res, _ := s.Project(ctx, 262144, apspark.WithBlockSize(2560))
 //	fmt.Println(res.ProjectedSeconds / 3600)  // hours on 1,024 cores
+//
+// Long jobs stream progress and honor deadlines: WithProgress delivers a
+// StageEvent per stage and per iteration unit, and cancelling ctx stops
+// the solve at the next stage boundary with the partial Result intact.
+// The legacy one-shot Solve/Project functions remain as deprecated
+// wrappers over a default session.
 package apspark
 
 import (
+	"context"
 	"fmt"
 
 	"apspark/internal/cluster"
@@ -36,7 +48,6 @@ import (
 	"apspark/internal/costmodel"
 	"apspark/internal/graph"
 	"apspark/internal/matrix"
-	"apspark/internal/rdd"
 	"apspark/internal/seq"
 	"apspark/internal/store"
 )
@@ -85,7 +96,10 @@ func NewErdosRenyiGraph(n int, p float64, seed int64) (*Graph, error) {
 // PaperEdgeProb is the paper's edge probability (1+0.1)·ln(n)/n.
 func PaperEdgeProb(n int) float64 { return graph.ErdosRenyiPaperProb(n) }
 
-// Config configures a solve.
+// Config configures a solve through the legacy one-shot Solve/Project
+// entry points. New code should prefer New with functional options; each
+// Config field has a direct option equivalent (see the README migration
+// table).
 type Config struct {
 	// Solver picks the strategy (default SolverCB, the paper's best).
 	Solver SolverKind
@@ -113,7 +127,9 @@ type Config struct {
 	Trace bool
 }
 
-// Result is a solve outcome.
+// Result is a solve outcome. Cancelled or failed runs surface as a
+// partial Result (Dist nil, UnitsRun < UnitsTotal) returned alongside
+// the error by Session.Solve / Session.Project.
 type Result struct {
 	// Dist is the n x n distance matrix (nil for phantom or truncated
 	// runs).
@@ -129,47 +145,39 @@ type Result struct {
 	Metrics cluster.Metrics
 	// Solver is the paper name of the strategy used.
 	Solver string
-	// Timeline is the per-stage trace (only when Config.Trace was set).
+	// BlockSize is the effective decomposition parameter b of the run
+	// (after defaulting), the value to reuse for WriteStore tiles.
+	BlockSize int
+	// Timeline is the per-stage trace (only with WithTrace/Config.Trace;
+	// the WithProgress stream is the O(1)-memory alternative).
 	Timeline []cluster.StageRecord
 }
 
-func (c Config) prepare(n int) (core.Solver, core.Options, *rdd.Context, error) {
-	if c.Solver == "" {
-		c.Solver = SolverCB
-	}
-	solver, err := core.SolverByName(string(c.Solver))
-	if err != nil {
-		return nil, core.Options{}, nil, err
-	}
-	if c.BlockSize == 0 {
-		c.BlockSize = n / 8
-		if c.BlockSize < 1 {
-			c.BlockSize = 1
-		}
-	}
-	cc := cluster.Paper()
+// sessionFromConfig converts a legacy Config into the session + job pair
+// the new pipeline runs on.
+func sessionFromConfig(c Config) (*Session, jobSettings) {
+	s := newSession()
 	if c.Cluster != nil {
-		cc = *c.Cluster
+		s.cluster = *c.Cluster
 	}
-	clu, err := cluster.New(cc)
-	if err != nil {
-		return nil, core.Options{}, nil, err
-	}
-	model := costmodel.PaperKernels()
 	if c.Model != nil {
-		model = *c.Model
+		s.model = *c.Model
 	}
-	if c.Trace {
-		clu.EnableTrace()
+	job := s.defaults
+	if c.Solver != "" {
+		job.solver = c.Solver
 	}
-	ctx := core.NewContext(clu, model)
-	opts := core.Options{
-		BlockSize:    c.BlockSize,
-		Partitioner:  c.Partitioner,
-		PartsPerCore: c.PartsPerCore,
-		MaxUnits:     c.MaxUnits,
+	if c.Partitioner != "" {
+		job.partitioner = c.Partitioner
 	}
-	return solver, opts, ctx, nil
+	if c.PartsPerCore != 0 {
+		job.partsPerCore = c.PartsPerCore
+	}
+	job.blockSize = c.BlockSize
+	job.maxUnits = c.MaxUnits
+	job.verify = c.Verify
+	job.trace = c.Trace
+	return s, job
 }
 
 func wrap(res *core.Result) *Result {
@@ -181,6 +189,7 @@ func wrap(res *core.Result) *Result {
 		UnitsTotal:       res.UnitsTotal,
 		Metrics:          res.Metrics,
 		Solver:           res.Solver,
+		BlockSize:        res.BlockSize,
 	}
 }
 
@@ -200,13 +209,7 @@ func (r *Result) WriteStore(path string, blockSize int) error {
 	if r.Dist == nil {
 		return fmt.Errorf("apspark: result has no distance matrix (phantom or truncated run)")
 	}
-	if blockSize <= 0 {
-		blockSize = 256
-		if r.Dist.R < blockSize {
-			blockSize = r.Dist.R
-		}
-	}
-	return store.Write(path, r.Dist, blockSize)
+	return store.Write(path, r.Dist, graph.DefaultBlockSize(blockSize, r.Dist.R, 256))
 }
 
 // OpenStore opens a tiled distance store for querying. cacheBytes bounds
@@ -222,49 +225,37 @@ func OpenStore(path string, cacheBytes int64) (*Store, error) {
 
 // Solve runs a distributed APSP solve with real data and returns the
 // distance matrix alongside the simulated cluster time.
+//
+// Deprecated: Solve is the legacy one-shot entry point, kept so existing
+// callers compile. Use New and Session.Solve, which add context
+// cancellation and progress streaming; this wrapper delegates to a
+// default session with context.Background() and, unlike Session.Solve,
+// discards the partial Result on error.
 func Solve(g *Graph, cfg Config) (*Result, error) {
-	solver, opts, ctx, err := cfg.prepare(g.N)
+	if g == nil {
+		return nil, fmt.Errorf("apspark: Solve with nil graph")
+	}
+	s, job := sessionFromConfig(cfg)
+	res, err := s.run(context.Background(), g, g.N, job)
 	if err != nil {
 		return nil, err
 	}
-	in, err := core.NewInput(g.Dense(), opts.BlockSize)
-	if err != nil {
-		return nil, err
-	}
-	res, err := solver.Solve(ctx, in, opts)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.Verify && res.Dist != nil {
-		want := seq.FloydWarshall(g)
-		if !res.Dist.AllClose(want, 1e-9) {
-			return nil, fmt.Errorf("apspark: %s result diverges from sequential Floyd-Warshall", solver.Name())
-		}
-	}
-	out := wrap(res)
-	out.Timeline = ctx.Cluster.Timeline()
-	return out, nil
+	return res, nil
 }
 
 // Project runs a paper-scale virtual solve on phantom (shape-only) data:
 // no distances are computed, but the simulated cluster replays the full
 // task, shuffle and storage schedule and reports its virtual time.
+//
+// Deprecated: Project is the legacy one-shot entry point, kept so
+// existing callers compile. Use New and Session.Project (see Solve).
 func Project(n int, cfg Config) (*Result, error) {
-	solver, opts, ctx, err := cfg.prepare(n)
+	s, job := sessionFromConfig(cfg)
+	res, err := s.run(context.Background(), nil, n, job)
 	if err != nil {
 		return nil, err
 	}
-	in, err := core.NewPhantomInput(n, opts.BlockSize)
-	if err != nil {
-		return nil, err
-	}
-	res, err := solver.Solve(ctx, in, opts)
-	if err != nil {
-		return nil, err
-	}
-	out := wrap(res)
-	out.Timeline = ctx.Cluster.Timeline()
-	return out, nil
+	return res, nil
 }
 
 // SequentialAPSP computes the distance matrix with the sequential

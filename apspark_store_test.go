@@ -1,6 +1,7 @@
 package apspark
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -246,7 +247,7 @@ func TestWriteStoreDefaultBlockSize(t *testing.T) {
 	if st.N() != 48 || st.BlockSize() != 48 {
 		t.Fatalf("defaulted store: n=%d b=%d, want 48/48", st.N(), st.BlockSize())
 	}
-	d, err := st.Dist(0, 47)
+	d, err := st.Dist(context.Background(), 0, 47)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ package apspark
 // tabulates); wall time measures only this repository's simulator.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -202,7 +203,7 @@ func benchSolver(b *testing.B, s core.Solver) {
 			b.Fatal(err)
 		}
 		ctx := core.NewContext(clu, costmodel.PaperKernels())
-		res, err := s.Solve(ctx, in, core.Options{})
+		res, err := s.Solve(context.Background(), ctx, in, core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -359,7 +360,7 @@ func BenchmarkAblationCartesianVsColumn(b *testing.B) {
 		// Column-rewrite shuffle volume: one RS unit.
 		clu, _ := cluster.New(benchCluster())
 		ctx := core.NewContext(clu, costmodel.PaperKernels())
-		if _, err := (core.RepeatedSquaring{}).Solve(ctx, in, core.Options{MaxUnits: 1}); err != nil {
+		if _, err := (core.RepeatedSquaring{}).Solve(context.Background(), ctx, in, core.Options{MaxUnits: 1}); err != nil {
 			b.Fatal(err)
 		}
 		colBytes := clu.Metrics().ShuffleBytes + clu.Metrics().SharedReadBytes

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -335,25 +336,25 @@ func storeQueries(_ costmodel.KernelModel, quick bool, rep *report) error {
 		return nil
 	}
 	if err := measure("dist", func() error {
-		_, err := eng.Dist(rng.Intn(n), rng.Intn(n))
+		_, err := eng.Dist(context.Background(), rng.Intn(n), rng.Intn(n))
 		return err
 	}); err != nil {
 		return err
 	}
 	if err := measure("row", func() error {
-		_, err := eng.Row(rng.Intn(n))
+		_, err := eng.Row(context.Background(), rng.Intn(n))
 		return err
 	}); err != nil {
 		return err
 	}
 	if err := measure("knn", func() error {
-		_, err := eng.KNN(rng.Intn(n), 10)
+		_, err := eng.KNN(context.Background(), rng.Intn(n), 10)
 		return err
 	}); err != nil {
 		return err
 	}
 	return measure("path", func() error {
-		_, err := eng.Path(rng.Intn(n), rng.Intn(n))
+		_, err := eng.Path(context.Background(), rng.Intn(n), rng.Intn(n))
 		if err == serve.ErrNoPath {
 			err = nil // disconnected pair: still a served query
 		}

@@ -17,13 +17,21 @@
 // -graph enables /path: hops are reconstructed from the distance matrix
 // and the adjacency lists via d[i][k] + w(k,j) == d[i][j], so no
 // successor matrix is ever stored.
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener closes,
+// in-flight requests get -drain-timeout to finish (their tile reads are
+// bounded by each request's context), and the store is closed cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"apspark/internal/graph"
@@ -37,6 +45,7 @@ func main() {
 		graphPath = flag.String("graph", "", "edge-list file of the solved graph; enables /path")
 		addr      = flag.String("addr", ":8080", "listen address")
 		cacheMB   = flag.Int64("cache-mb", 64, "tile cache budget in MiB (0 disables caching)")
+		drain     = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	)
 	flag.Parse()
 
@@ -47,7 +56,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer st.Close()
 
 	var g *graph.Graph
 	if *graphPath != "" {
@@ -78,7 +86,34 @@ func main() {
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 	}
-	fatal(srv.ListenAndServe())
+
+	// Serve until the listener fails or a shutdown signal arrives.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		st.Close()
+		fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second ^C kills immediately
+		fmt.Fprintf(os.Stderr, "apsp-serve: shutting down (draining up to %s)\n", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "apsp-serve: drain expired, closing:", err)
+			srv.Close()
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "apsp-serve:", err)
+		}
+		if err := st.Close(); err != nil {
+			fatal(fmt.Errorf("closing store: %w", err))
+		}
+		fmt.Fprintln(os.Stderr, "apsp-serve: bye")
+	}
 }
 
 func fatal(err error) {

@@ -1,22 +1,30 @@
 // Command apsp runs one APSP solver on one graph, either for real (small
-// n, verified result) or as a paper-scale virtual projection.
+// n, verified result) or as a paper-scale virtual projection. It drives
+// the Session API end to end: Ctrl-C (or SIGTERM) cancels the solve at
+// the next stage boundary and the partial accounting is still printed,
+// and -progress streams per-unit progress while the job runs.
 //
 // Usage:
 //
-//	apsp -n 512 -b 64 -solver cb -verify          # real solve
+//	apsp -n 512 -solver cb -verify                # real solve, b = n/8
 //	apsp -n 262144 -b 2560 -solver cb -phantom    # paper-scale projection
 //	apsp -n 131072 -b 512 -solver im -phantom     # reproduces the storage failure
+//	apsp -n 8192 -phantom -progress               # watch units stream by
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"strings"
+	"syscall"
 
 	"apspark"
 	"apspark/internal/bench"
-	"apspark/internal/cluster"
 	"apspark/internal/core"
 	"apspark/internal/costmodel"
 	"apspark/internal/graph"
@@ -25,8 +33,8 @@ import (
 func main() {
 	var (
 		n         = flag.Int("n", 512, "number of vertices")
-		b         = flag.Int("b", 64, "block size")
-		solver    = flag.String("solver", "cb", "solver: rs | fw2d | im | cb")
+		b         = flag.Int("b", 0, "block size (0 = auto: n/8)")
+		solver    = flag.String("solver", "cb", "solver: "+strings.Join(core.RegisteredSolvers(), " | "))
 		partition = flag.String("partitioner", "MD", "partitioner: MD | PH")
 		bpc       = flag.Int("B", 2, "RDD partitions per core")
 		seed      = flag.Int64("seed", 42, "graph seed")
@@ -37,28 +45,43 @@ func main() {
 		calibrate = flag.Bool("calibrate", false, "calibrate the kernel model on this machine")
 		input     = flag.String("input", "", "read the graph from an edge-list file instead of generating one")
 		trace     = flag.Bool("trace", false, "print the slowest virtual stages afterwards")
+		progress  = flag.Bool("progress", false, "stream per-unit progress to stderr while solving")
 		storeOut  = flag.String("store", "", "persist the solved distances as a tiled store file (real runs only; serve it with apsp-serve)")
 	)
 	flag.Parse()
 
-	cc, err := cluster.PaperScaled(*cores)
+	// Ctrl-C / SIGTERM cancel the solve at the next stage boundary; the
+	// partial result is reported below instead of being thrown away.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sessOpts := []apspark.Option{apspark.WithClusterCores(*cores)}
+	if *calibrate {
+		m := costmodel.Calibrate(256)
+		sessOpts = append(sessOpts, apspark.WithModel(m))
+		fmt.Printf("calibrated: FW %.2f Gops, min-plus %.2f Gops\n", m.FWRateIn/1e9, m.MPRateIn/1e9)
+	}
+	sess, err := apspark.New(sessOpts...)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := apspark.Config{
-		Solver:       apspark.SolverKind(*solver),
-		BlockSize:    *b,
-		Partitioner:  core.PartitionerKind(*partition),
-		PartsPerCore: *bpc,
-		Cluster:      &cc,
-		MaxUnits:     *maxUnits,
-		Verify:       *verify,
-		Trace:        *trace,
+
+	jobOpts := []apspark.SolveOption{
+		apspark.WithSolver(apspark.SolverKind(*solver)),
+		apspark.WithBlockSize(*b),
+		apspark.WithPartitioner(apspark.PartitionerKind(*partition)),
+		apspark.WithPartsPerCore(*bpc),
+		apspark.WithMaxUnits(*maxUnits),
+		apspark.WithVerify(*verify),
+		apspark.WithTrace(*trace),
 	}
-	if *calibrate {
-		m := costmodel.Calibrate(256)
-		cfg.Model = &m
-		fmt.Printf("calibrated: FW %.2f Gops, min-plus %.2f Gops\n", m.FWRateIn/1e9, m.MPRateIn/1e9)
+	if *progress {
+		jobOpts = append(jobOpts, apspark.WithProgress(func(ev apspark.StageEvent) {
+			if ev.Name == "unit" || ev.Done {
+				fmt.Fprintf(os.Stderr, "apsp: unit %5d/%d  virtual %-12s shuffle %s\n",
+					ev.UnitsDone, ev.UnitsTotal, bench.FormatDuration(ev.VirtualSeconds), fmtBytes(ev.ShuffleBytes))
+			}
+		}))
 	}
 
 	if *storeOut != "" && *phantom {
@@ -67,7 +90,7 @@ func main() {
 
 	var res *apspark.Result
 	if *phantom {
-		res, err = apspark.Project(*n, cfg)
+		res, err = sess.Project(ctx, *n, jobOpts...)
 	} else {
 		var g *apspark.Graph
 		if *input != "" {
@@ -84,13 +107,19 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("graph: n=%d edges=%d\n", g.N, g.NumEdges())
-		res, err = apspark.Solve(g, cfg)
+		res, err = sess.Solve(ctx, g, jobOpts...)
 	}
+	cancelled := false
 	if err != nil {
-		fatal(err)
+		if res == nil || !errors.Is(err, context.Canceled) {
+			fatal(err)
+		}
+		cancelled = true
+		fmt.Fprintf(os.Stderr, "apsp: cancelled after %d of %d units; partial accounting follows\n",
+			res.UnitsRun, res.UnitsTotal)
 	}
 
-	fmt.Printf("solver:            %s (partitioner %s, b=%d, B=%d, p=%d)\n", res.Solver, *partition, *b, *bpc, *cores)
+	fmt.Printf("solver:            %s (partitioner %s, b=%d, B=%d, p=%d)\n", res.Solver, *partition, res.BlockSize, *bpc, *cores)
 	fmt.Printf("iteration units:   %d of %d\n", res.UnitsRun, res.UnitsTotal)
 	fmt.Printf("virtual time:      %s\n", bench.FormatDuration(res.VirtualSeconds))
 	if res.UnitsRun < res.UnitsTotal {
@@ -106,15 +135,25 @@ func main() {
 		fmt.Println("verification:      OK (matches sequential Floyd-Warshall)")
 	}
 	if *storeOut != "" {
-		if err := res.WriteStore(*storeOut, *b); err != nil {
-			fatal(err)
+		if res.Dist == nil {
+			// Truncated or cancelled runs carry no distances; the missing
+			// artifact must be loud, not discovered when serving fails.
+			fmt.Fprintf(os.Stderr, "apsp: store %s not written: run has no distance matrix (%d of %d units)\n",
+				*storeOut, res.UnitsRun, res.UnitsTotal)
+			if !cancelled {
+				os.Exit(1)
+			}
+		} else {
+			if err := res.WriteStore(*storeOut, res.BlockSize); err != nil {
+				fatal(err)
+			}
+			st, err := os.Stat(*storeOut)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("store:             %s (%s, b=%d; serve with apsp-serve -store %s)\n",
+				*storeOut, fmtBytes(st.Size()), res.BlockSize, *storeOut)
 		}
-		st, err := os.Stat(*storeOut)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("store:             %s (%s, b=%d; serve with apsp-serve -store %s)\n",
-			*storeOut, fmtBytes(st.Size()), *b, *storeOut)
 	}
 	if *trace && len(res.Timeline) > 0 {
 		tl := res.Timeline
@@ -128,6 +167,9 @@ func main() {
 			fmt.Printf("  %-28s %5d tasks  %8.3fs makespan  (work %8.3fs)\n",
 				s.Name, s.Tasks, s.Makespan, s.ComputeSum)
 		}
+	}
+	if cancelled {
+		os.Exit(130) // conventional SIGINT exit status
 	}
 }
 

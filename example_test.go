@@ -1,0 +1,87 @@
+package apspark_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"apspark"
+)
+
+// A Session owns the virtual cluster configuration and solve defaults;
+// jobs run against it with per-job overrides. Here the paper's 1,024-core
+// cluster is shrunk to one 32-core node so the example is instant.
+func ExampleNew() {
+	s, err := apspark.New(
+		apspark.WithClusterCores(32),
+		apspark.WithSolver(apspark.SolverCB),
+	)
+	if err != nil {
+		panic(err)
+	}
+	g, err := apspark.NewGraph(10, []apspark.Edge{
+		{U: 0, V: 1, W: 3},
+		{U: 1, V: 2, W: 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := s.Solve(context.Background(), g, apspark.WithBlockSize(5))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Dist.At(0, 2))
+	// Output: 7
+}
+
+// WithProgress streams one StageEvent per stage, per iteration unit, and
+// a final Done event; the DeltaSeconds of all events sum to the job's
+// virtual time, so a caller can render a live progress bar without
+// retaining a trace.
+func ExampleWithProgress() {
+	s, err := apspark.New(apspark.WithClusterCores(32))
+	if err != nil {
+		panic(err)
+	}
+	g, err := apspark.NewErdosRenyiGraph(64, apspark.PaperEdgeProb(64), 42)
+	if err != nil {
+		panic(err)
+	}
+	var last apspark.StageEvent
+	var sum float64
+	res, err := s.Solve(context.Background(), g,
+		apspark.WithBlockSize(32),
+		apspark.WithProgress(func(ev apspark.StageEvent) {
+			sum += ev.DeltaSeconds
+			last = ev
+		}),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("units %d/%d, done=%v, deltas sum to total: %v\n",
+		last.UnitsDone, last.UnitsTotal, last.Done,
+		math.Abs(sum-res.VirtualSeconds) <= 1e-9*res.VirtualSeconds)
+	// Output: units 2/2, done=true, deltas sum to total: true
+}
+
+// Cancelling the context stops a solve at the next stage boundary. The
+// partial Result keeps its accounting (UnitsRun, metrics, projection);
+// only the distance matrix is withheld. Here the context is cancelled
+// up front, so zero units run.
+func ExampleSession_Solve() {
+	s, err := apspark.New(apspark.WithClusterCores(32))
+	if err != nil {
+		panic(err)
+	}
+	g, err := apspark.NewErdosRenyiGraph(64, apspark.PaperEdgeProb(64), 42)
+	if err != nil {
+		panic(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // a deadline or Ctrl-C handler would do this mid-run
+	res, err := s.Solve(ctx, g, apspark.WithBlockSize(32))
+	fmt.Println(errors.Is(err, context.Canceled), res.UnitsRun, "of", res.UnitsTotal)
+	// Output: true 0 of 2
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -60,7 +61,11 @@ func main() {
 	fmt.Printf("kNN graph: %d vertices, %d edges, connected=%v\n", g.N, g.NumEdges(), g.Connected())
 
 	// Geodesic distances via the distributed APSP solver.
-	res, err := apspark.Solve(g, apspark.Config{Solver: apspark.SolverCB, BlockSize: 64})
+	sess, err := apspark.New(apspark.WithSolver(apspark.SolverCB))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Solve(context.Background(), g, apspark.WithBlockSize(64))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,13 +20,17 @@ func main() {
 	}
 	fmt.Printf("graph: %d vertices, %d edges, connected=%v\n", g.N, g.NumEdges(), g.Connected())
 
-	// Solve with Blocked-CB on a 2D decomposition of 32x32 blocks; Verify
-	// cross-checks against the sequential reference.
-	res, err := apspark.Solve(g, apspark.Config{
-		Solver:    apspark.SolverCB,
-		BlockSize: 32,
-		Verify:    true,
-	})
+	// A session owns the virtual cluster (the paper's 1,024-core machine
+	// by default) and the solve defaults; jobs take a context.
+	s, err := apspark.New(apspark.WithSolver(apspark.SolverCB))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Solve on a 2D decomposition of 32x32 blocks; WithVerify cross-checks
+	// against the sequential reference.
+	res, err := s.Solve(context.Background(), g,
+		apspark.WithBlockSize(32), apspark.WithVerify(true))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +49,8 @@ func main() {
 		float64(res.Metrics.SharedWriteBytes)/(1<<20))
 
 	// The same API projects paper-scale runs without computing distances.
-	proj, err := apspark.Project(262144, apspark.Config{Solver: apspark.SolverCB, BlockSize: 2560, MaxUnits: 2})
+	proj, err := s.Project(context.Background(), 262144,
+		apspark.WithBlockSize(2560), apspark.WithMaxUnits(2))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -87,7 +88,11 @@ func ringWithChords(n, chords int, rng *rand.Rand) (*apspark.Graph, error) {
 // spFeature solves APSP on the distributed engine and histograms the
 // finite path lengths.
 func spFeature(g *apspark.Graph) []float64 {
-	res, err := apspark.Solve(g, apspark.Config{Solver: apspark.SolverIM, BlockSize: 12})
+	sess, err := apspark.New(apspark.WithSolver(apspark.SolverIM))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Solve(context.Background(), g, apspark.WithBlockSize(12))
 	if err != nil {
 		log.Fatal(err)
 	}

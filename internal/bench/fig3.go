@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -78,7 +79,7 @@ func Figure3(cfg Fig3Config) ([]Fig3Point, error) {
 						return nil, err
 					}
 					ctx := core.NewContext(clu, cfg.Model)
-					res, err := solver.Solve(ctx, in, core.Options{
+					res, err := solver.Solve(context.Background(), ctx, in, core.Options{
 						Partitioner:  pk,
 						PartsPerCore: bpc,
 						MaxUnits:     cfg.MaxUnits,

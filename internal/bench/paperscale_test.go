@@ -7,6 +7,7 @@ package bench
 // host time on one core) and are skipped under -short.
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -26,7 +27,7 @@ func paperRun(t *testing.T, s core.Solver, n, b, maxUnits int) (*core.Result, er
 		t.Fatal(err)
 	}
 	ctx := core.NewContext(clu, costmodel.PaperKernels())
-	return s.Solve(ctx, in, core.Options{MaxUnits: maxUnits})
+	return s.Solve(context.Background(), ctx, in, core.Options{MaxUnits: maxUnits})
 }
 
 const day = 86400.0

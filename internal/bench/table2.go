@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -84,7 +85,7 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 					return nil, err
 				}
 				ctx := core.NewContext(clu, cfg.Model)
-				res, err := solver.Solve(ctx, in, core.Options{
+				res, err := solver.Solve(context.Background(), ctx, in, core.Options{
 					BlockSize:    b,
 					Partitioner:  pk,
 					PartsPerCore: cfg.PartsPerCore,

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -129,7 +130,7 @@ func Table3(cfg Table3Config) ([]Table3Row, error) {
 				return nil, err
 			}
 			ctx := core.NewContext(clu, cfg.Model)
-			res, err := solver.Solve(ctx, in, core.Options{
+			res, err := solver.Solve(context.Background(), ctx, in, core.Options{
 				Partitioner: core.PartitionerMD,
 				MaxUnits:    cfg.MaxUnits,
 			})

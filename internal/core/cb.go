@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"apspark/internal/graph"
@@ -32,15 +33,19 @@ func cbDiagKey(i int) string     { return fmt.Sprintf("cb/diag/%d", i) }
 func cbPanelKey(i, r int) string { return fmt.Sprintf("cb/panel/%d/%d", i, r) }
 
 // Solve implements Solver.
-func (s BlockedCollectBroadcast) Solve(ctx *rdd.Context, in Input, opts Options) (*Result, error) {
+func (s BlockedCollectBroadcast) Solve(ctx context.Context, rc *rdd.Context, in Input, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
+	rc.BindContext(ctx)
 	q := in.Dec.Q
-	part, err := NewPartitioner(opts.Partitioner, ctx.Cluster, opts.PartsPerCore, q)
+	part, err := NewPartitioner(opts.Partitioner, rc.Cluster, opts.PartsPerCore, q)
 	if err != nil {
 		return nil, err
 	}
-	ctx.MarkImpure()
-	a := parallelizeInput(ctx, in, part)
+	rc.MarkImpure()
+	a := parallelizeInput(rc, in, part)
 
 	units := s.Units(in.Dec)
 	run := units
@@ -49,7 +54,10 @@ func (s BlockedCollectBroadcast) Solve(ctx *rdd.Context, in Input, opts Options)
 	}
 
 	for i := 0; i < run; i++ {
-		ctx.Store.NewEpoch()
+		if err := ctx.Err(); err != nil {
+			return truncated(rc, s, in, i, units), err
+		}
+		rc.Store.NewEpoch()
 
 		// Phase 1: solve the diagonal block, collect it on the driver and
 		// stage it in shared storage (Algorithm 4 lines 2-3).
@@ -58,13 +66,13 @@ func (s BlockedCollectBroadcast) Solve(ctx *rdd.Context, in Input, opts Options)
 			Persist()
 		diagPairs, err := diag.Collect()
 		if err != nil {
-			return truncated(s, in, i, units), err
+			return truncated(rc, s, in, i, units), err
 		}
 		if len(diagPairs) != 1 {
 			return nil, fmt.Errorf("core: iteration %d collected %d diagonal blocks", i, len(diagPairs))
 		}
 		diagBlock := diagPairs[0].Value.(*TaggedBlock).B
-		ctx.Store.Put(cbDiagKey(i), diagBlock, diagBlock.SizeBytes())
+		rc.Store.Put(cbDiagKey(i), diagBlock, diagBlock.SizeBytes())
 
 		// Phase 2: update the panel blocks against the staged diagonal
 		// (line 5), then collect and stage the updated panels (lines 6-7).
@@ -85,7 +93,7 @@ func (s BlockedCollectBroadcast) Solve(ctx *rdd.Context, in Input, opts Options)
 		}).Persist()
 		rowcolPairs, err := rowcol.Collect()
 		if err != nil {
-			return truncated(s, in, i, units), err
+			return truncated(rc, s, in, i, units), err
 		}
 		for _, p := range rowcolPairs {
 			k := p.Key.(graph.BlockKey)
@@ -94,7 +102,7 @@ func (s BlockedCollectBroadcast) Solve(ctx *rdd.Context, in Input, opts Options)
 			if k.I == i { // stored (i, J): canonical panel is the transpose
 				row, canon = k.J, b.Transpose()
 			}
-			ctx.Store.Put(cbPanelKey(i, row), canon, canon.SizeBytes())
+			rc.Store.Put(cbPanelKey(i, row), canon, canon.SizeBytes())
 		}
 
 		// Phase 3: update the remaining blocks against the staged panels
@@ -122,12 +130,13 @@ func (s BlockedCollectBroadcast) Solve(ctx *rdd.Context, in Input, opts Options)
 			})
 
 		// Reassemble A (lines 11-12).
-		a = ctx.Union(diag, rowcol, offcol).
+		a = rc.Union(diag, rowcol, offcol).
 			PartitionBy(part).
 			Persist()
 		if err := a.Checkpoint(); err != nil {
-			return truncated(s, in, i, units), err
+			return truncated(rc, s, in, i, units), err
 		}
+		rc.ReportUnit(i+1, units)
 	}
 
 	res := &Result{
@@ -137,19 +146,31 @@ func (s BlockedCollectBroadcast) Solve(ctx *rdd.Context, in Input, opts Options)
 		UnitsRun:   run,
 		UnitsTotal: units,
 	}
-	if err := finishResult(ctx, res, in, a); err != nil {
-		return nil, err
+	if err := finishResult(rc, res, in, a); err != nil {
+		// Collection itself failed (cancellation at the last boundary, or
+		// a task failure): keep the contract and hand back the accounting
+		// of everything that did run.
+		return truncated(rc, s, in, res.UnitsRun, res.UnitsTotal), err
 	}
 	return res, nil
 }
 
-// truncated builds the partial result attached to a mid-run error.
-func truncated(s Solver, in Input, unitsRun, unitsTotal int) *Result {
-	return &Result{
-		Solver:     s.Name(),
-		N:          in.Dec.N,
-		BlockSize:  in.Dec.B,
-		UnitsRun:   unitsRun,
-		UnitsTotal: unitsTotal,
+// truncated builds the partial result attached to a mid-run error
+// (cancellation, storage exhaustion, task failure). Unlike a lost run, it
+// carries the full accounting of the units that did complete: metrics,
+// virtual time, and a flat per-unit projection to a full run.
+func truncated(rc *rdd.Context, s Solver, in Input, unitsRun, unitsTotal int) *Result {
+	res := &Result{
+		Solver:         s.Name(),
+		N:              in.Dec.N,
+		BlockSize:      in.Dec.B,
+		UnitsRun:       unitsRun,
+		UnitsTotal:     unitsTotal,
+		Metrics:        rc.Cluster.Metrics(),
+		VirtualSeconds: rc.Cluster.Now(),
 	}
+	if unitsRun > 0 {
+		res.ProjectedSeconds = res.VirtualSeconds / float64(unitsRun) * float64(unitsTotal)
+	}
+	return res
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"apspark/internal/graph"
@@ -27,14 +28,18 @@ func (FW2D) Pure() bool { return true }
 func (FW2D) Units(dec graph.Decomposition) int { return dec.N }
 
 // Solve implements Solver.
-func (s FW2D) Solve(ctx *rdd.Context, in Input, opts Options) (*Result, error) {
+func (s FW2D) Solve(ctx context.Context, rc *rdd.Context, in Input, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
+	rc.BindContext(ctx)
 	dec := in.Dec
-	part, err := NewPartitioner(opts.Partitioner, ctx.Cluster, opts.PartsPerCore, dec.Q)
+	part, err := NewPartitioner(opts.Partitioner, rc.Cluster, opts.PartsPerCore, dec.Q)
 	if err != nil {
 		return nil, err
 	}
-	a := parallelizeInput(ctx, in, part)
+	a := parallelizeInput(rc, in, part)
 
 	units := s.Units(dec)
 	run := units
@@ -43,6 +48,9 @@ func (s FW2D) Solve(ctx *rdd.Context, in Input, opts Options) (*Result, error) {
 	}
 
 	for k := 0; k < run; k++ {
+		if err := ctx.Err(); err != nil {
+			return truncated(rc, s, in, k, units), err
+		}
 		bigK := dec.BlockOf(k)
 		kloc := k - dec.RowOffset(bigK)
 
@@ -51,7 +59,7 @@ func (s FW2D) Solve(ctx *rdd.Context, in Input, opts Options) (*Result, error) {
 			Map("extractCol", ExtractColumn(bigK, kloc)).
 			Collect()
 		if err != nil {
-			return truncated(s, in, k, units), err
+			return truncated(rc, s, in, k, units), err
 		}
 		col := make(map[int]*matrix.Block, dec.Q)
 		for _, p := range colPairs {
@@ -62,7 +70,7 @@ func (s FW2D) Solve(ctx *rdd.Context, in Input, opts Options) (*Result, error) {
 		}
 
 		// Broadcast the column (line 8) and run the update (line 10).
-		bc := ctx.Broadcast(col)
+		bc := rc.Broadcast(col)
 		a = a.Map("fwUpdate", func(tc *rdd.TaskContext, p rdd.Pair) (rdd.Pair, error) {
 			key := p.Key.(graph.BlockKey)
 			base := p.Value.(*TaggedBlock)
@@ -84,8 +92,9 @@ func (s FW2D) Solve(ctx *rdd.Context, in Input, opts Options) (*Result, error) {
 			return rdd.Pair{Key: key, Value: &TaggedBlock{Tag: TagBase, B: nb}}, nil
 		}).Persist()
 		if err := a.Checkpoint(); err != nil {
-			return truncated(s, in, k, units), err
+			return truncated(rc, s, in, k, units), err
 		}
+		rc.ReportUnit(k+1, units)
 	}
 
 	res := &Result{
@@ -95,8 +104,8 @@ func (s FW2D) Solve(ctx *rdd.Context, in Input, opts Options) (*Result, error) {
 		UnitsRun:   run,
 		UnitsTotal: units,
 	}
-	if err := finishResult(ctx, res, in, a); err != nil {
-		return nil, err
+	if err := finishResult(rc, res, in, a); err != nil {
+		return truncated(rc, s, in, res.UnitsRun, res.UnitsTotal), err
 	}
 	return res, nil
 }

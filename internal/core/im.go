@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"apspark/internal/graph"
 	"apspark/internal/rdd"
 )
@@ -25,14 +27,18 @@ func (BlockedInMemory) Pure() bool { return true }
 func (BlockedInMemory) Units(dec graph.Decomposition) int { return dec.Q }
 
 // Solve implements Solver.
-func (s BlockedInMemory) Solve(ctx *rdd.Context, in Input, opts Options) (*Result, error) {
+func (s BlockedInMemory) Solve(ctx context.Context, rc *rdd.Context, in Input, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
+	rc.BindContext(ctx)
 	q := in.Dec.Q
-	part, err := NewPartitioner(opts.Partitioner, ctx.Cluster, opts.PartsPerCore, q)
+	part, err := NewPartitioner(opts.Partitioner, rc.Cluster, opts.PartsPerCore, q)
 	if err != nil {
 		return nil, err
 	}
-	a := parallelizeInput(ctx, in, part)
+	a := parallelizeInput(rc, in, part)
 
 	units := s.Units(in.Dec)
 	run := units
@@ -41,6 +47,9 @@ func (s BlockedInMemory) Solve(ctx *rdd.Context, in Input, opts Options) (*Resul
 	}
 
 	for i := 0; i < run; i++ {
+		if err := ctx.Err(); err != nil {
+			return truncated(rc, s, in, i, units), err
+		}
 		// Phase 1: process the diagonal block and fan out its copies
 		// (Algorithm 3 lines 2-4).
 		diag := a.Filter("diag", OnDiagonal(i)).
@@ -55,7 +64,7 @@ func (s BlockedInMemory) Solve(ctx *rdd.Context, in Input, opts Options) (*Resul
 		panels := a.Filter("panels", func(p rdd.Pair) bool {
 			return InColumn(i)(p) && !OnDiagonal(i)(p)
 		})
-		phase2 := ctx.Union(panels, diagCopies).
+		phase2 := rc.Union(panels, diagCopies).
 			CombineByKey(part, ListAppendCreate, ListAppendMerge).
 			Map("unpackPhase2", UnpackPhase2(i)).
 			Persist()
@@ -65,27 +74,22 @@ func (s BlockedInMemory) Solve(ctx *rdd.Context, in Input, opts Options) (*Resul
 
 		// Phase 3: update the remaining blocks (lines 12-15).
 		off := a.Filter("off", NotInColumn(i))
-		phase3 := ctx.Union(off, panelCopies).
+		phase3 := rc.Union(off, panelCopies).
 			CombineByKey(part, ListAppendCreate, ListAppendMerge).
 			Map("unpackPhase3", UnpackPhase3())
 
 		// Reassemble A for the next iteration; the repartition both
 		// restores the intended layout and caps the union's partition
 		// blowup (paper §5.2).
-		a = ctx.Union(diag, phase2, phase3).
+		a = rc.Union(diag, phase2, phase3).
 			PartitionBy(part).
 			Persist()
 		// Checkpoint per iteration, as a long-running Spark job would:
 		// it bounds lineage depth (and releases retained shuffles).
 		if err := a.Checkpoint(); err != nil {
-			return &Result{
-				Solver:     s.Name(),
-				N:          in.Dec.N,
-				BlockSize:  in.Dec.B,
-				UnitsRun:   i,
-				UnitsTotal: units,
-			}, err
+			return truncated(rc, s, in, i, units), err
 		}
+		rc.ReportUnit(i+1, units)
 	}
 
 	res := &Result{
@@ -95,8 +99,8 @@ func (s BlockedInMemory) Solve(ctx *rdd.Context, in Input, opts Options) (*Resul
 		UnitsRun:   run,
 		UnitsTotal: units,
 	}
-	if err := finishResult(ctx, res, in, a); err != nil {
-		return nil, err
+	if err := finishResult(rc, res, in, a); err != nil {
+		return truncated(rc, s, in, res.UnitsRun, res.UnitsTotal), err
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"apspark/internal/graph"
@@ -33,16 +34,20 @@ func (RepeatedSquaring) Units(dec graph.Decomposition) int {
 func rsColKey(iter, j, k int) string { return fmt.Sprintf("rs/%d/col/%d/%d", iter, j, k) }
 
 // Solve implements Solver.
-func (s RepeatedSquaring) Solve(ctx *rdd.Context, in Input, opts Options) (*Result, error) {
+func (s RepeatedSquaring) Solve(ctx context.Context, rc *rdd.Context, in Input, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
+	rc.BindContext(ctx)
 	dec := in.Dec
 	q := dec.Q
-	part, err := NewPartitioner(opts.Partitioner, ctx.Cluster, opts.PartsPerCore, q)
+	part, err := NewPartitioner(opts.Partitioner, rc.Cluster, opts.PartsPerCore, q)
 	if err != nil {
 		return nil, err
 	}
-	ctx.MarkImpure()
-	a := parallelizeInput(ctx, in, part)
+	rc.MarkImpure()
+	a := parallelizeInput(rc, in, part)
 
 	units := s.Units(dec)
 	maxUnits := units
@@ -52,7 +57,18 @@ func (s RepeatedSquaring) Solve(ctx *rdd.Context, in Input, opts Options) (*Resu
 	outer := log2Ceil(dec.N)
 	unitsRun := 0
 	unitDurations := make([]float64, 0, maxUnits)
-	lastClock := ctx.Cluster.Now()
+	lastClock := rc.Cluster.Now()
+	// partial upgrades truncated()'s flat projection with the least-squares
+	// column-cost fit: RS unit costs grow linearly with the column index,
+	// so a context-cancelled run should project exactly like a
+	// MaxUnits-truncated one.
+	partial := func(unitsRun int) *Result {
+		res := truncated(rc, s, in, unitsRun, units)
+		if unitsRun > 0 {
+			res.ProjectedSeconds = projectRS(unitDurations, res.VirtualSeconds, outer, q)
+		}
+		return res
+	}
 
 squaring:
 	for it := 0; it < outer; it++ {
@@ -61,13 +77,16 @@ squaring:
 			if unitsRun >= maxUnits {
 				break squaring
 			}
-			ctx.Store.NewEpoch()
+			if err := ctx.Err(); err != nil {
+				return partial(unitsRun), err
+			}
+			rc.Store.NewEpoch()
 			// Stage column-block j: collect its stored blocks on the
 			// driver and write them, canonically oriented as A[K, j], to
 			// shared storage (Algorithm 1 lines 3-4).
 			colPairs, err := a.Filter("col", InColumn(j)).Collect()
 			if err != nil {
-				return truncated(s, in, unitsRun, units), err
+				return partial(unitsRun), err
 			}
 			for _, p := range colPairs {
 				k := p.Key.(graph.BlockKey)
@@ -76,7 +95,7 @@ squaring:
 				if k.I == j && k.J != j {
 					row, canon = k.J, b.Transpose()
 				}
-				ctx.Store.Put(rsColKey(it, j, row), canon, canon.SizeBytes())
+				rc.Store.Put(rsColKey(it, j, row), canon, canon.SizeBytes())
 			}
 
 			// T[j] = A.map(MatProd).reduceByKey(MatMin) (line 5): every
@@ -150,19 +169,20 @@ squaring:
 				ReduceByKey(part, MatMinValues).
 				Persist()
 			if err := tj.Materialize(); err != nil {
-				return truncated(s, in, unitsRun, units), err
+				return partial(unitsRun), err
 			}
 			cols = append(cols, tj)
 			unitsRun++
-			now := ctx.Cluster.Now()
+			now := rc.Cluster.Now()
 			unitDurations = append(unitDurations, now-lastClock)
 			lastClock = now
+			rc.ReportUnit(unitsRun, units)
 		}
 		// A = sc.union(T) (line 6), repartitioned to tame the q-fold
 		// partition blowup unions would otherwise accumulate (§5.2).
-		a = ctx.Union(cols...).PartitionBy(part).Persist()
+		a = rc.Union(cols...).PartitionBy(part).Persist()
 		if err := a.Checkpoint(); err != nil {
-			return truncated(s, in, unitsRun, units), err
+			return partial(unitsRun), err
 		}
 	}
 
@@ -173,8 +193,8 @@ squaring:
 		UnitsRun:   unitsRun,
 		UnitsTotal: units,
 	}
-	if err := finishResult(ctx, res, in, a); err != nil {
-		return nil, err
+	if err := finishResult(rc, res, in, a); err != nil {
+		return partial(res.UnitsRun), err
 	}
 	if unitsRun < units && unitsRun > 0 {
 		res.ProjectedSeconds = projectRS(unitDurations, res.VirtualSeconds, outer, q)

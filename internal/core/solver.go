@@ -7,8 +7,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"strings"
+	"sync"
 
 	"apspark/internal/cluster"
 	"apspark/internal/costmodel"
@@ -108,7 +111,8 @@ type Result struct {
 	Dist   *matrix.Block
 }
 
-// Solver is one of the paper's four APSP strategies.
+// Solver is one APSP strategy: the paper's four built-ins, or anything
+// registered through Register.
 type Solver interface {
 	// Name returns the paper's name for the method.
 	Name() string
@@ -117,33 +121,85 @@ type Solver interface {
 	Pure() bool
 	// Units returns the number of iteration units a full run needs.
 	Units(dec graph.Decomposition) int
-	// Solve runs the method on ctx.
-	Solve(ctx *rdd.Context, in Input, opts Options) (*Result, error)
+	// Solve runs the method on the driver rc. Implementations must bind
+	// ctx to rc and check it at every iteration-unit boundary, returning a
+	// partial Result (UnitsRun and projection filled) alongside ctx.Err()
+	// when cancelled; they should also call rc.ReportUnit after each unit
+	// so progress streams to the caller.
+	Solve(ctx context.Context, rc *rdd.Context, in Input, opts Options) (*Result, error)
 }
 
-// Solvers returns the registry of all four methods, in the paper's order.
+// Factory constructs a fresh Solver instance.
+type Factory func() Solver
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+	regNames []string // registration order
+)
+
+// Register adds a solver factory under a lookup name (the key callers and
+// the -solver flag use). It fails on an empty name, a nil factory, or a
+// duplicate registration. The four paper solvers self-register as
+// "rs", "fw2d", "im" and "cb"; external solvers plug in alongside them.
+func Register(name string, f Factory) error {
+	if name == "" {
+		return fmt.Errorf("core: Register with empty solver name")
+	}
+	if f == nil {
+		return fmt.Errorf("core: Register(%q) with nil factory", name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("core: solver %q already registered", name)
+	}
+	registry[name] = f
+	regNames = append(regNames, name)
+	return nil
+}
+
+// MustRegister is Register, panicking on error — for init-time wiring.
+func MustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// RegisteredSolvers returns the registered lookup names in registration
+// order (the four paper solvers first).
+func RegisteredSolvers() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regNames...)
+}
+
+func init() {
+	MustRegister("rs", func() Solver { return RepeatedSquaring{} })
+	MustRegister("fw2d", func() Solver { return FW2D{} })
+	MustRegister("im", func() Solver { return BlockedInMemory{} })
+	MustRegister("cb", func() Solver { return BlockedCollectBroadcast{} })
+}
+
+// Solvers returns the paper's four methods, in the paper's order.
 func Solvers() []Solver {
 	return []Solver{RepeatedSquaring{}, FW2D{}, BlockedInMemory{}, BlockedCollectBroadcast{}}
 }
 
-// SolverByName finds a solver by its short or full name.
+// SolverByName finds a registered solver by its lookup name, falling back
+// to the full paper name (Solver.Name) for convenience.
 func SolverByName(name string) (Solver, error) {
-	for _, s := range Solvers() {
-		if s.Name() == name {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if f, ok := registry[name]; ok {
+		return f(), nil
+	}
+	for _, key := range regNames {
+		if s := registry[key](); s.Name() == name {
 			return s, nil
 		}
 	}
-	switch name {
-	case "rs":
-		return RepeatedSquaring{}, nil
-	case "fw2d":
-		return FW2D{}, nil
-	case "im":
-		return BlockedInMemory{}, nil
-	case "cb":
-		return BlockedCollectBroadcast{}, nil
-	}
-	return nil, fmt.Errorf("core: unknown solver %q (want rs|fw2d|im|cb)", name)
+	return nil, fmt.Errorf("core: unknown solver %q (registered: %s)", name, strings.Join(regNames, "|"))
 }
 
 // NewPartitioner builds the requested partitioner for a q x q grid with

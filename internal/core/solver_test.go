@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -41,7 +42,7 @@ func solveReal(t *testing.T, s Solver, n, b int, seed int64, opts Options) *Resu
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Solve(testContext(t), in, opts)
+	res, err := s.Solve(context.Background(), testContext(t), in, opts)
 	if err != nil {
 		t.Fatalf("%s failed: %v", s.Name(), err)
 	}
@@ -97,7 +98,7 @@ func TestSolverDisconnectedGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range Solvers() {
-		res, err := s.Solve(testContext(t), in, Options{})
+		res, err := s.Solve(context.Background(), testContext(t), in, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -134,6 +135,68 @@ func TestSolverNames(t *testing.T) {
 	}
 }
 
+// fakeSolver exercises the open registry: an external strategy that
+// plugs in beside the paper's four.
+type fakeSolver struct{ Solver }
+
+func (fakeSolver) Name() string { return "Fake-Solver" }
+
+func TestRegistryOpenForExternalSolvers(t *testing.T) {
+	if err := Register("fake", func() Solver { return fakeSolver{Solver: BlockedCollectBroadcast{}} }); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { unregisterForTest("fake") })
+
+	s, err := SolverByName("fake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "Fake-Solver" {
+		t.Fatalf("factory returned %q", s.Name())
+	}
+	if _, err := SolverByName("Fake-Solver"); err != nil {
+		t.Fatalf("full-name lookup of registered solver failed: %v", err)
+	}
+	names := RegisteredSolvers()
+	found := false
+	for _, n := range names {
+		if n == "fake" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("RegisteredSolvers() = %v, missing %q", names, "fake")
+	}
+	// The four built-ins always come first, in registration order.
+	if len(names) < 4 || names[0] != "rs" || names[1] != "fw2d" || names[2] != "im" || names[3] != "cb" {
+		t.Fatalf("built-ins not first: %v", names)
+	}
+
+	if err := Register("fake", func() Solver { return fakeSolver{} }); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := Register("", func() Solver { return fakeSolver{} }); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := Register("nilfactory", nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+}
+
+// unregisterForTest removes a registry entry so tests do not leak
+// registrations into each other.
+func unregisterForTest(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	delete(registry, name)
+	for i, n := range regNames {
+		if n == name {
+			regNames = append(regNames[:i], regNames[i+1:]...)
+			break
+		}
+	}
+}
+
 func TestUnitsAccounting(t *testing.T) {
 	dec, _ := graph.NewDecomposition(64, 16) // q = 4
 	if got := (BlockedInMemory{}).Units(dec); got != 4 {
@@ -156,7 +219,7 @@ func TestTruncatedRunProjects(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range Solvers() {
-		res, err := s.Solve(testContext(t), in, Options{MaxUnits: 2})
+		res, err := s.Solve(context.Background(), testContext(t), in, Options{MaxUnits: 2})
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -180,7 +243,7 @@ func TestPhantomFullRunBlockedCB(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := BlockedCollectBroadcast{}.Solve(testContext(t), in, Options{})
+	res, err := BlockedCollectBroadcast{}.Solve(context.Background(), testContext(t), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,11 +265,11 @@ func TestPhantomIMShufflesMoreThanCB(t *testing.T) {
 		t.Fatal(err)
 	}
 	imCtx := testContext(t)
-	if _, err := (BlockedInMemory{}).Solve(imCtx, in, Options{}); err != nil {
+	if _, err := (BlockedInMemory{}).Solve(context.Background(), imCtx, in, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	cbCtx := testContext(t)
-	if _, err := (BlockedCollectBroadcast{}).Solve(cbCtx, in, Options{}); err != nil {
+	if _, err := (BlockedCollectBroadcast{}).Solve(context.Background(), cbCtx, in, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	imShuffle := imCtx.Cluster.Metrics().ShuffleBytes
@@ -221,7 +284,7 @@ func TestPureSolverSurvivesInjectedFailure(t *testing.T) {
 	in, _ := NewInput(g.Dense(), 5)
 	ctx := testContext(t)
 	ctx.Injector = rdd.NewFailureInjector(0.02, 11)
-	res, err := (BlockedInMemory{}).Solve(ctx, in, Options{})
+	res, err := (BlockedInMemory{}).Solve(context.Background(), ctx, in, Options{})
 	if err != nil {
 		t.Fatalf("pure solver did not survive failures: %v", err)
 	}
@@ -238,7 +301,7 @@ func TestImpureSolverAbortsOnFailure(t *testing.T) {
 	in, _ := NewInput(g.Dense(), 5)
 	ctx := testContext(t)
 	ctx.Injector = rdd.NewFailureInjector(0.05, 11)
-	_, err := (BlockedCollectBroadcast{}).Solve(ctx, in, Options{})
+	_, err := (BlockedCollectBroadcast{}).Solve(context.Background(), ctx, in, Options{})
 	if err == nil {
 		t.Skip("no failures were injected at this seed")
 	}
@@ -315,13 +378,13 @@ func TestSolversWithIntraKernelParallelism(t *testing.T) {
 		}
 		serialCtx := testContext(t)
 		serialCtx.SetHostWorkers(1)
-		serial, err := s.Solve(serialCtx, in, Options{})
+		serial, err := s.Solve(context.Background(), serialCtx, in, Options{})
 		if err != nil {
 			t.Fatalf("%s serial: %v", s.Name(), err)
 		}
 		parCtx := testContext(t)
 		parCtx.SetHostWorkers(16)
-		par, err := s.Solve(parCtx, in, Options{})
+		par, err := s.Solve(context.Background(), parCtx, in, Options{})
 		if err != nil {
 			t.Fatalf("%s parallel: %v", s.Name(), err)
 		}

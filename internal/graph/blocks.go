@@ -25,6 +25,28 @@ type Decomposition struct {
 	Q int // number of block rows/cols: ceil(N/B)
 }
 
+// DefaultBlockSize resolves a requested 2D-decomposition block size
+// against matrix order n: a non-positive b falls back to preferred (the
+// caller's policy default — n/8 for solves, 256 for store tiles), and the
+// result is clamped to [1, n] so it always satisfies NewDecomposition.
+// The facade's block-size defaults (solve: n/8, store tiles: 256) route
+// through here so their clamping rules cannot drift apart. The solve
+// path only calls it for the automatic default — explicit solve sizes
+// are rejected by NewDecomposition — while the store-tile path also
+// clamps explicit oversize values, matching store.Write's own clamp.
+func DefaultBlockSize(b, n, preferred int) int {
+	if b <= 0 {
+		b = preferred
+	}
+	if b > n && n > 0 {
+		b = n
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
 // NewDecomposition validates and builds a decomposition.
 func NewDecomposition(n, b int) (Decomposition, error) {
 	if n <= 0 {

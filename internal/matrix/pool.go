@@ -1,6 +1,9 @@
 package matrix
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // The block arena: a sync.Pool recycling dense block backing arrays across
 // kernel invocations. The blocked APSP solvers churn through b x b
@@ -23,6 +26,7 @@ func Get(r, c int) *Block {
 	need := r * c
 	if v := pool.Get(); v != nil {
 		b := v.(*Block)
+		trackGet(b)
 		if cap(b.Data) >= need {
 			b.R, b.C = r, c
 			b.Data = b.Data[:need]
@@ -50,5 +54,94 @@ func Put(b *Block) {
 	if b == nil || b.Data == nil {
 		return
 	}
+	if !trackPut(b) {
+		return
+	}
 	pool.Put(b)
+}
+
+// --- arena integrity checking (tests) ---
+//
+// The pool-safety discipline ("a block that escaped into an RDD,
+// broadcast or store is never Put; a Put block is never touched again")
+// cannot be proven by types, so tests enforce it dynamically: with
+// checking enabled the arena tracks which blocks it currently owns and
+// counts Puts of a block the arena already holds — the double-free that
+// would alias two independent kernels onto one backing array. The
+// cancellation tests flip it on around mid-run-aborted solves, where
+// unwound error paths are most likely to misplace ownership.
+
+// PoolStats counts arena traffic while checking is enabled.
+type PoolStats struct {
+	// Gets is the number of blocks handed back out of the pool.
+	Gets int64
+	// Puts is the number of blocks accepted into the pool.
+	Puts int64
+	// DoublePuts counts Puts of blocks the pool already owned. Always 0
+	// unless the pool-safety invariant is broken; the offending Put is
+	// swallowed so the arena stays consistent for later assertions.
+	DoublePuts int64
+}
+
+var (
+	checkOn   atomic.Bool
+	checkMu   sync.Mutex
+	poolOwned map[*Block]struct{}
+	poolStats PoolStats
+)
+
+// SetPoolCheck enables or disables arena integrity checking, resetting
+// counters and ownership state either way. Test use only: the ownership
+// map keeps a reference to every block it has seen Put (a GC cycle may
+// still evict entries from the sync.Pool itself; such blocks simply stay
+// in the map, retained until the next SetPoolCheck), so expect extra
+// memory retention while enabled.
+func SetPoolCheck(on bool) {
+	checkMu.Lock()
+	defer checkMu.Unlock()
+	poolOwned = nil
+	poolStats = PoolStats{}
+	if on {
+		poolOwned = make(map[*Block]struct{})
+	}
+	checkOn.Store(on)
+}
+
+// PoolCheckStats snapshots the counters accumulated since SetPoolCheck.
+func PoolCheckStats() PoolStats {
+	checkMu.Lock()
+	defer checkMu.Unlock()
+	return poolStats
+}
+
+func trackGet(b *Block) {
+	if !checkOn.Load() {
+		return
+	}
+	checkMu.Lock()
+	if poolOwned != nil {
+		delete(poolOwned, b)
+		poolStats.Gets++
+	}
+	checkMu.Unlock()
+}
+
+// trackPut reports whether the Put may proceed (false for a detected
+// double-Put, which is recorded and suppressed).
+func trackPut(b *Block) bool {
+	if !checkOn.Load() {
+		return true
+	}
+	checkMu.Lock()
+	defer checkMu.Unlock()
+	if poolOwned == nil {
+		return true
+	}
+	if _, dup := poolOwned[b]; dup {
+		poolStats.DoublePuts++
+		return false
+	}
+	poolOwned[b] = struct{}{}
+	poolStats.Puts++
+	return true
 }

@@ -1,0 +1,50 @@
+package matrix
+
+import "testing"
+
+func TestPoolCheckCountsTraffic(t *testing.T) {
+	SetPoolCheck(true)
+	defer SetPoolCheck(false)
+
+	a := Get(4, 4)
+	Put(a)
+	b := Get(4, 4) // may or may not be a's array; either way it is a Get
+	st := PoolCheckStats()
+	if st.Puts != 1 {
+		t.Fatalf("Puts = %d, want 1", st.Puts)
+	}
+	if st.DoublePuts != 0 {
+		t.Fatalf("DoublePuts = %d, want 0", st.DoublePuts)
+	}
+	Put(b)
+}
+
+func TestPoolCheckDetectsDoublePut(t *testing.T) {
+	SetPoolCheck(true)
+	defer SetPoolCheck(false)
+
+	a := Get(8, 8)
+	Put(a)
+	Put(a) // the invariant violation under test
+	st := PoolCheckStats()
+	if st.DoublePuts != 1 {
+		t.Fatalf("DoublePuts = %d, want 1", st.DoublePuts)
+	}
+	// The duplicate was suppressed: the arena holds exactly one copy, so
+	// two Gets cannot alias.
+	x, y := Get(8, 8), Get(8, 8)
+	if x == y {
+		t.Fatal("double-Put aliased two Gets onto one block")
+	}
+	Put(x)
+	Put(y)
+}
+
+func TestPoolCheckOffIsTransparent(t *testing.T) {
+	SetPoolCheck(false)
+	a := Get(4, 4)
+	Put(a)
+	if st := PoolCheckStats(); st != (PoolStats{}) {
+		t.Fatalf("counters moved while checking disabled: %+v", st)
+	}
+}

@@ -9,6 +9,7 @@
 package rdd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -126,6 +127,33 @@ func (f *FailureInjector) shouldFail(stage string, task int) bool {
 // maxTaskAttempts mirrors Spark's default of 4 task attempts.
 const maxTaskAttempts = 4
 
+// StageEvent is one entry of the driver's progress stream: emitted after
+// every completed stage, after every solver iteration unit, and once more
+// when the job finishes. DeltaSeconds telescopes: summing it over all
+// events of a job yields the job's final virtual time, including driver
+// advances (collect, broadcast) that happen between stages.
+type StageEvent struct {
+	// Seq is the 1-based stage sequence number within the driver context.
+	Seq int
+	// Name labels the event: the stage name for stage completions, "unit"
+	// for iteration-unit boundaries, "done" for the final event.
+	Name string
+	// Tasks is the completed stage's task count (0 for unit/done events).
+	Tasks int
+	// UnitsDone / UnitsTotal report solver iteration progress as of the
+	// event (solver-specific units: columns for RS, pivots for FW2D, block
+	// iterations for IM/CB).
+	UnitsDone, UnitsTotal int
+	// VirtualSeconds is the cluster clock when the event fired.
+	VirtualSeconds float64
+	// DeltaSeconds is the clock advance since the previous event.
+	DeltaSeconds float64
+	// ShuffleBytes is the cumulative shuffle traffic so far.
+	ShuffleBytes int64
+	// Done marks the final event of a job.
+	Done bool
+}
+
 // Context is the driver: it owns the virtual cluster, the shared store,
 // the kernel cost model, and executes stages.
 type Context struct {
@@ -136,12 +164,17 @@ type Context struct {
 
 	Injector *FailureInjector
 
-	mu       sync.Mutex
-	nextID   int
-	stageSeq int
-	impure   bool
-	failed   bool
-	workers  int
+	mu         sync.Mutex
+	nextID     int
+	stageSeq   int
+	impure     bool
+	failed     bool
+	workers    int
+	jobCtx     context.Context
+	progress   func(StageEvent)
+	unitsDone  int
+	unitsTotal int
+	lastClock  float64
 }
 
 // NewContext builds a driver context over a virtual cluster.
@@ -167,6 +200,84 @@ func (c *Context) SetHostWorkers(n int) {
 	c.mu.Lock()
 	c.workers = n
 	c.mu.Unlock()
+}
+
+// BindContext attaches a job context to the driver. Every subsequent
+// stage checks it at its boundary: a cancelled or expired context aborts
+// the stage before any task launches and surfaces ctx.Err() through the
+// failing action, so multi-hour solves stop within one stage. nil binds
+// context.Background().
+func (c *Context) BindContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	c.jobCtx = ctx
+	c.mu.Unlock()
+}
+
+// Err reports the bound job context's cancellation status (nil when no
+// context is bound or it is still live).
+func (c *Context) Err() error {
+	c.mu.Lock()
+	ctx := c.jobCtx
+	c.mu.Unlock()
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// SetProgress installs the progress observer. It is invoked synchronously
+// on the driver goroutine after every stage, unit, and job completion —
+// keep it fast and do not call back into the engine from it. Install it
+// before the job starts; it is not safe to swap mid-run observers that
+// race with running stages.
+func (c *Context) SetProgress(fn func(StageEvent)) {
+	c.mu.Lock()
+	c.progress = fn
+	c.mu.Unlock()
+}
+
+// ReportUnit records solver iteration progress (done of total units) and
+// emits a "unit" progress event at the current clock.
+func (c *Context) ReportUnit(done, total int) {
+	c.mu.Lock()
+	c.unitsDone, c.unitsTotal = done, total
+	c.mu.Unlock()
+	c.emitProgress("unit", 0, false)
+}
+
+// FinishProgress emits the final "done" event of a job, folding in any
+// trailing driver advances (the last collect, broadcasts) so that the
+// DeltaSeconds of all emitted events sum to the job's final virtual time.
+func (c *Context) FinishProgress() {
+	c.emitProgress("done", 0, true)
+}
+
+// emitProgress builds and delivers one StageEvent if an observer is set.
+func (c *Context) emitProgress(name string, tasks int, done bool) {
+	c.mu.Lock()
+	fn := c.progress
+	if fn == nil {
+		c.mu.Unlock()
+		return
+	}
+	now := c.Cluster.Now()
+	ev := StageEvent{
+		Seq:            c.stageSeq,
+		Name:           name,
+		Tasks:          tasks,
+		UnitsDone:      c.unitsDone,
+		UnitsTotal:     c.unitsTotal,
+		VirtualSeconds: now,
+		DeltaSeconds:   now - c.lastClock,
+		ShuffleBytes:   c.Cluster.Metrics().ShuffleBytes,
+		Done:           done,
+	}
+	c.lastClock = now
+	c.mu.Unlock()
+	fn(ev)
 }
 
 // MarkImpure records that the computation has side effects outside RDD
@@ -265,6 +376,12 @@ type stageResult struct {
 // scheduling overhead is charged per task; injected failures retry up to
 // maxTaskAttempts unless the run is impure.
 func (c *Context) runStage(name string, n int, task func(tc *TaskContext, i int) ([]Pair, error)) ([][]Pair, error) {
+	// Stage boundary: a cancelled or expired job context aborts here,
+	// before any task launches. Long stages run to completion; the next
+	// boundary stops the job.
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	c.stageSeq++
 	stage := fmt.Sprintf("%s#%d", name, c.stageSeq)
@@ -370,6 +487,7 @@ func (c *Context) runStage(name string, n int, task func(tc *TaskContext, i int)
 		makespan = floor
 	}
 	c.Cluster.RecordStage(stage, n, makespan, sum)
+	c.emitProgress(name, n, false)
 
 	if firstErr != nil {
 		c.mu.Lock()

@@ -13,6 +13,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -22,14 +23,16 @@ import (
 )
 
 // Source supplies distances. Implementations must be safe for concurrent
-// use and must hand out caller-owned row slices.
+// use and must hand out caller-owned row slices. The context bounds any
+// IO behind a read (a tile-store miss pages tiles in from disk);
+// in-memory implementations may ignore it.
 type Source interface {
 	// N returns the number of vertices.
 	N() int
 	// Dist returns d(i, j), matrix.Inf when unreachable.
-	Dist(i, j int) (float64, error)
+	Dist(ctx context.Context, i, j int) (float64, error)
 	// Row returns a fresh copy of vertex i's full distance row.
-	Row(i int) ([]float64, error)
+	Row(ctx context.Context, i int) ([]float64, error)
 }
 
 // matrixSource adapts an in-memory dense matrix to Source; it is how
@@ -52,14 +55,14 @@ func NewMatrixSource(m *matrix.Block) (Source, error) {
 
 func (s *matrixSource) N() int { return s.m.R }
 
-func (s *matrixSource) Dist(i, j int) (float64, error) {
+func (s *matrixSource) Dist(_ context.Context, i, j int) (float64, error) {
 	if i < 0 || i >= s.m.R || j < 0 || j >= s.m.R {
 		return 0, fmt.Errorf("serve: vertex pair (%d,%d) outside [0,%d)", i, j, s.m.R)
 	}
 	return s.m.At(i, j), nil
 }
 
-func (s *matrixSource) Row(i int) ([]float64, error) {
+func (s *matrixSource) Row(_ context.Context, i int) ([]float64, error) {
 	if i < 0 || i >= s.m.R {
 		return nil, fmt.Errorf("serve: vertex %d outside [0,%d)", i, s.m.R)
 	}
@@ -116,19 +119,23 @@ func (e *Engine) N() int { return e.src.N() }
 func (e *Engine) HasGraph() bool { return e.g != nil }
 
 // Dist returns d(from, to).
-func (e *Engine) Dist(from, to int) (float64, error) { return e.src.Dist(from, to) }
+func (e *Engine) Dist(ctx context.Context, from, to int) (float64, error) {
+	return e.src.Dist(ctx, from, to)
+}
 
 // Row returns the full distance row of from.
-func (e *Engine) Row(from int) ([]float64, error) { return e.src.Row(from) }
+func (e *Engine) Row(ctx context.Context, from int) ([]float64, error) {
+	return e.src.Row(ctx, from)
+}
 
 // KNN returns the k nearest reachable targets of from, excluding from
 // itself, ordered by distance with vertex id breaking ties. Fewer than k
 // entries come back when the reachable set is smaller.
-func (e *Engine) KNN(from, k int) ([]Target, error) {
+func (e *Engine) KNN(ctx context.Context, from, k int) ([]Target, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("serve: k = %d, want >= 1", k)
 	}
-	row, err := e.src.Row(from)
+	row, err := e.src.Row(ctx, from)
 	if err != nil {
 		return nil, err
 	}
@@ -162,11 +169,11 @@ func pathTol(d float64) float64 { return 1e-9 * (1 + math.Abs(d)) }
 // reads against a store), plus the graph adjacency of each hop. Among
 // equally short paths the one following the smallest vertex ids (walking
 // backwards from the destination) is returned deterministically.
-func (e *Engine) Path(from, to int) (Path, error) {
+func (e *Engine) Path(ctx context.Context, from, to int) (Path, error) {
 	if e.g == nil {
 		return Path{}, ErrNoGraph
 	}
-	row, err := e.src.Row(from)
+	row, err := e.src.Row(ctx, from)
 	if err != nil {
 		return Path{}, err
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -67,12 +68,12 @@ func TestEngineDistRowAgainstReference(t *testing.T) {
 	_, dist := solvedGraph(t, 60, 4)
 	e := newEngine(t, nil, dist)
 	for i := 0; i < 60; i += 7 {
-		row, err := e.Row(i)
+		row, err := e.Row(context.Background(), i)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for j := 0; j < 60; j++ {
-			d, err := e.Dist(i, j)
+			d, err := e.Dist(context.Background(), i, j)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -85,9 +86,9 @@ func TestEngineDistRowAgainstReference(t *testing.T) {
 		}
 	}
 	// Row copies must be caller-owned: mutating one must not leak back.
-	r1, _ := e.Row(0)
+	r1, _ := e.Row(context.Background(), 0)
 	r1[5] = -1
-	r2, _ := e.Row(0)
+	r2, _ := e.Row(context.Background(), 0)
 	if r2[5] == -1 {
 		t.Fatal("Row aliases the underlying matrix")
 	}
@@ -96,16 +97,16 @@ func TestEngineDistRowAgainstReference(t *testing.T) {
 func TestEngineBounds(t *testing.T) {
 	_, dist := solvedGraph(t, 20, 1)
 	e := newEngine(t, nil, dist)
-	if _, err := e.Dist(-1, 0); err == nil {
+	if _, err := e.Dist(context.Background(), -1, 0); err == nil {
 		t.Error("negative vertex accepted")
 	}
-	if _, err := e.Row(20); err == nil {
+	if _, err := e.Row(context.Background(), 20); err == nil {
 		t.Error("out-of-range row accepted")
 	}
-	if _, err := e.KNN(0, 0); err == nil {
+	if _, err := e.KNN(context.Background(), 0, 0); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := e.Path(0, 1); err != ErrNoGraph {
+	if _, err := e.Path(context.Background(), 0, 1); err != ErrNoGraph {
 		t.Errorf("Path without graph: %v, want ErrNoGraph", err)
 	}
 }
@@ -114,7 +115,7 @@ func TestKNN(t *testing.T) {
 	_, dist := solvedGraph(t, 50, 9)
 	e := newEngine(t, nil, dist)
 	for _, from := range []int{0, 17, 49} {
-		got, err := e.KNN(from, 5)
+		got, err := e.KNN(context.Background(), from, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,7 +156,7 @@ func TestKNN(t *testing.T) {
 		}
 	}
 	// k larger than the reachable set: everything comes back.
-	got, err := e.KNN(0, 500)
+	got, err := e.KNN(context.Background(), 0, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestPathReconstruction(t *testing.T) {
 	for from := 0; from < 80; from += 9 {
 		for to := 0; to < 80; to += 7 {
 			want := dist.At(from, to)
-			p, err := e.Path(from, to)
+			p, err := e.Path(context.Background(), from, to)
 			if math.IsInf(want, 1) {
 				if err != ErrNoPath {
 					t.Fatalf("Path(%d,%d) unreachable: err = %v, want ErrNoPath", from, to, err)
@@ -200,7 +201,7 @@ func TestPathHandBuilt(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := newEngine(t, g, seq.FloydWarshall(g))
-	p, err := e.Path(0, 2)
+	p, err := e.Path(context.Background(), 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,12 +209,12 @@ func TestPathHandBuilt(t *testing.T) {
 		t.Fatalf("path = %+v, want hops [0 1 2] dist 2", p)
 	}
 	// Self path.
-	p, err = e.Path(3, 3)
+	p, err = e.Path(context.Background(), 3, 3)
 	if err != nil || len(p.Hops) != 1 || p.Dist != 0 {
 		t.Fatalf("self path = %+v, %v", p, err)
 	}
 	// Vertex 3 is isolated.
-	if _, err := e.Path(0, 3); err != ErrNoPath {
+	if _, err := e.Path(context.Background(), 0, 3); err != ErrNoPath {
 		t.Fatalf("path to isolated vertex: %v", err)
 	}
 }
@@ -229,7 +230,7 @@ func TestPathZeroWeightEdges(t *testing.T) {
 	}
 	dist := seq.FloydWarshall(g)
 	e := newEngine(t, g, dist)
-	p, err := e.Path(0, 4)
+	p, err := e.Path(context.Background(), 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -94,7 +94,7 @@ func Handler(e *Engine) http.Handler {
 		if !ok {
 			return
 		}
-		d, err := e.Dist(from, to)
+		d, err := e.Dist(r.Context(), from, to)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
@@ -106,7 +106,7 @@ func Handler(e *Engine) http.Handler {
 		if !ok {
 			return
 		}
-		row, err := e.Row(from)
+		row, err := e.Row(r.Context(), from)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
@@ -131,7 +131,7 @@ func Handler(e *Engine) http.Handler {
 			}
 			k = v
 		}
-		targets, err := e.KNN(from, k)
+		targets, err := e.KNN(r.Context(), from, k)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
@@ -147,7 +147,7 @@ func Handler(e *Engine) http.Handler {
 		if !ok {
 			return
 		}
-		p, err := e.Path(from, to)
+		p, err := e.Path(r.Context(), from, to)
 		switch {
 		case errors.Is(err, ErrNoPath):
 			writeError(w, http.StatusNotFound, err)

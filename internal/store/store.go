@@ -24,6 +24,7 @@ package store
 
 import (
 	"container/list"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -298,8 +299,10 @@ func (s *Store) Stats() CacheStats {
 
 // Tile returns tile (bi, bj) — an h x w dense block, ragged at the matrix
 // edge. The block is shared: callers must neither mutate it nor return it
-// to the block arena.
-func (s *Store) Tile(bi, bj int) (*matrix.Block, error) {
+// to the block arena. A cancelled or expired ctx aborts before the disk
+// read of a cache miss; cache hits are served regardless (they cost
+// nothing and keep hot queries snappy during shutdown drains).
+func (s *Store) Tile(ctx context.Context, bi, bj int) (*matrix.Block, error) {
 	if bi < 0 || bi >= s.q || bj < 0 || bj >= s.q {
 		return nil, fmt.Errorf("store: tile (%d,%d) outside %dx%d grid", bi, bj, s.q, s.q)
 	}
@@ -313,6 +316,17 @@ func (s *Store) Tile(bi, bj int) (*matrix.Block, error) {
 		s.mu.Unlock()
 		return blk, nil
 	}
+	s.mu.Unlock()
+
+	// The cancellation check precedes the miss count: an aborted query
+	// performs no disk read, so it must not skew the hit-rate counters
+	// /healthz reports.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
 	s.misses++
 	s.mu.Unlock()
 
@@ -373,15 +387,15 @@ func (s *Store) readTile(bi, bj, id int) (*matrix.Block, error) {
 }
 
 // Dist returns the shortest-path distance from i to j (matrix.Inf when no
-// path exists).
-func (s *Store) Dist(i, j int) (float64, error) {
+// path exists). ctx bounds the tile read of a cache miss.
+func (s *Store) Dist(ctx context.Context, i, j int) (float64, error) {
 	if err := s.checkVertex(i); err != nil {
 		return 0, err
 	}
 	if err := s.checkVertex(j); err != nil {
 		return 0, err
 	}
-	tile, err := s.Tile(i/s.b, j/s.b)
+	tile, err := s.Tile(ctx, i/s.b, j/s.b)
 	if err != nil {
 		return 0, err
 	}
@@ -389,15 +403,17 @@ func (s *Store) Dist(i, j int) (float64, error) {
 }
 
 // Row returns a fresh copy of the full distance row of vertex i, assembled
-// from the q tiles of its row band.
-func (s *Store) Row(i int) ([]float64, error) {
+// from the q tiles of its row band. ctx aborts the assembly between tile
+// reads, so a cancelled client stops paying disk IO after at most one
+// tile.
+func (s *Store) Row(ctx context.Context, i int) ([]float64, error) {
 	if err := s.checkVertex(i); err != nil {
 		return nil, err
 	}
 	out := make([]float64, s.n)
 	bi, r := i/s.b, i%s.b
 	for bj := 0; bj < s.q; bj++ {
-		tile, err := s.Tile(bi, bj)
+		tile, err := s.Tile(ctx, bi, bj)
 		if err != nil {
 			return nil, err
 		}

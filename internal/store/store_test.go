@@ -1,7 +1,9 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -83,13 +85,13 @@ func TestRoundTripExact(t *testing.T) {
 			t.Fatalf("N = %d, want %d", s.N(), tc.n)
 		}
 		for i := 0; i < tc.n; i++ {
-			row, err := s.Row(i)
+			row, err := s.Row(context.Background(), i)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for j := 0; j < tc.n; j++ {
 				want := m.At(i, j)
-				d, err := s.Dist(i, j)
+				d, err := s.Dist(context.Background(), i, j)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -116,14 +118,14 @@ func TestCacheHitsAndEvictions(t *testing.T) {
 	}
 	defer s.Close()
 
-	if _, err := s.Tile(0, 0); err != nil {
+	if _, err := s.Tile(context.Background(), 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	a, err := s.Tile(0, 0)
+	a, err := s.Tile(context.Background(), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ := s.Tile(0, 0)
+	b, _ := s.Tile(context.Background(), 0, 0)
 	if a != b {
 		t.Fatal("cache hit returned a different block")
 	}
@@ -134,13 +136,13 @@ func TestCacheHitsAndEvictions(t *testing.T) {
 
 	// Touch two more tiles: the budget holds 2, so the LRU one (0,1) must
 	// go while the re-touched (0,0) survives.
-	if _, err := s.Tile(0, 1); err != nil {
+	if _, err := s.Tile(context.Background(), 0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Tile(0, 0); err != nil {
+	if _, err := s.Tile(context.Background(), 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Tile(0, 2); err != nil {
+	if _, err := s.Tile(context.Background(), 0, 2); err != nil {
 		t.Fatal(err)
 	}
 	st = s.Stats()
@@ -149,12 +151,12 @@ func TestCacheHitsAndEvictions(t *testing.T) {
 	}
 	// (0,0) still cached, (0,1) evicted: hit count isolates which.
 	before := s.Stats().Hits
-	s.Tile(0, 0)
+	s.Tile(context.Background(), 0, 0)
 	if s.Stats().Hits != before+1 {
 		t.Fatal("recently used tile was evicted")
 	}
 	before = s.Stats().Misses
-	s.Tile(0, 1)
+	s.Tile(context.Background(), 0, 1)
 	if s.Stats().Misses != before+1 {
 		t.Fatal("LRU tile survived eviction")
 	}
@@ -170,7 +172,7 @@ func TestOversizeTileServedUncached(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if _, err := s.Tile(1, 1); err != nil {
+	if _, err := s.Tile(context.Background(), 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	st := s.Stats()
@@ -185,16 +187,16 @@ func TestBoundsErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if _, err := s.Dist(-1, 0); err == nil {
+	if _, err := s.Dist(context.Background(), -1, 0); err == nil {
 		t.Error("negative vertex accepted")
 	}
-	if _, err := s.Dist(0, 10); err == nil {
+	if _, err := s.Dist(context.Background(), 0, 10); err == nil {
 		t.Error("out-of-range vertex accepted")
 	}
-	if _, err := s.Row(10); err == nil {
+	if _, err := s.Row(context.Background(), 10); err == nil {
 		t.Error("out-of-range row accepted")
 	}
-	if _, err := s.Tile(3, 0); err == nil {
+	if _, err := s.Tile(context.Background(), 3, 0); err == nil {
 		t.Error("out-of-range tile accepted")
 	}
 }
@@ -266,10 +268,10 @@ func TestCorruptTilePayload(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if _, err := s.Tile(0, 0); err == nil {
+	if _, err := s.Tile(context.Background(), 0, 0); err == nil {
 		t.Fatal("corrupt tile decoded cleanly")
 	}
-	if _, err := s.Tile(1, 1); err != nil {
+	if _, err := s.Tile(context.Background(), 1, 1); err != nil {
 		t.Fatalf("undamaged tile unreadable: %v", err)
 	}
 }
@@ -298,7 +300,7 @@ func TestConcurrentQueries(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			for it := 0; it < 300; it++ {
 				i, j := rng.Intn(n), rng.Intn(n)
-				d, err := s.Dist(i, j)
+				d, err := s.Dist(context.Background(), i, j)
 				if err != nil {
 					errs <- err
 					return
@@ -309,7 +311,7 @@ func TestConcurrentQueries(t *testing.T) {
 					return
 				}
 				if it%25 == 0 {
-					if _, err := s.Row(rng.Intn(n)); err != nil {
+					if _, err := s.Row(context.Background(), rng.Intn(n)); err != nil {
 						errs <- err
 						return
 					}
@@ -329,5 +331,41 @@ func TestConcurrentQueries(t *testing.T) {
 	st := s.Stats()
 	if st.Hits == 0 || st.Evictions == 0 {
 		t.Fatalf("workload did not exercise the cache: %+v", st)
+	}
+}
+
+// TestTileContextCancellation: a cancelled context blocks the disk read
+// of a cache miss but still serves cache hits (cheap, no IO).
+func TestTileContextCancellation(t *testing.T) {
+	m := testMatrix(12, 3)
+	path := writeTestStore(t, m, 4)
+	s, err := Open(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Warm one tile with a live context.
+	if _, err := s.Tile(context.Background(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Tile(ctx, 1, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cold tile under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := s.Tile(ctx, 0, 0); err != nil {
+		t.Fatalf("hot tile under cancelled ctx should still serve: %v", err)
+	}
+	if _, err := s.Dist(ctx, 8, 8); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Dist miss under cancelled ctx: err = %v", err)
+	}
+	if _, err := s.Row(ctx, 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Row miss under cancelled ctx: err = %v", err)
+	}
+	// nil context behaves as Background.
+	if _, err := s.Row(nil, 5); err != nil {
+		t.Fatalf("nil ctx Row: %v", err)
 	}
 }

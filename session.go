@@ -1,0 +1,177 @@
+package apspark
+
+import (
+	"context"
+	"fmt"
+
+	"apspark/internal/cluster"
+	"apspark/internal/core"
+	"apspark/internal/costmodel"
+	"apspark/internal/graph"
+	"apspark/internal/seq"
+)
+
+// Session is the context-first entry point: it owns the virtual cluster
+// configuration, the kernel cost model, and a set of default solve
+// options, and runs jobs against them with Solve and Project. Build one
+// with New and functional options:
+//
+//	s, _ := apspark.New(
+//	    apspark.WithClusterCores(256),
+//	    apspark.WithSolver(apspark.SolverCB),
+//	)
+//	res, err := s.Solve(ctx, g, apspark.WithBlockSize(64))
+//
+// Each job instantiates a fresh virtual cluster from the session's
+// configuration, so jobs are independent (virtual clocks and metrics
+// never bleed across runs) and a Session is safe for concurrent use. A
+// cancelled or expired ctx stops a job at the next stage boundary,
+// returning the partial Result (UnitsRun, metrics and projection intact)
+// alongside ctx.Err(); WithProgress streams per-stage events while the
+// job runs.
+type Session struct {
+	cluster  cluster.Config
+	model    costmodel.KernelModel
+	defaults jobSettings
+}
+
+// newSession is the single source of session defaults, shared by New and
+// the legacy Config wrappers.
+func newSession() *Session {
+	return &Session{
+		cluster:  cluster.Paper(),
+		model:    costmodel.PaperKernels(),
+		defaults: defaultJobSettings(),
+	}
+}
+
+// New builds a Session. Without options it simulates the paper's
+// 32-node, 1,024-core cluster with the paper-calibrated kernel model and
+// solves with Blocked Collect/Broadcast, the paper's best strategy.
+func New(opts ...Option) (*Session, error) {
+	s := newSession()
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o.applySession(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// job merges the session defaults with per-job options.
+func (s *Session) job(opts []SolveOption) (jobSettings, error) {
+	job := s.defaults
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o.applyJob(&job); err != nil {
+			return jobSettings{}, err
+		}
+	}
+	return job, nil
+}
+
+// Solve runs a distributed APSP solve with real data and returns the
+// distance matrix alongside the simulated cluster time. ctx cancels the
+// run at the next stage boundary: the returned error is ctx.Err() and
+// the returned Result is the partial accounting of the units that
+// completed (Dist stays nil). nil ctx means context.Background().
+func (s *Session) Solve(ctx context.Context, g *Graph, opts ...SolveOption) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("apspark: Solve with nil graph")
+	}
+	job, err := s.job(opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(ctx, g, g.N, job)
+}
+
+// Project runs a paper-scale virtual solve on phantom (shape-only) data:
+// no distances are computed, but the simulated cluster replays the full
+// task, shuffle and storage schedule and reports its virtual time. The
+// same cancellation and progress semantics as Solve apply.
+func (s *Session) Project(ctx context.Context, n int, opts ...SolveOption) (*Result, error) {
+	job, err := s.job(opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(ctx, nil, n, job)
+}
+
+// run executes one job: a real solve when g is non-nil, a phantom
+// projection otherwise.
+func (s *Session) run(ctx context.Context, g *Graph, n int, job jobSettings) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	solver, err := core.SolverByName(string(job.solver))
+	if err != nil {
+		return nil, err
+	}
+	// Only the automatic default (block size 0) is clamped; an explicit
+	// block size outside [1, n] is a caller mistake and must fail loudly
+	// rather than silently solve with a different tiling. Negative values
+	// can only arrive through the legacy Config (WithBlockSize rejects
+	// them), which has always treated them as errors.
+	b := job.blockSize
+	if b < 0 {
+		return nil, fmt.Errorf("apspark: block size %d must be >= 0 (0 = auto)", b)
+	}
+	if b == 0 {
+		b = graph.DefaultBlockSize(0, n, n/8)
+	}
+	clu, err := cluster.New(s.cluster)
+	if err != nil {
+		return nil, err
+	}
+	if job.trace {
+		clu.EnableTrace()
+	}
+	rc := core.NewContext(clu, s.model)
+	if job.progress != nil {
+		rc.SetProgress(job.progress)
+	}
+
+	var in core.Input
+	if g != nil {
+		in, err = core.NewInput(g.Dense(), b)
+	} else {
+		in, err = core.NewPhantomInput(n, b)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res, solveErr := solver.Solve(ctx, rc, in, core.Options{
+		BlockSize:    b,
+		Partitioner:  job.partitioner,
+		PartsPerCore: job.partsPerCore,
+		MaxUnits:     job.maxUnits,
+	})
+	// The final event folds in trailing driver advances (the result
+	// collect) so the progress deltas sum to the job's virtual time —
+	// emitted on the error path too, where it closes out a partial run.
+	rc.FinishProgress()
+	if solveErr != nil {
+		if res == nil {
+			return nil, solveErr
+		}
+		out := wrap(res)
+		out.Timeline = clu.Timeline()
+		return out, solveErr
+	}
+	if job.verify && g != nil && res.Dist != nil {
+		want := seq.FloydWarshall(g)
+		if !res.Dist.AllClose(want, 1e-9) {
+			return nil, fmt.Errorf("apspark: %s result diverges from sequential Floyd-Warshall", solver.Name())
+		}
+	}
+	out := wrap(res)
+	out.Timeline = clu.Timeline()
+	return out, nil
+}
