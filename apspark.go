@@ -194,10 +194,29 @@ func wrap(res *core.Result) *Result {
 }
 
 // Store is a read handle on a persisted tiled distance store: the solved
-// matrix cut into b x b tiles on disk, queried back through a
-// byte-budgeted LRU tile cache. See Result.WriteStore and OpenStore.
+// matrix cut into b x b tiles on disk, queried back through a sharded,
+// byte-budgeted cache hierarchy (assembled rows above decoded tiles). See
+// Result.WriteStore, OpenStore and OpenStoreWithOptions. The embedded
+// handle also exposes the throughput primitives RowView (shared row, no
+// copy) and RowInto (allocation-free reads into a reused buffer).
 type Store struct {
 	*store.Store
+}
+
+// StoreOptions configures a store read handle opened with
+// OpenStoreWithOptions. Each budget is a hard cap on the bytes that cache
+// holds at any instant.
+type StoreOptions struct {
+	// TileCacheBytes bounds the decoded-tile cache (0 disables it).
+	TileCacheBytes int64
+	// RowCacheBytes bounds the assembled-row cache sitting above the
+	// tiles (0 disables it). Row, KNN and Path queries consume whole
+	// rows, so serving deployments should give this cache the larger
+	// share.
+	RowCacheBytes int64
+	// Shards forces the lock-stripe count of both caches; 0 picks
+	// automatically from the budgets.
+	Shards int
 }
 
 // WriteStore persists the solve's distance matrix as a tiled store file
@@ -212,11 +231,22 @@ func (r *Result) WriteStore(path string, blockSize int) error {
 	return store.Write(path, r.Dist, graph.DefaultBlockSize(blockSize, r.Dist.R, 256))
 }
 
-// OpenStore opens a tiled distance store for querying. cacheBytes bounds
-// the decoded tile bytes held in memory at any instant; it may be far
-// smaller than the full matrix.
+// OpenStore opens a tiled distance store for querying with a tile cache
+// of cacheBytes and no row cache; it may be far smaller than the full
+// matrix. Serving workloads should prefer OpenStoreWithOptions with a
+// row-cache budget.
 func OpenStore(path string, cacheBytes int64) (*Store, error) {
-	s, err := store.Open(path, cacheBytes)
+	return OpenStoreWithOptions(path, StoreOptions{TileCacheBytes: cacheBytes})
+}
+
+// OpenStoreWithOptions opens a tiled distance store for querying with
+// explicit cache budgets (see StoreOptions).
+func OpenStoreWithOptions(path string, opts StoreOptions) (*Store, error) {
+	s, err := store.OpenWithOptions(path, store.Options{
+		TileCacheBytes: opts.TileCacheBytes,
+		RowCacheBytes:  opts.RowCacheBytes,
+		Shards:         opts.Shards,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"apspark/internal/serve"
@@ -210,6 +211,118 @@ func mustGet(t *testing.T, srv *httptest.Server, path string, into any) {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
 		t.Fatalf("GET %s: %v", path, err)
+	}
+}
+
+// TestOpenStoreWithOptionsServing covers the throughput-oriented facade
+// path: a row-cached store served through the engine, /healthz exposing
+// both cache sections with shard detail, and /batch answering a mixed
+// request — the full serving configuration apsp-serve runs with.
+func TestOpenStoreWithOptionsServing(t *testing.T) {
+	n, bs := 128, 16
+	g, err := NewErdosRenyiGraph(n, PaperEdgeProb(n), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(g, Config{Solver: SolverCB, BlockSize: bs, Cluster: tinyCluster()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dist.apsp")
+	if err := res.WriteStore(path, bs); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStoreWithOptions(path, StoreOptions{
+		TileCacheBytes: 1 << 20,
+		RowCacheBytes:  1 << 20,
+		Shards:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// The embedded throughput primitives are reachable through the facade.
+	buf := make([]float64, 0, n)
+	if buf, err = st.RowInto(context.Background(), 3, buf); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		want := res.Dist.At(3, j)
+		if buf[j] != want && !(math.IsInf(buf[j], 1) && math.IsInf(want, 1)) {
+			t.Fatalf("RowInto col %d = %v, want %v", j, buf[j], want)
+		}
+	}
+	if view, err := st.RowView(context.Background(), 3); err != nil || len(view) != n {
+		t.Fatalf("RowView: %v (len %d)", err, len(view))
+	}
+	if rst := st.RowStats(); rst.Hits == 0 {
+		t.Fatalf("row cache unused: %+v", rst)
+	}
+
+	eng, err := serve.New(st.Store, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(serve.Handler(eng))
+	defer srv.Close()
+
+	var h struct {
+		Cache *struct {
+			Shards []struct {
+				Hits int64 `json:"hits"`
+			} `json:"shards"`
+		} `json:"cache"`
+		RowCache *struct {
+			Hits   int64 `json:"hits"`
+			Shards []struct {
+				Hits int64 `json:"hits"`
+			} `json:"shards"`
+		} `json:"row_cache"`
+	}
+	mustGet(t, srv, "/healthz", &h)
+	if h.Cache == nil || h.RowCache == nil {
+		t.Fatalf("healthz missing cache sections: %+v", h)
+	}
+	if len(h.Cache.Shards) != 2 || len(h.RowCache.Shards) != 2 {
+		t.Fatalf("healthz shard detail: tile=%d row=%d, want 2/2", len(h.Cache.Shards), len(h.RowCache.Shards))
+	}
+
+	body := fmt.Sprintf(`{"dist":[{"from":0,"to":%d}],"knn":[{"from":1,"k":3}],"path":[{"from":0,"to":%d}]}`, n-1, n/2)
+	resp, err := http.Post(srv.URL+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/batch status %d", resp.StatusCode)
+	}
+	var br struct {
+		Dist []struct {
+			Dist *float64 `json:"dist"`
+		} `json:"dist"`
+		KNN []struct {
+			Targets []struct {
+				To int `json:"to"`
+			} `json:"targets"`
+		} `json:"knn"`
+		Path []struct {
+			Hops []int `json:"hops"`
+		} `json:"path"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Dist) != 1 || len(br.KNN) != 1 || len(br.Path) != 1 {
+		t.Fatalf("batch sections: %+v", br)
+	}
+	want := res.Dist.At(0, n-1)
+	if math.IsInf(want, 1) {
+		if br.Dist[0].Dist != nil {
+			t.Fatalf("batch dist = %v, want null", *br.Dist[0].Dist)
+		}
+	} else if br.Dist[0].Dist == nil || *br.Dist[0].Dist != want {
+		t.Fatalf("batch dist = %v, want %v", br.Dist[0].Dist, want)
 	}
 }
 

@@ -9,16 +9,19 @@
 //	apsp-bench table3            # Table 3 + Figure 5: weak scaling
 //	apsp-bench kernels           # fused vs unfused min-plus microbenchmarks
 //	apsp-bench store             # tiled-store query throughput (dist/row/knn/path)
+//	apsp-bench serve             # serving-engine throughput (single, hot, concurrent, batch)
 //	apsp-bench all               # everything
 //
 // Flags scale the experiments down for quick runs (-quick) or swap in a
 // live-calibrated kernel model (-calibrate). Unless -json is set to "",
-// a run that produced measurements (kernels, fig3, table2, table3) also
-// writes a machine-readable BENCH.json with the host kernel
-// microbenchmarks (wall ns/op, allocs/op) and the virtual seconds of each
-// regenerated experiment, so the performance trajectory can be tracked
-// across PRs; targets with nothing to record (fig2) leave any existing
-// report untouched.
+// a run that produced measurements also updates a machine-readable
+// BENCH.json with the host kernel microbenchmarks (wall ns/op,
+// allocs/op), the virtual seconds of each regenerated experiment, and the
+// serving-layer throughput numbers, so the performance trajectory can be
+// tracked across PRs. The update is a section-level merge: only the
+// sections the selected target produced are replaced, everything else in
+// an existing BENCH.json is preserved, so refreshing one target never
+// clobbers the others.
 package main
 
 import (
@@ -45,6 +48,7 @@ import (
 type kernelResult struct {
 	Name        string `json:"name"`
 	BlockSize   int    `json:"block_size"`
+	Quick       bool   `json:"quick,omitempty"`
 	Workers     int    `json:"workers,omitempty"`
 	NsPerOp     int64  `json:"wall_ns_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
@@ -55,6 +59,7 @@ type kernelResult struct {
 type experimentResult struct {
 	Experiment string  `json:"experiment"`
 	Label      string  `json:"label"`
+	Quick      bool    `json:"quick,omitempty"`
 	VirtualSec float64 `json:"virtual_sec"`
 }
 
@@ -63,10 +68,28 @@ type experimentResult struct {
 type storeQueryResult struct {
 	Query      string  `json:"query"`
 	N          int     `json:"n"`
+	Quick      bool    `json:"quick,omitempty"`
 	BlockSize  int     `json:"block_size"`
 	CacheBytes int64   `json:"cache_bytes"`
 	NsPerOp    int64   `json:"wall_ns_per_op"`
 	QPS        float64 `json:"queries_per_sec"`
+}
+
+// serveQueryResult is one serving-engine measurement: single-query
+// latency, steady-state row-cache-hit latency + allocs, concurrent-client
+// throughput, or per-query cost through the /batch HTTP endpoint.
+type serveQueryResult struct {
+	Query          string  `json:"query"`
+	N              int     `json:"n"`
+	Quick          bool    `json:"quick,omitempty"`
+	BlockSize      int     `json:"block_size"`
+	TileCacheBytes int64   `json:"tile_cache_bytes"`
+	RowCacheBytes  int64   `json:"row_cache_bytes"`
+	Clients        int     `json:"clients,omitempty"`
+	Batch          int     `json:"batch,omitempty"`
+	NsPerOp        int64   `json:"wall_ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	QPS            float64 `json:"queries_per_sec"`
 }
 
 // report aggregates everything a run produced.
@@ -76,6 +99,7 @@ type report struct {
 	Kernels     []kernelResult     `json:"kernels,omitempty"`
 	Experiments []experimentResult `json:"experiments,omitempty"`
 	StoreQuery  []storeQueryResult `json:"store_query,omitempty"`
+	ServeQuery  []serveQueryResult `json:"serve_query,omitempty"`
 }
 
 func main() {
@@ -112,26 +136,92 @@ func main() {
 	run("table3", table3)
 	run("kernels", kernels)
 	run("store", storeQueries)
+	run("serve", serveQueries)
 	switch what {
-	case "all", "fig2", "fig3", "table2", "table3", "kernels", "store":
+	case "all", "fig2", "fig3", "table2", "table3", "kernels", "store", "serve":
 	default:
-		fmt.Fprintf(os.Stderr, "apsp-bench: unknown target %q (want fig2|fig3|table2|table3|kernels|store|all)\n", what)
+		fmt.Fprintf(os.Stderr, "apsp-bench: unknown target %q (want fig2|fig3|table2|table3|kernels|store|serve|all)\n", what)
 		os.Exit(2)
 	}
 
-	if *jsonPath != "" && (len(rep.Kernels) > 0 || len(rep.Experiments) > 0 || len(rep.StoreQuery) > 0) {
-		buf, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "apsp-bench: marshal report: %v\n", err)
-			os.Exit(1)
-		}
-		buf = append(buf, '\n')
-		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "apsp-bench: write %s: %v\n", *jsonPath, err)
+	// Every entry carries its own quick stamp: the merged report mixes
+	// sections from different runs, so a file-global flag cannot label
+	// them truthfully.
+	for i := range rep.Kernels {
+		rep.Kernels[i].Quick = rep.Quick
+	}
+	for i := range rep.Experiments {
+		rep.Experiments[i].Quick = rep.Quick
+	}
+	for i := range rep.StoreQuery {
+		rep.StoreQuery[i].Quick = rep.Quick
+	}
+	for i := range rep.ServeQuery {
+		rep.ServeQuery[i].Quick = rep.Quick
+	}
+	if *jsonPath != "" && (len(rep.Kernels) > 0 || len(rep.Experiments) > 0 || len(rep.StoreQuery) > 0 || len(rep.ServeQuery) > 0) {
+		if err := writeReport(*jsonPath, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "apsp-bench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
+}
+
+// writeReport merge-updates the JSON report at path: only the sections
+// this run produced are replaced; sections written by earlier runs of
+// other targets survive. (A whole-file overwrite silently discarded e.g.
+// the kernels section every time the store target was refreshed.)
+func writeReport(path string, rep *report) error {
+	sections := map[string]json.RawMessage{}
+	if old, err := os.ReadFile(path); err == nil {
+		// Best-effort: a corrupt or foreign file starts the report over.
+		_ = json.Unmarshal(old, &sections)
+	}
+	put := func(key string, v any) error {
+		buf, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("marshal report section %s: %w", key, err)
+		}
+		sections[key] = buf
+		return nil
+	}
+	if err := put("gomaxprocs", rep.GoMaxProcs); err != nil {
+		return err
+	}
+	// No file-global quick flag: the merged report mixes sections from
+	// different runs, so quick-ness lives on each entry instead (a stale
+	// key from an older format is dropped).
+	delete(sections, "quick")
+	if len(rep.Kernels) > 0 {
+		if err := put("kernels", rep.Kernels); err != nil {
+			return err
+		}
+	}
+	if len(rep.Experiments) > 0 {
+		if err := put("experiments", rep.Experiments); err != nil {
+			return err
+		}
+	}
+	if len(rep.StoreQuery) > 0 {
+		if err := put("store_query", rep.StoreQuery); err != nil {
+			return err
+		}
+	}
+	if len(rep.ServeQuery) > 0 {
+		if err := put("serve_query", rep.ServeQuery); err != nil {
+			return err
+		}
+	}
+	buf, err := json.MarshalIndent(sections, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal report: %w", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
 }
 
 func fig2(model costmodel.KernelModel, quick bool, _ *report) error {

@@ -1,7 +1,7 @@
 // Command apsp-serve answers shortest-path queries over HTTP from a
 // persisted tiled distance store — the serving end of the pipeline: solve
 // once, write the store, then query forever without re-solving (or even
-// holding the matrix in memory; the tile cache is byte-budgeted).
+// holding the matrix in memory; both caches are byte-budgeted).
 //
 // Usage:
 //
@@ -13,13 +13,26 @@
 //	curl 'localhost:8080/knn?from=0&k=5'
 //	curl 'localhost:8080/path?from=0&to=100'   # needs -graph
 //	curl 'localhost:8080/healthz'
+//	curl -d '{"dist":[{"from":0,"to":100}],"knn":[{"from":0,"k":5}]}' \
+//	     'localhost:8080/batch'                # many queries, one round-trip
 //
 // -graph enables /path: hops are reconstructed from the distance matrix
 // and the adjacency lists via d[i][k] + w(k,j) == d[i][j], so no
 // successor matrix is ever stored.
 //
+// The serving read path is two-level: -row-cache-mb budgets the
+// assembled-row cache (whole distance rows; Row/KNN/Path/Dist all consume
+// rows, so this is the cache that matters for query throughput) and
+// -cache-mb budgets the decoded-tile cache beneath it. Cold rows are
+// assembled with direct row-span reads (q small preads), so even a miss
+// never decodes full tiles.
+//
+// -pprof exposes net/http/pprof on a separate listener (opt-in), so
+// serving hot spots are profilable in production without exposing the
+// profiler on the query port.
+//
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes,
-// in-flight requests get -drain-timeout to finish (their tile reads are
+// in-flight requests get -drain-timeout to finish (their reads are
 // bounded by each request's context), and the store is closed cleanly.
 package main
 
@@ -29,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,7 +58,9 @@ func main() {
 		storePath = flag.String("store", "", "tiled distance store written by apsp -store (required)")
 		graphPath = flag.String("graph", "", "edge-list file of the solved graph; enables /path")
 		addr      = flag.String("addr", ":8080", "listen address")
-		cacheMB   = flag.Int64("cache-mb", 64, "tile cache budget in MiB (0 disables caching)")
+		cacheMB   = flag.Int64("cache-mb", 64, "decoded-tile cache budget in MiB (0 disables tile caching)")
+		rowMB     = flag.Int64("row-cache-mb", 16, "assembled-row cache budget in MiB (0 disables row caching)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 		drain     = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	)
 	flag.Parse()
@@ -52,7 +68,10 @@ func main() {
 	if *storePath == "" {
 		fatal(fmt.Errorf("missing -store (write one with: apsp -n ... -store dist.apsp)"))
 	}
-	st, err := store.Open(*storePath, *cacheMB<<20)
+	st, err := store.OpenWithOptions(*storePath, store.Options{
+		TileCacheBytes: *cacheMB << 20,
+		RowCacheBytes:  *rowMB << 20,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -75,9 +94,18 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("apsp-serve: n=%d b=%d tiles=%dx%d file=%.1f MiB cache=%d MiB path=%v listening on %s\n",
+	fmt.Printf("apsp-serve: n=%d b=%d tiles=%dx%d file=%.1f MiB tile-cache=%d MiB row-cache=%d MiB path=%v listening on %s\n",
 		st.N(), st.BlockSize(), st.TilesPerSide(), st.TilesPerSide(),
-		float64(st.FileBytes())/(1<<20), *cacheMB, g != nil, *addr)
+		float64(st.FileBytes())/(1<<20), *cacheMB, *rowMB, g != nil, *addr)
+
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "apsp-serve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "apsp-serve: pprof:", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

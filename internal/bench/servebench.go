@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"apspark/internal/graph"
+	"apspark/internal/matrix"
+	"apspark/internal/seq"
+	"apspark/internal/serve"
+	"apspark/internal/store"
+)
+
+// Serving-layer benchmark fixture: solve a paper-family graph once,
+// persist it as a tiled store, and hand back engines opened with
+// arbitrary cache budgets. cmd/apsp-bench drives it for the serve_query
+// BENCH.json section; tests drive scaled-down instances to pin the
+// fixture itself (store answers must match the in-memory solve exactly,
+// or every number measured against it is fiction).
+
+// ServeFixture is one solved-and-persisted graph ready to be served.
+type ServeFixture struct {
+	N         int
+	BlockSize int
+	Graph     *graph.Graph
+	Dist      *matrix.Block
+	StorePath string
+}
+
+// BuildServeFixture solves an Erdős–Rényi paper-family graph of n
+// vertices sequentially and persists the distances as a tiled store
+// under dir.
+func BuildServeFixture(dir string, n, blockSize int, seed int64) (*ServeFixture, error) {
+	g, err := graph.ErdosRenyiPaper(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	dist := seq.FloydWarshall(g)
+	path := filepath.Join(dir, fmt.Sprintf("dist-n%d-b%d.apsp", n, blockSize))
+	if err := store.Write(path, dist, blockSize); err != nil {
+		return nil, err
+	}
+	return &ServeFixture{N: n, BlockSize: blockSize, Graph: g, Dist: dist, StorePath: path}, nil
+}
+
+// Open opens the persisted store with the given cache budgets and wraps
+// it in a query engine (with the graph attached, so Path works). The
+// caller owns the returned store and must Close it.
+func (f *ServeFixture) Open(tileCacheBytes, rowCacheBytes int64) (*store.Store, *serve.Engine, error) {
+	st, err := store.OpenWithOptions(f.StorePath, store.Options{
+		TileCacheBytes: tileCacheBytes,
+		RowCacheBytes:  rowCacheBytes,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := serve.New(st, f.Graph)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return st, eng, nil
+}
+
+// Remove deletes the persisted store file.
+func (f *ServeFixture) Remove() error { return os.Remove(f.StorePath) }

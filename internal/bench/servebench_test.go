@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"apspark/internal/serve"
+)
+
+// TestServeFixtureMatchesSolve pins the benchmark fixture itself: the
+// engine it hands out must answer exactly like the in-memory solve, for
+// both cache configurations the serve target measures, or the published
+// serve_query numbers measure a broken store.
+func TestServeFixtureMatchesSolve(t *testing.T) {
+	n, bs := 96, 16
+	fx, err := BuildServeFixture(t.TempDir(), n, bs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, budgets := range [][2]int64{
+		{int64(n) * int64(n), int64(n) * int64(n)}, // eighth of dense each
+		{0, 8 * int64(n) * int64(n)},               // rows only, everything fits
+	} {
+		st, eng, err := fx.Open(budgets[0], budgets[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i += 7 {
+			row, err := eng.Row(ctx, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < n; j++ {
+				want := fx.Dist.At(i, j)
+				if row[j] != want && !(math.IsInf(row[j], 1) && math.IsInf(want, 1)) {
+					t.Fatalf("budgets %v: row %d col %d = %v, want %v", budgets, i, j, row[j], want)
+				}
+			}
+			if _, err := eng.KNNInto(ctx, i, 5, nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Path(ctx, i, (i+13)%n); err != nil && err != serve.ErrNoPath {
+				t.Fatal(err)
+			}
+		}
+		st.Close()
+	}
+}

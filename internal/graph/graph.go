@@ -125,6 +125,16 @@ func (g *Graph) VisitAdj(u int, fn func(v int, w float64)) {
 	}
 }
 
+// CSR exposes the graph's compressed-sparse-row arrays directly:
+// vertex u's neighbours are colIdx[rowPtr[u]:rowPtr[u+1]] with matching
+// weights, each adjacency list sorted by neighbour id. The slices are the
+// graph's own storage — callers must treat them as read-only. Hot loops
+// (the serving engine's path walk) use this to iterate adjacency without
+// a closure call per neighbour.
+func (g *Graph) CSR() (rowPtr, colIdx []int32, weights []float64) {
+	return g.rowPtr, g.colIdx, g.weights
+}
+
 // Degree returns vertex u's degree.
 func (g *Graph) Degree(u int) int { return int(g.rowPtr[u+1] - g.rowPtr[u]) }
 

@@ -275,3 +275,28 @@ func TestWeightsByName(t *testing.T) {
 		t.Error("unknown distribution accepted")
 	}
 }
+
+func TestCSRMatchesVisitAdj(t *testing.T) {
+	g, err := ErdosRenyiPaper(60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowPtr, colIdx, weights := g.CSR()
+	if len(rowPtr) != g.N+1 || len(colIdx) != len(weights) {
+		t.Fatalf("CSR shapes: ptr=%d idx=%d w=%d", len(rowPtr), len(colIdx), len(weights))
+	}
+	for u := 0; u < g.N; u++ {
+		var want []Neighbor
+		g.VisitAdj(u, func(v int, w float64) { want = append(want, Neighbor{To: v, W: w}) })
+		lo, hi := rowPtr[u], rowPtr[u+1]
+		if int(hi-lo) != len(want) {
+			t.Fatalf("vertex %d: CSR degree %d, VisitAdj %d", u, hi-lo, len(want))
+		}
+		for k, nb := range want {
+			if int(colIdx[lo+int32(k)]) != nb.To || weights[lo+int32(k)] != nb.W {
+				t.Fatalf("vertex %d entry %d: CSR (%d,%v), VisitAdj (%d,%v)",
+					u, k, colIdx[lo+int32(k)], weights[lo+int32(k)], nb.To, nb.W)
+			}
+		}
+	}
+}

@@ -29,11 +29,36 @@ const (
 	headerLen    = 9
 )
 
+// HeaderLen is the number of bytes of Marshal header preceding the
+// row-major float64 payload of a dense block. Readers that compute direct
+// payload offsets (the tiled store's row-span reads) need it to locate a
+// row without decoding the whole block.
+const HeaderLen = headerLen
+
 // DenseMarshaledSize returns the number of bytes Marshal produces for a
 // dense r x c block, letting writers lay out file offsets from shapes
 // alone, before any block exists.
 func DenseMarshaledSize(r, c int) int64 {
 	return headerLen + 8*int64(r)*int64(c)
+}
+
+// ValidateDenseHeader checks that buf begins with the Marshal header of a
+// dense r x c block. Span readers call it once per block before trusting
+// computed payload offsets, so a corrupt or misplaced block surfaces as an
+// error instead of silently decoding garbage floats.
+func ValidateDenseHeader(buf []byte, r, c int) error {
+	if len(buf) < headerLen {
+		return fmt.Errorf("matrix: short header (%d bytes, need %d)", len(buf), headerLen)
+	}
+	if buf[0] != magicDense {
+		return fmt.Errorf("matrix: bad magic byte %#x, want dense %#x", buf[0], magicDense)
+	}
+	gr := int(binary.LittleEndian.Uint32(buf[1:5]))
+	gc := int(binary.LittleEndian.Uint32(buf[5:9]))
+	if gr != r || gc != c {
+		return fmt.Errorf("matrix: header says %dx%d, want %dx%d", gr, gc, r, c)
+	}
+	return nil
 }
 
 // MarshaledSize returns the exact number of bytes Marshal produces for the

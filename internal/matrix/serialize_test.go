@@ -157,3 +157,31 @@ func FuzzMarshalRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+func TestValidateDenseHeader(t *testing.T) {
+	b := NewZero(3, 5)
+	buf := b.Marshal()
+	if err := ValidateDenseHeader(buf, 3, 5); err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+	if err := ValidateDenseHeader(buf[:HeaderLen], 3, 5); err != nil {
+		t.Fatalf("header-only slice rejected: %v", err)
+	}
+	if err := ValidateDenseHeader(buf, 5, 3); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if err := ValidateDenseHeader(buf[:4], 3, 5); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	smashed := append([]byte(nil), buf...)
+	smashed[0] = 0x42
+	if err := ValidateDenseHeader(smashed, 3, 5); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := ValidateDenseHeader(NewPhantom(3, 5).Marshal(), 3, 5); err == nil {
+		t.Fatal("phantom header accepted as dense")
+	}
+	if HeaderLen != int(DenseMarshaledSize(0, 0)) {
+		t.Fatalf("HeaderLen %d inconsistent with DenseMarshaledSize", HeaderLen)
+	}
+}

@@ -10,13 +10,21 @@
 // greedily following any neighbour that satisfies the identity peels off
 // one optimal hop at a time. This is what lets a store hold n^2 distances
 // instead of 2·n^2 values.
+//
+// The engine is built for query throughput: every read-heavy operation
+// has an Into variant that reuses caller buffers, KNN selects with a
+// bounded max-heap (O(n log k), not a full sort), Path walks a CSR
+// adjacency copied out of the graph once at construction, and sources
+// that can share row storage (RowViewer) are consumed zero-copy. On a
+// warm row cache, Dist/RowInto/KNNInto/PathInto run allocation-free.
 package serve
 
 import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"apspark/internal/graph"
 	"apspark/internal/matrix"
@@ -24,7 +32,7 @@ import (
 
 // Source supplies distances. Implementations must be safe for concurrent
 // use and must hand out caller-owned row slices. The context bounds any
-// IO behind a read (a tile-store miss pages tiles in from disk);
+// IO behind a read (a tile-store miss pages data in from disk);
 // in-memory implementations may ignore it.
 type Source interface {
 	// N returns the number of vertices.
@@ -33,6 +41,21 @@ type Source interface {
 	Dist(ctx context.Context, i, j int) (float64, error)
 	// Row returns a fresh copy of vertex i's full distance row.
 	Row(ctx context.Context, i int) ([]float64, error)
+}
+
+// RowViewer is an optional Source upgrade: RowView returns vertex i's
+// distance row as a shared, read-only slice (no copy on a cache hit).
+// The engine uses it for every row-consuming query — KNN, Path, and row
+// serving — so sources that implement it are served zero-copy.
+type RowViewer interface {
+	RowView(ctx context.Context, i int) ([]float64, error)
+}
+
+// RowCopier is an optional Source upgrade: RowInto fills a caller buffer
+// with vertex i's distance row, reusing its backing array when large
+// enough, enabling allocation-free steady-state row reads.
+type RowCopier interface {
+	RowInto(ctx context.Context, i int, dst []float64) ([]float64, error)
 }
 
 // matrixSource adapts an in-memory dense matrix to Source; it is how
@@ -55,6 +78,13 @@ func NewMatrixSource(m *matrix.Block) (Source, error) {
 
 func (s *matrixSource) N() int { return s.m.R }
 
+func (s *matrixSource) checkVertex(i int) error {
+	if i < 0 || i >= s.m.R {
+		return fmt.Errorf("serve: vertex %d outside [0,%d)", i, s.m.R)
+	}
+	return nil
+}
+
 func (s *matrixSource) Dist(_ context.Context, i, j int) (float64, error) {
 	if i < 0 || i >= s.m.R || j < 0 || j >= s.m.R {
 		return 0, fmt.Errorf("serve: vertex pair (%d,%d) outside [0,%d)", i, j, s.m.R)
@@ -63,12 +93,34 @@ func (s *matrixSource) Dist(_ context.Context, i, j int) (float64, error) {
 }
 
 func (s *matrixSource) Row(_ context.Context, i int) ([]float64, error) {
-	if i < 0 || i >= s.m.R {
-		return nil, fmt.Errorf("serve: vertex %d outside [0,%d)", i, s.m.R)
+	if err := s.checkVertex(i); err != nil {
+		return nil, err
 	}
 	out := make([]float64, s.m.C)
 	copy(out, s.m.Row(i))
 	return out, nil
+}
+
+// RowView aliases the matrix's own row storage: zero-copy, read-only.
+func (s *matrixSource) RowView(_ context.Context, i int) ([]float64, error) {
+	if err := s.checkVertex(i); err != nil {
+		return nil, err
+	}
+	return s.m.Row(i), nil
+}
+
+// RowInto copies row i into dst, reusing its backing array when possible.
+func (s *matrixSource) RowInto(_ context.Context, i int, dst []float64) ([]float64, error) {
+	if err := s.checkVertex(i); err != nil {
+		return nil, err
+	}
+	if cap(dst) >= s.m.C {
+		dst = dst[:s.m.C]
+	} else {
+		dst = make([]float64, s.m.C)
+	}
+	copy(dst, s.m.Row(i))
+	return dst, nil
 }
 
 // Target is one k-nearest-neighbour answer entry.
@@ -97,7 +149,19 @@ var ErrNoGraph = fmt.Errorf("serve: path reconstruction needs the input graph (-
 // long as the Source is.
 type Engine struct {
 	src Source
+	rv  RowViewer // src's RowView upgrade, nil if unsupported
+	rc  RowCopier // src's RowInto upgrade, nil if unsupported
 	g   *graph.Graph
+
+	// g's CSR adjacency arrays, bound once at construction: Path walks
+	// these flat read-only slices directly instead of paying a closure
+	// call per neighbour per hop.
+	adjPtr []int32
+	adjTo  []int32
+	adjW   []float64
+
+	rowScratch  sync.Pool // *[]float64, for sources without RowView
+	pathScratch sync.Pool // *pathVisit
 }
 
 // New builds an engine. g may be nil, disabling Path queries; when
@@ -109,7 +173,13 @@ func New(src Source, g *graph.Graph) (*Engine, error) {
 	if g != nil && g.N != src.N() {
 		return nil, fmt.Errorf("serve: graph has %d vertices, distance source has %d", g.N, src.N())
 	}
-	return &Engine{src: src, g: g}, nil
+	e := &Engine{src: src, g: g}
+	e.rv, _ = src.(RowViewer)
+	e.rc, _ = src.(RowCopier)
+	if g != nil {
+		e.adjPtr, e.adjTo, e.adjW = g.CSR()
+	}
+	return e, nil
 }
 
 // N returns the number of vertices served.
@@ -123,39 +193,143 @@ func (e *Engine) Dist(ctx context.Context, from, to int) (float64, error) {
 	return e.src.Dist(ctx, from, to)
 }
 
-// Row returns the full distance row of from.
+// Row returns the full distance row of from (caller-owned).
 func (e *Engine) Row(ctx context.Context, from int) ([]float64, error) {
 	return e.src.Row(ctx, from)
+}
+
+// RowInto fills dst with the full distance row of from, reusing dst's
+// backing array when it is large enough.
+func (e *Engine) RowInto(ctx context.Context, from int, dst []float64) ([]float64, error) {
+	if e.rc != nil {
+		return e.rc.RowInto(ctx, from, dst)
+	}
+	row, err := e.src.Row(ctx, from)
+	if err != nil {
+		return nil, err
+	}
+	if cap(dst) >= len(row) {
+		dst = dst[:len(row)]
+		copy(dst, row)
+		return dst, nil
+	}
+	return row, nil
+}
+
+// acquireRow obtains from's distance row as cheaply as the source allows:
+// a shared view when the source supports it (zero-copy, release is nil),
+// otherwise a pooled scratch buffer (release returns it to the pool).
+func (e *Engine) acquireRow(ctx context.Context, from int) (row []float64, release func(), err error) {
+	if e.rv != nil {
+		row, err = e.rv.RowView(ctx, from)
+		return row, nil, err
+	}
+	if e.rc != nil {
+		bp, _ := e.rowScratch.Get().(*[]float64)
+		if bp == nil {
+			bp = new([]float64)
+		}
+		*bp, err = e.rc.RowInto(ctx, from, *bp)
+		if err != nil {
+			e.rowScratch.Put(bp)
+			return nil, nil, err
+		}
+		return *bp, func() { e.rowScratch.Put(bp) }, nil
+	}
+	row, err = e.src.Row(ctx, from)
+	return row, nil, err
+}
+
+// heapAfter reports whether a sorts strictly after b in the KNN order
+// (distance ascending, vertex id breaking ties) — the max-heap predicate:
+// the heap root is the worst candidate currently kept.
+func heapAfter(a, b Target) bool {
+	return a.Dist > b.Dist || (a.Dist == b.Dist && a.To > b.To)
+}
+
+func knnSiftUp(h []Target, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapAfter(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func knnSiftDown(h []Target, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && heapAfter(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && heapAfter(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // KNN returns the k nearest reachable targets of from, excluding from
 // itself, ordered by distance with vertex id breaking ties. Fewer than k
 // entries come back when the reachable set is smaller.
 func (e *Engine) KNN(ctx context.Context, from, k int) ([]Target, error) {
+	c := k
+	if n := e.src.N(); c > n {
+		c = n
+	}
+	if c < 0 {
+		c = 0
+	}
+	return e.KNNInto(ctx, from, k, make([]Target, 0, c))
+}
+
+// KNNInto is KNN appending into dst's backing array (dst is overwritten
+// from index 0): a bounded max-heap keeps the best k candidates while the
+// row streams past, O(n log k) instead of a full O(n log n) sort, then
+// the k survivors are sorted. With a reused dst and a row-view source
+// the query is allocation-free.
+func (e *Engine) KNNInto(ctx context.Context, from, k int, dst []Target) ([]Target, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("serve: k = %d, want >= 1", k)
 	}
-	row, err := e.src.Row(ctx, from)
+	row, release, err := e.acquireRow(ctx, from)
 	if err != nil {
 		return nil, err
 	}
-	targets := make([]Target, 0, len(row)-1)
+	h := dst[:0]
 	for v, d := range row {
 		if v == from || math.IsInf(d, 1) {
 			continue
 		}
-		targets = append(targets, Target{To: v, Dist: d})
-	}
-	sort.Slice(targets, func(a, b int) bool {
-		if targets[a].Dist != targets[b].Dist {
-			return targets[a].Dist < targets[b].Dist
+		if len(h) < k {
+			h = append(h, Target{To: v, Dist: d})
+			knnSiftUp(h, len(h)-1)
+		} else if d < h[0].Dist || (d == h[0].Dist && v < h[0].To) {
+			h[0] = Target{To: v, Dist: d}
+			knnSiftDown(h, 0)
 		}
-		return targets[a].To < targets[b].To
-	})
-	if len(targets) > k {
-		targets = targets[:k]
 	}
-	return targets, nil
+	if release != nil {
+		release()
+	}
+	slices.SortFunc(h, func(a, b Target) int {
+		switch {
+		case a.Dist < b.Dist:
+			return -1
+		case a.Dist > b.Dist:
+			return 1
+		default:
+			return a.To - b.To
+		}
+	})
+	return h, nil
 }
 
 // pathTol is the relative tolerance for the hop identity
@@ -164,18 +338,49 @@ func (e *Engine) KNN(ctx context.Context, from, k int) ([]Target, error) {
 // from a false "no hop found".
 func pathTol(d float64) float64 { return 1e-9 * (1 + math.Abs(d)) }
 
+// pathVisit is the pooled visited-set of one path walk: an epoch-stamped
+// array, so clearing between walks is one counter increment.
+type pathVisit struct {
+	seen  []int32
+	epoch int32
+}
+
+func (e *Engine) getVisit() *pathVisit {
+	v, _ := e.pathScratch.Get().(*pathVisit)
+	n := e.src.N()
+	if v == nil || len(v.seen) < n {
+		v = &pathVisit{seen: make([]int32, n)}
+	}
+	if v.epoch == math.MaxInt32 {
+		clear(v.seen)
+		v.epoch = 0
+	}
+	v.epoch++
+	return v
+}
+
 // Path reconstructs one shortest path from -> to. Only the single
-// distance row of the source vertex is consulted (one row-band of tile
-// reads against a store), plus the graph adjacency of each hop. Among
+// distance row of the source vertex is consulted (one row-band of reads
+// against a store), plus the prebuilt CSR adjacency of each hop. Among
 // equally short paths the one following the smallest vertex ids (walking
 // backwards from the destination) is returned deterministically.
 func (e *Engine) Path(ctx context.Context, from, to int) (Path, error) {
+	return e.PathInto(ctx, from, to, nil)
+}
+
+// PathInto is Path reusing hops' backing array for the reconstructed hop
+// list. With a reused buffer and a row-view source the walk is
+// allocation-free.
+func (e *Engine) PathInto(ctx context.Context, from, to int, hops []int) (Path, error) {
 	if e.g == nil {
 		return Path{}, ErrNoGraph
 	}
-	row, err := e.src.Row(ctx, from)
+	row, release, err := e.acquireRow(ctx, from)
 	if err != nil {
 		return Path{}, err
+	}
+	if release != nil {
+		defer release()
 	}
 	if to < 0 || to >= len(row) {
 		return Path{}, fmt.Errorf("serve: vertex %d outside [0,%d)", to, len(row))
@@ -185,36 +390,41 @@ func (e *Engine) Path(ctx context.Context, from, to int) (Path, error) {
 		return Path{}, ErrNoPath
 	}
 	if from == to {
-		return Path{Dist: 0, Hops: []int{from}}, nil
+		return Path{Dist: 0, Hops: append(hops[:0], from)}, nil
 	}
 
 	// Walk backwards from the destination: at cur, an optimal predecessor
 	// k satisfies row[k] + w(k, cur) == row[cur]. Requiring row[k] <
 	// row[cur] guarantees progress on positive-weight edges; zero-weight
 	// edges are admitted as a fallback with a visited guard so cycles of
-	// free edges cannot loop forever.
-	hops := []int{to}
-	visited := map[int]bool{to: true}
+	// free edges cannot loop forever. Adjacency lists are id-sorted, so
+	// the first strict-progress neighbour is already the smallest id and
+	// the scan short-circuits.
+	vs := e.getVisit()
+	defer e.pathScratch.Put(vs)
+	vs.seen[to] = vs.epoch
+	hops = append(hops[:0], to)
 	cur := to
 	for cur != from && len(hops) <= e.g.N {
 		best, bestZero := -1, -1
-		e.g.VisitAdj(cur, func(k int, w float64) {
-			if row[k]+w > row[cur]+pathTol(row[cur]) || math.IsInf(row[k], 1) {
-				return
+		tol := pathTol(row[cur])
+		for p := e.adjPtr[cur]; p < e.adjPtr[cur+1]; p++ {
+			k := int(e.adjTo[p])
+			if math.IsInf(row[k], 1) {
+				continue
 			}
-			if row[k]+w < row[cur]-pathTol(row[cur]) {
-				return
+			sum := row[k] + e.adjW[p]
+			if sum > row[cur]+tol || sum < row[cur]-tol {
+				continue
 			}
 			if row[k] < row[cur] {
-				if best == -1 || k < best {
-					best = k
-				}
-			} else if !visited[k] {
-				if bestZero == -1 || k < bestZero {
-					bestZero = k
-				}
+				best = k
+				break
 			}
-		})
+			if bestZero == -1 && vs.seen[k] != vs.epoch {
+				bestZero = k
+			}
+		}
 		next := best
 		if next == -1 {
 			next = bestZero
@@ -223,7 +433,7 @@ func (e *Engine) Path(ctx context.Context, from, to int) (Path, error) {
 			return Path{}, fmt.Errorf("serve: path %d->%d: no predecessor of %d satisfies the hop identity (graph does not match the distance matrix?)", from, to, cur)
 		}
 		hops = append(hops, next)
-		visited[next] = true
+		vs.seen[next] = vs.epoch
 		cur = next
 	}
 	if cur != from {

@@ -1,37 +1,93 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"apspark/internal/store"
 )
 
 // The HTTP surface of the query engine:
 //
-//	GET /dist?from=I&to=J      -> {"from":I,"to":J,"dist":D}
-//	GET /row?from=I            -> {"from":I,"n":N,"dist":[...]}
-//	GET /knn?from=I&k=K        -> {"from":I,"k":K,"targets":[{"to":..,"dist":..}]}
-//	GET /path?from=I&to=J      -> {"from":I,"to":J,"dist":D,"hops":[I,..,J]}
-//	GET /healthz               -> {"status":"ok","n":N,...}
+//	GET  /dist?from=I&to=J     -> {"from":I,"to":J,"dist":D}
+//	GET  /row?from=I           -> {"from":I,"n":N,"dist":[...]}
+//	GET  /knn?from=I&k=K       -> {"from":I,"k":K,"targets":[{"to":..,"dist":..}]}
+//	GET  /path?from=I&to=J     -> {"from":I,"to":J,"dist":D,"hops":[I,..,J]}
+//	POST /batch                -> many dist/row/knn/path queries, one round-trip
+//	GET  /healthz              -> {"status":"ok","n":N,...}
 //
 // Unreachable distances serialize as JSON null (float64 +Inf has no JSON
-// encoding); /path to an unreachable vertex is 404. Handlers only read
-// shared state, so the standard library's per-connection goroutines need
-// no extra locking beyond what Source already provides.
+// encoding); /path to an unreachable vertex is 404, but inside /batch an
+// unreachable path is a null-dist entry so one disconnected pair cannot
+// fail a thousand-query request. Handlers only read shared state, so the
+// standard library's per-connection goroutines need no extra locking
+// beyond what Source already provides. Small responses are staged
+// through pooled buffers (no per-request buffer allocation); row-bearing
+// responses additionally pay one jsonRow marshal allocation each.
 
-// jsonDist encodes a distance, mapping +Inf ("no path") to null.
+// jsonDist encodes a distance, mapping +Inf ("no path") to null. NaN and
+// -Inf cannot occur for well-formed inputs (negative weights are rejected
+// at graph construction) but a hand-edited edge list can smuggle them in;
+// they have no JSON encoding either, so they also map to null rather than
+// corrupting the payload.
 type jsonDist float64
 
 func (d jsonDist) MarshalJSON() ([]byte, error) {
-	if math.IsInf(float64(d), 1) {
+	if !isFiniteDist(float64(d)) {
 		return []byte("null"), nil
 	}
 	return json.Marshal(float64(d))
+}
+
+func isFiniteDist(v float64) bool {
+	return !math.IsInf(v, 0) && !math.IsNaN(v)
+}
+
+// jsonRow encodes a whole distance row in one MarshalJSON call (one
+// append-only pass, +Inf as null) instead of a reflective MarshalJSON per
+// element — the difference between microseconds and milliseconds on a
+// large /row or /batch response.
+type jsonRow []float64
+
+func (r jsonRow) MarshalJSON() ([]byte, error) {
+	out := make([]byte, 0, jsonRowEstBytes*len(r)+2)
+	out = append(out, '[')
+	for i, v := range r {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		if !isFiniteDist(v) {
+			out = append(out, "null"...)
+		} else {
+			out = appendJSONFloat(out, v)
+		}
+	}
+	return append(out, ']'), nil
+}
+
+// appendJSONFloat formats v the way encoding/json does (shortest
+// round-trip form, plain notation for moderate exponents).
+func appendJSONFloat(out []byte, v float64) []byte {
+	abs := math.Abs(v)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	out = strconv.AppendFloat(out, v, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, mirroring encoding/json.
+		if n := len(out); n >= 4 && out[n-4] == 'e' && out[n-3] == '-' && out[n-2] == '0' {
+			out[n-2] = out[n-1]
+			out = out[:n-1]
+		}
+	}
+	return out
 }
 
 type distResponse struct {
@@ -41,9 +97,9 @@ type distResponse struct {
 }
 
 type rowResponse struct {
-	From int        `json:"from"`
-	N    int        `json:"n"`
-	Dist []jsonDist `json:"dist"`
+	From int     `json:"from"`
+	N    int     `json:"n"`
+	Dist jsonRow `json:"dist"`
 }
 
 type knnTarget struct {
@@ -68,14 +124,52 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// BatchRequest is the /batch request body: any mix of query kinds, each
+// answered positionally in the response. Limits: MaxBatchItems queries
+// per request, maxBatchBody request bytes.
+type BatchRequest struct {
+	Dist []PairQuery `json:"dist,omitempty"`
+	Row  []int       `json:"row,omitempty"`
+	KNN  []KNNQuery  `json:"knn,omitempty"`
+	Path []PairQuery `json:"path,omitempty"`
+}
+
+// BatchResponse answers a BatchRequest: result i of each slice answers
+// query i of the same-named request slice. A path entry between
+// disconnected vertices has a null dist and no hops.
+type BatchResponse struct {
+	Dist []distResponse `json:"dist,omitempty"`
+	Row  []rowResponse  `json:"row,omitempty"`
+	KNN  []knnResponse  `json:"knn,omitempty"`
+	Path []pathResponse `json:"path,omitempty"`
+}
+
+// MaxBatchItems caps the total queries of one /batch request.
+const MaxBatchItems = 8192
+
+// MaxBatchValues caps the answer values (row distances, KNN targets,
+// worst-case path hops) a single /batch may produce: a few-KB request
+// must not be able to amplify into a response that balloons server
+// memory. 4M values bounds the materialized response plus its one
+// encoded copy to roughly 80 MB per in-flight request.
+const MaxBatchValues = 4 << 20
+
+// maxBatchBody caps the /batch request body (the response may be much
+// larger; row batches dominate it).
+const maxBatchBody = 1 << 20
+
 // Health is the /healthz payload.
 type Health struct {
 	Status    string `json:"status"`
 	N         int    `json:"n"`
 	PathReady bool   `json:"path_ready"`
-	// Cache carries the tile-cache counters when the engine serves from a
-	// persistent store (absent for in-memory sources).
+	// Cache carries the tile-cache counters (with per-shard breakdown)
+	// when the engine serves from a persistent store (absent for
+	// in-memory sources).
 	Cache *store.CacheStats `json:"cache,omitempty"`
+	// RowCache carries the assembled-row cache counters for persistent
+	// stores.
+	RowCache *store.RowCacheStats `json:"row_cache,omitempty"`
 }
 
 // Handler builds the HTTP mux for an engine.
@@ -86,6 +180,8 @@ func Handler(e *Engine) http.Handler {
 		if st, ok := e.src.(*store.Store); ok {
 			stats := st.Stats()
 			h.Cache = &stats
+			rstats := st.RowStats()
+			h.RowCache = &rstats
 		}
 		writeJSON(w, http.StatusOK, h)
 	})
@@ -106,23 +202,24 @@ func Handler(e *Engine) http.Handler {
 		if !ok {
 			return
 		}
-		row, err := e.Row(r.Context(), from)
+		// Serve from a shared row view when the source offers one: the
+		// encoder only reads, so a row-cache hit is copied zero times.
+		row, release, err := e.acquireRow(r.Context(), from)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
-		out := make([]jsonDist, len(row))
-		for i, d := range row {
-			out[i] = jsonDist(d)
+		writeJSONSized(w, http.StatusOK, rowResponse{From: from, N: len(row), Dist: row}, jsonRowEstBytes*len(row))
+		if release != nil {
+			release()
 		}
-		writeJSON(w, http.StatusOK, rowResponse{From: from, N: len(row), Dist: out})
 	})
 	mux.HandleFunc("GET /knn", func(w http.ResponseWriter, r *http.Request) {
 		from, ok := vertexParam(w, r, "from", e.N())
 		if !ok {
 			return
 		}
-		k := 10
+		k := DefaultK
 		if s := r.URL.Query().Get("k"); s != "" {
 			v, err := strconv.Atoi(s)
 			if err != nil || v < 1 {
@@ -136,11 +233,7 @@ func Handler(e *Engine) http.Handler {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
-		out := make([]knnTarget, len(targets))
-		for i, t := range targets {
-			out[i] = knnTarget{To: t.To, Dist: jsonDist(t.Dist)}
-		}
-		writeJSON(w, http.StatusOK, knnResponse{From: from, K: k, Targets: out})
+		writeJSON(w, http.StatusOK, knnResponse{From: from, K: k, Targets: knnTargets(targets)})
 	})
 	mux.HandleFunc("GET /path", func(w http.ResponseWriter, r *http.Request) {
 		from, to, ok := vertexPair(w, r, e.N())
@@ -161,8 +254,171 @@ func Handler(e *Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, pathResponse{From: from, To: to, Dist: jsonDist(p.Dist), Hops: p.Hops})
 	})
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		e.handleBatch(w, r)
+	})
 	return mux
 }
+
+func knnTargets(ts []Target) []knnTarget {
+	out := make([]knnTarget, len(ts))
+	for i, t := range ts {
+		out[i] = knnTarget{To: t.To, Dist: jsonDist(t.Dist)}
+	}
+	return out
+}
+
+func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch: %w", err))
+		return
+	}
+	items := len(req.Dist) + len(req.Row) + len(req.KNN) + len(req.Path)
+	if items == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch: empty request"))
+		return
+	}
+	if items > MaxBatchItems {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch: %d queries, limit %d", items, MaxBatchItems))
+		return
+	}
+	// Amplification guard: charge each section its worst-case answer
+	// size (rows and paths up to n values each, KNN up to min(k, n)
+	// targets) so no small request can demand an unboundedly large
+	// response.
+	n := e.N()
+	vals := (len(req.Row) + len(req.Path)) * n
+	for _, q := range req.KNN {
+		k := q.K
+		if k <= 0 {
+			k = DefaultK
+		}
+		if k > n {
+			k = n
+		}
+		vals += k
+	}
+	if vals > MaxBatchValues {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch: request could produce %d answer values, limit %d (split the batch)", vals, MaxBatchValues))
+		return
+	}
+	// Validate every vertex up front so malformed batches fail fast with
+	// 400 before any IO, and later engine errors can be reported as 500.
+	for i, p := range req.Dist {
+		if badVertex(p.From, n) || badVertex(p.To, n) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("batch: dist[%d]: vertex pair (%d,%d) outside [0,%d)", i, p.From, p.To, n))
+			return
+		}
+	}
+	for i, f := range req.Row {
+		if badVertex(f, n) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("batch: row[%d]: vertex %d outside [0,%d)", i, f, n))
+			return
+		}
+	}
+	for i, q := range req.KNN {
+		if badVertex(q.From, n) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("batch: knn[%d]: vertex %d outside [0,%d)", i, q.From, n))
+			return
+		}
+	}
+	for i, p := range req.Path {
+		if badVertex(p.From, n) || badVertex(p.To, n) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("batch: path[%d]: vertex pair (%d,%d) outside [0,%d)", i, p.From, p.To, n))
+			return
+		}
+	}
+	if len(req.Path) > 0 && !e.HasGraph() {
+		writeError(w, http.StatusNotImplemented, ErrNoGraph)
+		return
+	}
+
+	ctx := r.Context()
+	var resp BatchResponse
+	if len(req.Dist) > 0 {
+		ds, err := e.DistBatch(ctx, req.Dist)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Dist = make([]distResponse, len(ds))
+		for i, d := range ds {
+			resp.Dist[i] = distResponse{From: req.Dist[i].From, To: req.Dist[i].To, Dist: jsonDist(d)}
+		}
+	}
+	if len(req.Row) > 0 {
+		// Row views, not copies: the encoder only reads, so cache-hit
+		// rows cross from cache to wire untouched. Pooled scratch rows
+		// (sources without RowView) are released after the encode.
+		var releases []func()
+		defer func() {
+			for _, rel := range releases {
+				rel()
+			}
+		}()
+		resp.Row = make([]rowResponse, len(req.Row))
+		for i, from := range req.Row {
+			row, release, err := e.acquireRow(ctx, from)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("batch: row[%d]: %w", i, err))
+				return
+			}
+			if release != nil {
+				releases = append(releases, release)
+			}
+			resp.Row[i] = rowResponse{From: from, N: len(row), Dist: row}
+		}
+	}
+	if len(req.KNN) > 0 {
+		kts, err := e.KNNBatch(ctx, req.KNN)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.KNN = make([]knnResponse, len(kts))
+		for i, ts := range kts {
+			k := req.KNN[i].K
+			if k <= 0 {
+				k = DefaultK
+			}
+			resp.KNN[i] = knnResponse{From: req.KNN[i].From, K: k, Targets: knnTargets(ts)}
+		}
+	}
+	if len(req.Path) > 0 {
+		resp.Path = make([]pathResponse, len(req.Path))
+		for i, pq := range req.Path {
+			p, err := e.Path(ctx, pq.From, pq.To)
+			switch {
+			case errors.Is(err, ErrNoPath):
+				resp.Path[i] = pathResponse{From: pq.From, To: pq.To, Dist: jsonDist(math.Inf(1))}
+			case err != nil:
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("batch: path[%d]: %w", i, err))
+				return
+			default:
+				resp.Path[i] = pathResponse{From: pq.From, To: pq.To, Dist: jsonDist(p.Dist), Hops: p.Hops}
+			}
+		}
+	}
+	// Exact-shape size estimate from the materialized response: every
+	// section is charged for what it actually holds, so a KNN- or
+	// path-heavy batch streams just like a row-heavy one.
+	est := 256 + 64*len(resp.Dist)
+	for i := range resp.Row {
+		est += jsonRowEstBytes * len(resp.Row[i].Dist)
+	}
+	for i := range resp.KNN {
+		est += 48 * len(resp.KNN[i].Targets)
+	}
+	for i := range resp.Path {
+		est += 64 + 16*len(resp.Path[i].Hops)
+	}
+	writeJSONSized(w, http.StatusOK, resp, est)
+}
+
+func badVertex(v, n int) bool { return v < 0 || v >= n }
 
 func vertexParam(w http.ResponseWriter, r *http.Request, name string, n int) (int, bool) {
 	s := r.URL.Query().Get(name)
@@ -194,12 +450,54 @@ func vertexPair(w http.ResponseWriter, r *http.Request, n int) (int, int, bool) 
 	return from, to, true
 }
 
+// encPool recycles response staging buffers; buffers that grew beyond
+// maxPooledBuf are dropped so one huge row batch does not pin memory.
+var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBuf = 1 << 20
+
+// jsonRowEstBytes is the per-distance-value estimate used to decide
+// whether a row-heavy response is worth buffering (shortest round-trip
+// float64 text tops out around 24 bytes plus a separator).
+const jsonRowEstBytes = 25
+
+// writeJSONSized routes a response by its estimated encoded size: small
+// ones take the pooled-buffer path (Content-Length, zero steady-state
+// buffer allocation); large ones bypass the pool and encode-and-write
+// directly, so a multi-megabyte row batch neither pins a pooled buffer
+// nor pays a second staging copy (json.Encoder still holds one encoded
+// copy transiently — MaxBatchValues bounds how large that can get).
+func writeJSONSized(w http.ResponseWriter, code int, v any, estBytes int) {
+	if estBytes > maxPooledBuf {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		_ = enc.Encode(v)
+		return
+	}
+	writeJSON(w, code, v)
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
+	buf := encPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		encPool.Put(buf)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":"encoding failure"}`))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(code)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledBuf {
+		encPool.Put(buf)
+	}
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {

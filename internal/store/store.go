@@ -1,6 +1,7 @@
 // Package store persists a solved all-pairs distance matrix as an on-disk
-// tiled file and serves it back tile-at-a-time through a byte-budgeted LRU
-// cache, so a matrix far larger than RAM can be queried point-wise.
+// tiled file and serves it back through a two-level, byte-budgeted cache
+// hierarchy, so a matrix far larger than RAM can be queried point-wise at
+// serving-path throughput.
 //
 // The paper's solvers stage b x b blocks through a shared file system
 // (§4.2/§4.5) but discard the result after printing; this package turns
@@ -15,8 +16,24 @@
 //	[24:...] q*q index entries {uint64 offset, uint64 length}, row-major
 //	[...]    tile payloads: matrix.Block.Marshal bytes, h x w dense tiles
 //
-// Tiles returned by the reader are shared read-only between concurrent
-// callers and owned by the cache: they are allocated on the heap, never
+// The read path is built for concurrent serving:
+//
+//   - The tile cache is lock-striped into shards, each with its own
+//     mutex, LRU list and byte budget, so queries on different tiles
+//     never serialize on one lock. Concurrent misses on the same tile are
+//     coalesced singleflight-style: one goroutine reads the disk, the
+//     rest wait for its result.
+//   - An assembled-row cache sits above the tiles: Row/RowView/RowInto
+//     (and Dist, when row caching is on) serve whole n-length rows from
+//     one lookup, with zero tile traffic on a hit.
+//   - A row-cache miss does not decode whole tiles: the needed row span
+//     of each tile is read straight from its computed file offset (the
+//     tile header is validated once per tile), so assembling a row costs
+//     q small preads instead of q full tile reads. IO staging buffers
+//     come from a sync.Pool, keeping misses allocation-free.
+//
+// Tiles and rows handed out are shared read-only between concurrent
+// callers and owned by their cache: they are allocated on the heap, never
 // drawn from or returned to the matrix block arena, so eviction simply
 // drops the reference and the pool-safety rule ("never Put a block that
 // escaped") holds by construction.
@@ -28,8 +45,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"apspark/internal/matrix"
 )
@@ -39,6 +58,12 @@ const (
 	version     = 1
 	fileHdrLen  = 24
 	idxEntryLen = 16
+
+	// maxShards bounds the lock striping of either cache. Shard count is
+	// chosen per cache so every shard can hold at least two of its
+	// largest items; tiny budgets degenerate to one shard, which behaves
+	// exactly like a single global LRU.
+	maxShards = 16
 )
 
 // Write cuts the dense n x n distance matrix into blockSize-edged tiles
@@ -157,49 +182,210 @@ type tileRef struct {
 	off, length int64
 }
 
+// ShardStat is the per-shard slice of a cache-stats snapshot, surfaced in
+// /healthz so uneven striping or a hot shard is diagnosable in production.
+type ShardStat struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Coalesced  int64 `json:"coalesced,omitempty"`
+	Evictions  int64 `json:"evictions"`
+	BytesInUse int64 `json:"bytes_in_use"`
+	Items      int   `json:"items"`
+}
+
 // CacheStats is a point-in-time snapshot of the tile cache.
 type CacheStats struct {
 	Hits        int64 `json:"hits"`
 	Misses      int64 `json:"misses"`
+	Coalesced   int64 `json:"coalesced"`
 	Evictions   int64 `json:"evictions"`
 	BytesInUse  int64 `json:"bytes_in_use"`
 	BytesBudget int64 `json:"bytes_budget"`
 	TilesCached int   `json:"tiles_cached"`
+	// Shards breaks the totals down per lock stripe (omitted when the
+	// cache runs unsharded).
+	Shards []ShardStat `json:"shards,omitempty"`
+}
+
+// RowCacheStats is a point-in-time snapshot of the assembled-row cache.
+// SpanReads counts direct row-span disk reads done on behalf of row
+// assembly (they bypass the tile cache by design).
+type RowCacheStats struct {
+	Hits        int64       `json:"hits"`
+	Misses      int64       `json:"misses"`
+	Coalesced   int64       `json:"coalesced"`
+	Evictions   int64       `json:"evictions"`
+	SpanReads   int64       `json:"span_reads"`
+	BytesInUse  int64       `json:"bytes_in_use"`
+	BytesBudget int64       `json:"bytes_budget"`
+	RowsCached  int         `json:"rows_cached"`
+	Shards      []ShardStat `json:"shards,omitempty"`
+}
+
+// Options configures a store read handle. The zero value disables both
+// caches (every query pays disk IO).
+type Options struct {
+	// TileCacheBytes bounds the decoded bytes the tile cache may hold at
+	// any instant; 0 disables tile caching.
+	TileCacheBytes int64
+	// RowCacheBytes bounds the bytes held by the assembled-row cache;
+	// 0 disables row caching (rows are then assembled per query, and
+	// Dist goes through the tile cache instead).
+	RowCacheBytes int64
+	// Shards forces the lock-stripe count of both caches (rounded down
+	// to a power of two, capped). 0 picks automatically from the budgets.
+	Shards int
+}
+
+// flight is one in-progress tile read or row assembly that concurrent
+// misses coalesce on.
+type flight struct {
+	done chan struct{}
+	tile *matrix.Block
+	row  []float64
+	err  error
+}
+
+// entry is one cached item: a decoded tile or an assembled row.
+type entry struct {
+	id    int
+	bytes int64
+	tile  *matrix.Block
+	row   []float64
+}
+
+// shard is one lock stripe of a cache: its own mutex, LRU list and byte
+// budget. Counters are atomic so Stats and /healthz never contend with
+// the serving path beyond a snapshot read.
+type shard struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+
+	mu       sync.Mutex
+	budget   int64
+	inUse    int64
+	items    map[int]*list.Element
+	lru      *list.List
+	inflight map[int]*flight
+}
+
+func newShards(total int64, count int) []*shard {
+	shards := make([]*shard, count)
+	per := total / int64(count)
+	for i := range shards {
+		shards[i] = &shard{
+			budget: per,
+			items:  make(map[int]*list.Element),
+			lru:    list.New(),
+		}
+	}
+	return shards
+}
+
+// autoShards picks the largest power-of-two stripe count (up to
+// maxShards) that still leaves every shard room for at least two of the
+// largest items; sharding a cache that can barely hold anything would
+// only fragment the budget.
+func autoShards(budget, maxItem int64) int {
+	s := 1
+	for s*2 <= maxShards && maxItem > 0 && budget/int64(s*2) >= 2*maxItem {
+		s *= 2
+	}
+	return s
+}
+
+func clampShards(s int) int {
+	p := 1
+	for p*2 <= s && p*2 <= maxShards {
+		p *= 2
+	}
+	return p
+}
+
+// fitShards halves a requested shard count until each shard's budget
+// fits at least one largest item (or one shard remains).
+func fitShards(s int, budget, maxItem int64) int {
+	for s > 1 && budget/int64(s) < maxItem {
+		s /= 2
+	}
+	return s
+}
+
+// stat folds one shard into the aggregate snapshot.
+func (sh *shard) stat() ShardStat {
+	st := ShardStat{
+		Hits:      sh.hits.Load(),
+		Misses:    sh.misses.Load(),
+		Coalesced: sh.coalesced.Load(),
+		Evictions: sh.evictions.Load(),
+	}
+	sh.mu.Lock()
+	st.BytesInUse = sh.inUse
+	st.Items = sh.lru.Len()
+	sh.mu.Unlock()
+	return st
 }
 
 // Store is a read handle on a tiled distance store. All methods are safe
-// for concurrent use; tiles handed out are shared and must be treated as
-// read-only.
+// for concurrent use; tiles and row views handed out are shared and must
+// be treated as read-only.
 type Store struct {
 	f         *os.File
 	n, b, q   int
 	index     []tileRef
 	fileBytes int64
 
-	mu                      sync.Mutex
-	budget                  int64
-	inUse                   int64
-	tiles                   map[int]*list.Element // tile id -> *cacheEntry element
-	lru                     *list.List            // front = most recently used
-	hits, misses, evictions int64
+	tileBudget int64
+	tileShards []*shard
+	tileMask   int
+
+	rowBudget int64
+	rowShards []*shard
+	rowMask   int
+
+	// hdrOK memoizes per-tile header validation for the row-span read
+	// path: the first span read of a tile checks the 9-byte Marshal
+	// header at its indexed offset, later reads trust the cached verdict.
+	hdrOK     []atomic.Bool
+	spanReads atomic.Int64
+
+	// readHook, when set before concurrent use, observes every tile disk
+	// read (test seam for the singleflight coalescing tests).
+	readHook func(bi, bj int)
 }
 
-type cacheEntry struct {
-	id    int
-	block *matrix.Block
-	bytes int64
+// ioBufPool recycles the staging buffers of tile and row-span reads; the
+// decoded data is always copied out, so the raw bytes never escape.
+var ioBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getIOBuf(n int) *[]byte {
+	p := ioBufPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
 }
 
-// Open opens a store file for querying. cacheBytes bounds the decoded
-// bytes the tile cache may hold at any instant (the hard invariant the
-// serving layer relies on); a budget of 0 disables caching entirely, so
-// every query pays a disk read.
+// Open opens a store file for querying with a tile cache of cacheBytes
+// and no row cache — the minimal, backward-compatible handle. Serving
+// deployments should prefer OpenWithOptions and give the row cache the
+// larger share (see Options).
 func Open(path string, cacheBytes int64) (*Store, error) {
+	return OpenWithOptions(path, Options{TileCacheBytes: cacheBytes})
+}
+
+// OpenWithOptions opens a store file for querying with explicit cache
+// budgets. Each budget is a hard invariant: the bytes cached never exceed
+// it at any instant.
+func OpenWithOptions(path string, opts Options) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	s, err := open(f, cacheBytes)
+	s, err := open(f, opts)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -207,7 +393,7 @@ func Open(path string, cacheBytes int64) (*Store, error) {
 	return s, nil
 }
 
-func open(f *os.File, cacheBytes int64) (*Store, error) {
+func open(f *os.File, opts Options) (*Store, error) {
 	st, err := f.Stat()
 	if err != nil {
 		return nil, err
@@ -247,30 +433,59 @@ func open(f *os.File, cacheBytes int64) (*Store, error) {
 	for i := range index {
 		off := int64(binary.LittleEndian.Uint64(idxBuf[i*idxEntryLen:]))
 		length := int64(binary.LittleEndian.Uint64(idxBuf[i*idxEntryLen+8:]))
-		if off < fileHdrLen || length < 9 || off > st.Size()-length {
+		if off < fileHdrLen || length < matrix.HeaderLen || off > st.Size()-length {
 			return nil, fmt.Errorf("store: tile %d index entry (off=%d len=%d) outside file of %d bytes",
 				i, off, length, st.Size())
 		}
+		// Tile shapes are fully determined by (n, b), so every index
+		// length is checkable up front. This is what lets the span
+		// reader trust computed intra-tile offsets.
+		bi, bj := i/q, i%q
+		if want := matrix.DenseMarshaledSize(tileEdge(n, b, bi), tileEdge(n, b, bj)); length != want {
+			return nil, fmt.Errorf("store: tile %d index length %d, geometry implies %d", i, length, want)
+		}
 		index[i] = tileRef{off: off, length: length}
 	}
-	if cacheBytes < 0 {
-		cacheBytes = 0
+	if opts.TileCacheBytes < 0 {
+		opts.TileCacheBytes = 0
 	}
-	return &Store{
+	if opts.RowCacheBytes < 0 {
+		opts.RowCacheBytes = 0
+	}
+	maxTile := int64(8) * int64(b) * int64(b)
+	rowBytes := int64(8) * int64(n)
+	tileShards := autoShards(opts.TileCacheBytes, maxTile)
+	rowShards := autoShards(opts.RowCacheBytes, rowBytes)
+	if opts.Shards > 0 {
+		// A forced count is still floored per cache so every shard can
+		// hold at least one of its items: over-striping a small budget
+		// would otherwise make every item "oversize" and silently turn
+		// the cache off.
+		tileShards = fitShards(clampShards(opts.Shards), opts.TileCacheBytes, maxTile)
+		rowShards = fitShards(clampShards(opts.Shards), opts.RowCacheBytes, rowBytes)
+	}
+	s := &Store{
 		f: f, n: n, b: b, q: q, index: index, fileBytes: st.Size(),
-		budget: cacheBytes,
-		tiles:  make(map[int]*list.Element),
-		lru:    list.New(),
-	}, nil
+		tileBudget: opts.TileCacheBytes,
+		tileShards: newShards(opts.TileCacheBytes, tileShards),
+		tileMask:   tileShards - 1,
+		rowBudget:  opts.RowCacheBytes,
+		rowShards:  newShards(opts.RowCacheBytes, rowShards),
+		rowMask:    rowShards - 1,
+		hdrOK:      make([]atomic.Bool, q*q),
+	}
+	return s, nil
 }
 
-// Close releases the file handle and drops the cache.
+// Close releases the file handle and drops both caches.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	s.tiles = make(map[int]*list.Element)
-	s.lru.Init()
-	s.inUse = 0
-	s.mu.Unlock()
+	for _, sh := range append(append([]*shard(nil), s.tileShards...), s.rowShards...) {
+		sh.mu.Lock()
+		sh.items = make(map[int]*list.Element)
+		sh.lru.Init()
+		sh.inUse = 0
+		sh.mu.Unlock()
+	}
 	return s.f.Close()
 }
 
@@ -286,37 +501,76 @@ func (s *Store) TilesPerSide() int { return s.q }
 // FileBytes returns the on-disk size of the store.
 func (s *Store) FileBytes() int64 { return s.fileBytes }
 
-// Stats snapshots the cache counters.
+// Stats snapshots the tile-cache counters, aggregated across shards.
 func (s *Store) Stats() CacheStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return CacheStats{
-		Hits: s.hits, Misses: s.misses, Evictions: s.evictions,
-		BytesInUse: s.inUse, BytesBudget: s.budget,
-		TilesCached: s.lru.Len(),
+	out := CacheStats{BytesBudget: s.tileBudget}
+	if len(s.tileShards) > 1 {
+		out.Shards = make([]ShardStat, 0, len(s.tileShards))
 	}
+	for _, sh := range s.tileShards {
+		st := sh.stat()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Coalesced += st.Coalesced
+		out.Evictions += st.Evictions
+		out.BytesInUse += st.BytesInUse
+		out.TilesCached += st.Items
+		if out.Shards != nil {
+			out.Shards = append(out.Shards, st)
+		}
+	}
+	return out
+}
+
+// RowStats snapshots the assembled-row cache counters, aggregated across
+// shards.
+func (s *Store) RowStats() RowCacheStats {
+	out := RowCacheStats{BytesBudget: s.rowBudget, SpanReads: s.spanReads.Load()}
+	if len(s.rowShards) > 1 {
+		out.Shards = make([]ShardStat, 0, len(s.rowShards))
+	}
+	for _, sh := range s.rowShards {
+		st := sh.stat()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Coalesced += st.Coalesced
+		out.Evictions += st.Evictions
+		out.BytesInUse += st.BytesInUse
+		out.RowsCached += st.Items
+		if out.Shards != nil {
+			out.Shards = append(out.Shards, st)
+		}
+	}
+	return out
 }
 
 // Tile returns tile (bi, bj) — an h x w dense block, ragged at the matrix
 // edge. The block is shared: callers must neither mutate it nor return it
 // to the block arena. A cancelled or expired ctx aborts before the disk
 // read of a cache miss; cache hits are served regardless (they cost
-// nothing and keep hot queries snappy during shutdown drains).
+// nothing and keep hot queries snappy during shutdown drains). Concurrent
+// misses on the same tile coalesce onto one disk read.
 func (s *Store) Tile(ctx context.Context, bi, bj int) (*matrix.Block, error) {
 	if bi < 0 || bi >= s.q || bj < 0 || bj >= s.q {
 		return nil, fmt.Errorf("store: tile (%d,%d) outside %dx%d grid", bi, bj, s.q, s.q)
 	}
 	id := bi*s.q + bj
+	sh := s.tileShards[id&s.tileMask]
 
-	s.mu.Lock()
-	if el, ok := s.tiles[id]; ok {
-		s.lru.MoveToFront(el)
-		s.hits++
-		blk := el.Value.(*cacheEntry).block
-		s.mu.Unlock()
+	sh.mu.Lock()
+	if el, ok := sh.items[id]; ok {
+		sh.lru.MoveToFront(el)
+		sh.hits.Add(1)
+		blk := el.Value.(*entry).tile
+		sh.mu.Unlock()
 		return blk, nil
 	}
-	s.mu.Unlock()
+	if fl, ok := sh.inflight[id]; ok {
+		sh.coalesced.Add(1)
+		sh.mu.Unlock()
+		return waitFlight(ctx, fl)
+	}
+	sh.mu.Unlock()
 
 	// The cancellation check precedes the miss count: an aborted query
 	// performs no disk read, so it must not skew the hit-rate counters
@@ -326,55 +580,89 @@ func (s *Store) Tile(ctx context.Context, bi, bj int) (*matrix.Block, error) {
 			return nil, err
 		}
 	}
-	s.mu.Lock()
-	s.misses++
-	s.mu.Unlock()
 
-	// Disk read and decode happen outside the lock so concurrent misses on
-	// different tiles overlap their IO. Two goroutines missing the same
-	// tile may both read it; the second insert wins nothing but wastes
-	// only one decode.
-	blk, err := s.readTile(bi, bj, id)
-	if err != nil {
-		return nil, err
-	}
-	bytes := blk.SizeBytes()
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.tiles[id]; ok {
-		// Raced with another reader: share the already-cached copy.
-		s.lru.MoveToFront(el)
-		return el.Value.(*cacheEntry).block, nil
-	}
-	if bytes > s.budget {
-		// A tile that alone exceeds the budget is served uncached rather
-		// than blowing the invariant.
+	sh.mu.Lock()
+	// Re-check under the lock: another goroutine may have published or
+	// started this tile while we checked the context.
+	if el, ok := sh.items[id]; ok {
+		sh.lru.MoveToFront(el)
+		sh.hits.Add(1)
+		blk := el.Value.(*entry).tile
+		sh.mu.Unlock()
 		return blk, nil
 	}
-	el := s.lru.PushFront(&cacheEntry{id: id, block: blk, bytes: bytes})
-	s.tiles[id] = el
-	s.inUse += bytes
-	for s.inUse > s.budget {
-		back := s.lru.Back()
-		ent := back.Value.(*cacheEntry)
-		s.lru.Remove(back)
-		delete(s.tiles, ent.id)
-		s.inUse -= ent.bytes
-		s.evictions++
+	if fl, ok := sh.inflight[id]; ok {
+		sh.coalesced.Add(1)
+		sh.mu.Unlock()
+		return waitFlight(ctx, fl)
 	}
-	return blk, nil
+	fl := &flight{done: make(chan struct{})}
+	if sh.inflight == nil {
+		sh.inflight = make(map[int]*flight)
+	}
+	sh.inflight[id] = fl
+	sh.misses.Add(1)
+	sh.mu.Unlock()
+
+	// Disk read and decode happen outside the lock so misses on different
+	// tiles overlap their IO; followers of this tile are parked on fl.
+	blk, err := s.readTile(bi, bj, id)
+	fl.tile, fl.err = blk, err
+
+	sh.mu.Lock()
+	delete(sh.inflight, id)
+	if err == nil {
+		if bytes := blk.SizeBytes(); bytes <= sh.budget {
+			el := sh.lru.PushFront(&entry{id: id, tile: blk, bytes: bytes})
+			sh.items[id] = el
+			sh.inUse += bytes
+			for sh.inUse > sh.budget {
+				back := sh.lru.Back()
+				ent := back.Value.(*entry)
+				sh.lru.Remove(back)
+				delete(sh.items, ent.id)
+				sh.inUse -= ent.bytes
+				sh.evictions.Add(1)
+			}
+		}
+		// A tile that alone exceeds the shard budget is served uncached
+		// rather than blowing the invariant.
+	}
+	sh.mu.Unlock()
+	close(fl.done)
+	return blk, err
+}
+
+// waitFlight parks a coalesced miss on the leader's read. The follower's
+// own context still bounds its wait; the leader finishes regardless.
+func waitFlight(ctx context.Context, fl *flight) (*matrix.Block, error) {
+	if ctx != nil {
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	} else {
+		<-fl.done
+	}
+	return fl.tile, fl.err
 }
 
 // readTile fetches and decodes one tile from disk, validating its shape
-// against the geometry the header promised.
+// against the geometry the header promised. The staging buffer is pooled;
+// Unmarshal copies the floats out, so the decoded block owns fresh heap
+// memory (it must: cached tiles are shared indefinitely).
 func (s *Store) readTile(bi, bj, id int) (*matrix.Block, error) {
+	if s.readHook != nil {
+		s.readHook(bi, bj)
+	}
 	ref := s.index[id]
-	buf := make([]byte, ref.length)
-	if _, err := s.f.ReadAt(buf, ref.off); err != nil {
+	bp := getIOBuf(int(ref.length))
+	defer ioBufPool.Put(bp)
+	if _, err := s.f.ReadAt(*bp, ref.off); err != nil {
 		return nil, fmt.Errorf("store: tile (%d,%d): %w", bi, bj, err)
 	}
-	blk, err := matrix.Unmarshal(buf)
+	blk, err := matrix.Unmarshal(*bp)
 	if err != nil {
 		return nil, fmt.Errorf("store: tile (%d,%d): %w", bi, bj, err)
 	}
@@ -383,11 +671,243 @@ func (s *Store) readTile(bi, bj, id int) (*matrix.Block, error) {
 		return nil, fmt.Errorf("store: tile (%d,%d) decoded as %dx%d phantom=%v, want dense %dx%d",
 			bi, bj, blk.R, blk.C, blk.Phantom(), h, w)
 	}
+	s.hdrOK[id].Store(true)
 	return blk, nil
 }
 
+// ensureTileHeader validates the 9-byte Marshal header of a tile once,
+// memoizing the verdict, so span reads trust computed payload offsets
+// without re-reading headers on every query.
+func (s *Store) ensureTileHeader(id, bi, bj int) error {
+	if s.hdrOK[id].Load() {
+		return nil
+	}
+	var hdr [matrix.HeaderLen]byte
+	if _, err := s.f.ReadAt(hdr[:], s.index[id].off); err != nil {
+		return fmt.Errorf("store: tile (%d,%d) header: %w", bi, bj, err)
+	}
+	h, w := tileEdge(s.n, s.b, bi), tileEdge(s.n, s.b, bj)
+	if err := matrix.ValidateDenseHeader(hdr[:], h, w); err != nil {
+		return fmt.Errorf("store: tile (%d,%d): %w", bi, bj, err)
+	}
+	s.hdrOK[id].Store(true)
+	return nil
+}
+
+// readRowSpan reads row r of tile (bi, bj) straight from its computed
+// file offset into seg (len = tile width), bypassing tile decode: q such
+// spans assemble a full matrix row with q small preads instead of q full
+// tile reads.
+func (s *Store) readRowSpan(bi, bj, r int, seg []float64) error {
+	if s.readHook != nil {
+		s.readHook(bi, bj)
+	}
+	id := bi*s.q + bj
+	if err := s.ensureTileHeader(id, bi, bj); err != nil {
+		return err
+	}
+	w := len(seg)
+	off := s.index[id].off + matrix.HeaderLen + int64(r)*int64(w)*8
+	bp := getIOBuf(w * 8)
+	defer ioBufPool.Put(bp)
+	if _, err := s.f.ReadAt(*bp, off); err != nil {
+		return fmt.Errorf("store: tile (%d,%d) row %d: %w", bi, bj, r, err)
+	}
+	buf := *bp
+	for t := 0; t < w; t++ {
+		seg[t] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*t:]))
+	}
+	s.spanReads.Add(1)
+	return nil
+}
+
+// assembleRow fills dst (len n) with row i, taking each segment from the
+// tile cache when the tile happens to be resident and from a direct
+// row-span read otherwise. It never populates the tile cache: decoding a
+// full b x b tile to extract one row would cost b times the IO and evict
+// genuinely hot tiles.
+func (s *Store) assembleRow(ctx context.Context, i int, dst []float64) error {
+	bi, r := i/s.b, i%s.b
+	for bj := 0; bj < s.q; bj++ {
+		w := tileEdge(s.n, s.b, bj)
+		seg := dst[bj*s.b : bj*s.b+w]
+		id := bi*s.q + bj
+		sh := s.tileShards[id&s.tileMask]
+		sh.mu.Lock()
+		if el, ok := sh.items[id]; ok {
+			sh.lru.MoveToFront(el)
+			sh.hits.Add(1)
+			tile := el.Value.(*entry).tile
+			sh.mu.Unlock()
+			copy(seg, tile.Row(r))
+			continue
+		}
+		sh.mu.Unlock()
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if err := s.readRowSpan(bi, bj, r, seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RowView returns vertex i's full distance row as a shared, read-only
+// slice: on a row-cache hit no bytes move at all. Callers must not mutate
+// the returned slice. Concurrent misses on the same row coalesce onto one
+// assembly, so a cold hot-spot row costs one set of span reads however
+// many clients stampede it. With row caching disabled the row is freshly
+// assembled (and caller-owned).
+func (s *Store) RowView(ctx context.Context, i int) ([]float64, error) {
+	if err := s.checkVertex(i); err != nil {
+		return nil, err
+	}
+	if s.rowBudget <= 0 {
+		out := make([]float64, s.n)
+		if err := s.assembleRow(ctx, i, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	sh := s.rowShards[i&s.rowMask]
+	sh.mu.Lock()
+	if el, ok := sh.items[i]; ok {
+		sh.lru.MoveToFront(el)
+		sh.hits.Add(1)
+		row := el.Value.(*entry).row
+		sh.mu.Unlock()
+		return row, nil
+	}
+	if fl, ok := sh.inflight[i]; ok {
+		sh.coalesced.Add(1)
+		sh.mu.Unlock()
+		return waitRowFlight(ctx, fl)
+	}
+	sh.mu.Unlock()
+
+	// As with tiles: the cancellation check precedes the miss count and
+	// flight registration; past this point the leader's assembly runs
+	// detached from its context (below), so an aborted query neither
+	// reads disk nor poisons followers with its own context error.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	sh.mu.Lock()
+	if el, ok := sh.items[i]; ok {
+		sh.lru.MoveToFront(el)
+		sh.hits.Add(1)
+		row := el.Value.(*entry).row
+		sh.mu.Unlock()
+		return row, nil
+	}
+	if fl, ok := sh.inflight[i]; ok {
+		sh.coalesced.Add(1)
+		sh.mu.Unlock()
+		return waitRowFlight(ctx, fl)
+	}
+	fl := &flight{done: make(chan struct{})}
+	if sh.inflight == nil {
+		sh.inflight = make(map[int]*flight)
+	}
+	sh.inflight[i] = fl
+	sh.misses.Add(1)
+	sh.mu.Unlock()
+
+	// The leader assembles with a nil (uncancellable) context, exactly
+	// like a tile leader's readTile: coalesced followers with healthy
+	// contexts must not fail because the leader's client hung up, and
+	// the work left is bounded (q small preads).
+	out := make([]float64, s.n)
+	err := s.assembleRow(nil, i, out)
+	if err == nil {
+		fl.row = out
+	}
+	fl.err = err
+
+	sh.mu.Lock()
+	delete(sh.inflight, i)
+	if err == nil {
+		if bytes := int64(8) * int64(s.n); bytes <= sh.budget {
+			el := sh.lru.PushFront(&entry{id: i, row: out, bytes: bytes})
+			sh.items[i] = el
+			sh.inUse += bytes
+			for sh.inUse > sh.budget {
+				back := sh.lru.Back()
+				ent := back.Value.(*entry)
+				sh.lru.Remove(back)
+				delete(sh.items, ent.id)
+				sh.inUse -= ent.bytes
+				sh.evictions.Add(1)
+			}
+		}
+	}
+	sh.mu.Unlock()
+	close(fl.done)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// waitRowFlight parks a coalesced row miss on the leader's assembly. The
+// follower's own context still bounds its wait.
+func waitRowFlight(ctx context.Context, fl *flight) ([]float64, error) {
+	if ctx != nil {
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	} else {
+		<-fl.done
+	}
+	return fl.row, fl.err
+}
+
+// RowInto fills dst with vertex i's full distance row and returns it,
+// reusing dst's backing array when it is large enough — the steady-state
+// allocation-free read primitive (a row-cache hit is one lookup plus one
+// copy; a miss with row caching off assembles straight into dst).
+func (s *Store) RowInto(ctx context.Context, i int, dst []float64) ([]float64, error) {
+	if err := s.checkVertex(i); err != nil {
+		return nil, err
+	}
+	if cap(dst) >= s.n {
+		dst = dst[:s.n]
+	} else {
+		dst = make([]float64, s.n)
+	}
+	if s.rowBudget <= 0 {
+		if err := s.assembleRow(ctx, i, dst); err != nil {
+			return nil, err
+		}
+		return dst, nil
+	}
+	row, err := s.RowView(ctx, i)
+	if err != nil {
+		return nil, err
+	}
+	copy(dst, row)
+	return dst, nil
+}
+
+// Row returns a fresh, caller-owned copy of the full distance row of
+// vertex i. ctx aborts the assembly of a cold row between segment reads.
+func (s *Store) Row(ctx context.Context, i int) ([]float64, error) {
+	return s.RowInto(ctx, i, nil)
+}
+
 // Dist returns the shortest-path distance from i to j (matrix.Inf when no
-// path exists). ctx bounds the tile read of a cache miss.
+// path exists). With row caching enabled the query is served through the
+// row cache (a hit is one array read; a miss assembles and caches the
+// whole source row, q small preads); otherwise it pages the owning tile
+// through the tile cache. ctx bounds the IO of a miss either way.
 func (s *Store) Dist(ctx context.Context, i, j int) (float64, error) {
 	if err := s.checkVertex(i); err != nil {
 		return 0, err
@@ -395,31 +915,18 @@ func (s *Store) Dist(ctx context.Context, i, j int) (float64, error) {
 	if err := s.checkVertex(j); err != nil {
 		return 0, err
 	}
+	if s.rowBudget > 0 {
+		row, err := s.RowView(ctx, i)
+		if err != nil {
+			return 0, err
+		}
+		return row[j], nil
+	}
 	tile, err := s.Tile(ctx, i/s.b, j/s.b)
 	if err != nil {
 		return 0, err
 	}
 	return tile.At(i%s.b, j%s.b), nil
-}
-
-// Row returns a fresh copy of the full distance row of vertex i, assembled
-// from the q tiles of its row band. ctx aborts the assembly between tile
-// reads, so a cancelled client stops paying disk IO after at most one
-// tile.
-func (s *Store) Row(ctx context.Context, i int) ([]float64, error) {
-	if err := s.checkVertex(i); err != nil {
-		return nil, err
-	}
-	out := make([]float64, s.n)
-	bi, r := i/s.b, i%s.b
-	for bj := 0; bj < s.q; bj++ {
-		tile, err := s.Tile(ctx, bi, bj)
-		if err != nil {
-			return nil, err
-		}
-		copy(out[bj*s.b:bj*s.b+tile.C], tile.Row(r))
-	}
-	return out, nil
 }
 
 func (s *Store) checkVertex(v int) error {
