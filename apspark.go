@@ -64,6 +64,10 @@ const (
 	SolverIM SolverKind = "im"
 	// SolverCB is Blocked Collect/Broadcast (paper §4.5, impure, fastest).
 	SolverCB SolverKind = "cb"
+	// SolverDijkstra is the host-native sparse fast path: Dijkstra from
+	// every source over the CSR graph, no virtual cluster involved. See
+	// HostSolvers and Session.SolveToStore.
+	SolverDijkstra SolverKind = "dij"
 )
 
 // Partitioner re-exports the paper's two RDD partitioners.

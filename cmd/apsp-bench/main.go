@@ -10,6 +10,7 @@
 //	apsp-bench kernels           # fused vs unfused min-plus microbenchmarks
 //	apsp-bench store             # tiled-store query throughput (dist/row/knn/path)
 //	apsp-bench serve             # serving-engine throughput (single, hot, concurrent, batch)
+//	apsp-bench sparse            # host-native CSR Dijkstra vs dense Blocked-CB
 //	apsp-bench all               # everything
 //
 // Flags scale the experiments down for quick runs (-quick) or swap in a
@@ -94,12 +95,13 @@ type serveQueryResult struct {
 
 // report aggregates everything a run produced.
 type report struct {
-	GoMaxProcs  int                `json:"gomaxprocs"`
-	Quick       bool               `json:"quick"`
-	Kernels     []kernelResult     `json:"kernels,omitempty"`
-	Experiments []experimentResult `json:"experiments,omitempty"`
-	StoreQuery  []storeQueryResult `json:"store_query,omitempty"`
-	ServeQuery  []serveQueryResult `json:"serve_query,omitempty"`
+	GoMaxProcs  int                 `json:"gomaxprocs"`
+	Quick       bool                `json:"quick"`
+	Kernels     []kernelResult      `json:"kernels,omitempty"`
+	Experiments []experimentResult  `json:"experiments,omitempty"`
+	StoreQuery  []storeQueryResult  `json:"store_query,omitempty"`
+	ServeQuery  []serveQueryResult  `json:"serve_query,omitempty"`
+	SparseSolve []sparseSolveResult `json:"sparse_solve,omitempty"`
 }
 
 func main() {
@@ -137,10 +139,11 @@ func main() {
 	run("kernels", kernels)
 	run("store", storeQueries)
 	run("serve", serveQueries)
+	run("sparse", sparseSolve)
 	switch what {
-	case "all", "fig2", "fig3", "table2", "table3", "kernels", "store", "serve":
+	case "all", "fig2", "fig3", "table2", "table3", "kernels", "store", "serve", "sparse":
 	default:
-		fmt.Fprintf(os.Stderr, "apsp-bench: unknown target %q (want fig2|fig3|table2|table3|kernels|store|serve|all)\n", what)
+		fmt.Fprintf(os.Stderr, "apsp-bench: unknown target %q (want fig2|fig3|table2|table3|kernels|store|serve|sparse|all)\n", what)
 		os.Exit(2)
 	}
 
@@ -159,7 +162,10 @@ func main() {
 	for i := range rep.ServeQuery {
 		rep.ServeQuery[i].Quick = rep.Quick
 	}
-	if *jsonPath != "" && (len(rep.Kernels) > 0 || len(rep.Experiments) > 0 || len(rep.StoreQuery) > 0 || len(rep.ServeQuery) > 0) {
+	for i := range rep.SparseSolve {
+		rep.SparseSolve[i].Quick = rep.Quick
+	}
+	if *jsonPath != "" && (len(rep.Kernels) > 0 || len(rep.Experiments) > 0 || len(rep.StoreQuery) > 0 || len(rep.ServeQuery) > 0 || len(rep.SparseSolve) > 0) {
 		if err := writeReport(*jsonPath, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "apsp-bench: %v\n", err)
 			os.Exit(1)
@@ -210,6 +216,11 @@ func writeReport(path string, rep *report) error {
 	}
 	if len(rep.ServeQuery) > 0 {
 		if err := put("serve_query", rep.ServeQuery); err != nil {
+			return err
+		}
+	}
+	if len(rep.SparseSolve) > 0 {
+		if err := put("sparse_solve", rep.SparseSolve); err != nil {
 			return err
 		}
 	}

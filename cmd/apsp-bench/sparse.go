@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"apspark"
+	"apspark/internal/costmodel"
+	"apspark/internal/graph"
+	"apspark/internal/sparse"
+)
+
+// sparseSolveResult is one sparse-fast-path measurement in BENCH.json:
+// the host-native CSR Dijkstra engine against the dense Blocked-CB solve
+// on the same graph.
+type sparseSolveResult struct {
+	Name        string  `json:"name"` // "dij" or "cb_dense"
+	N           int     `json:"n"`
+	AvgDegree   float64 `json:"avg_degree"`
+	Edges       int     `json:"edges"`
+	Quick       bool    `json:"quick,omitempty"`
+	BlockSize   int     `json:"block_size"`
+	NsPerOp     int64   `json:"wall_ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// SpeedupVsDenseCB and ExactMatch are set on the "dij" entry only:
+	// wall-clock ratio against the dense solve and whether the two
+	// distance matrices agree bit for bit.
+	SpeedupVsDenseCB float64 `json:"speedup_vs_dense_cb,omitempty"`
+	ExactMatch       bool    `json:"exact_match,omitempty"`
+}
+
+// sparseSolve benchmarks the sparse-graph fast path: a connected ER graph
+// at average degree 16 with integer weights (integer path sums are exact
+// in float64, so Dijkstra and the min-plus solvers must agree exactly —
+// a correctness check, not just a tolerance), solved by the host-native
+// dij engine and by a full dense Blocked-CB virtual-cluster solve.
+func sparseSolve(_ costmodel.KernelModel, quick bool, rep *report) error {
+	n, deg := 8192, 16.0
+	if quick {
+		n = 1024
+	}
+	g, err := graph.ErdosRenyiConnected(n, graph.AvgDegreeProb(n, deg), graph.IntegerWeights(100), 42)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sparse solve (n=%d avg-degree %.0f, %d edges, integer weights):\n", n, deg, g.NumEdges())
+
+	sess, err := apspark.New()
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	cbStart := time.Now()
+	cbRes, err := sess.Solve(ctx, g, apspark.WithSolver(apspark.SolverCB))
+	if err != nil {
+		return err
+	}
+	cbNs := time.Since(cbStart).Nanoseconds()
+	fmt.Printf("  %-10s %14d ns/op  (%s, b=%d)\n", "cb_dense", cbNs, cbRes.Solver, cbRes.BlockSize)
+
+	eng := sparse.New(g)
+	panelRows := graph.DefaultBlockSize(0, n, 256)
+	dij, _, err := eng.Solve(ctx, panelRows, sparse.Options{})
+	if err != nil {
+		return err
+	}
+	exact := dij.Equal(cbRes.Dist)
+
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Solve(ctx, panelRows, sparse.Options{}); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if benchErr != nil {
+		return benchErr
+	}
+	speedup := float64(cbNs) / float64(r.NsPerOp())
+	fmt.Printf("  %-10s %14d ns/op %6d allocs/op\n", "dij", r.NsPerOp(), r.AllocsPerOp())
+	fmt.Printf("  speedup vs dense CB: %.1fx, distances exact: %v\n", speedup, exact)
+	if !exact {
+		return fmt.Errorf("sparse solve diverges from dense CB (integer weights must agree exactly)")
+	}
+
+	rep.SparseSolve = append(rep.SparseSolve,
+		sparseSolveResult{
+			Name: "cb_dense", N: n, AvgDegree: deg, Edges: g.NumEdges(),
+			BlockSize: cbRes.BlockSize, NsPerOp: cbNs,
+		},
+		sparseSolveResult{
+			Name: "dij", N: n, AvgDegree: deg, Edges: g.NumEdges(),
+			BlockSize: panelRows, NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(),
+			SpeedupVsDenseCB: speedup, ExactMatch: exact,
+		})
+	return nil
+}

@@ -10,6 +10,9 @@
 //	apsp -n 262144 -b 2560 -solver cb -phantom    # paper-scale projection
 //	apsp -n 131072 -b 512 -solver im -phantom     # reproduces the storage failure
 //	apsp -n 8192 -phantom -progress               # watch units stream by
+//	apsp -solver dij -input sparse.txt -store d.apsp  # host-native sparse solve,
+//	                                                  # rows streamed to the store
+//	apsp -solver help                             # list host-native vs cluster solvers
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"apspark"
 	"apspark/internal/bench"
@@ -33,8 +37,8 @@ import (
 func main() {
 	var (
 		n         = flag.Int("n", 512, "number of vertices")
-		b         = flag.Int("b", 0, "block size (0 = auto: n/8)")
-		solver    = flag.String("solver", "cb", "solver: "+strings.Join(core.RegisteredSolvers(), " | "))
+		b         = flag.Int("b", 0, "block size (0 = auto: n/8; host-native store solves tile at 256)")
+		solver    = flag.String("solver", "cb", "solver: "+solverFlagNames()+" (help lists them)")
 		partition = flag.String("partitioner", "MD", "partitioner: MD | PH")
 		bpc       = flag.Int("B", 2, "RDD partitions per core")
 		seed      = flag.Int64("seed", 42, "graph seed")
@@ -49,6 +53,17 @@ func main() {
 		storeOut  = flag.String("store", "", "persist the solved distances as a tiled store file (real runs only; serve it with apsp-serve)")
 	)
 	flag.Parse()
+
+	if *solver == "help" {
+		printSolverHelp()
+		return
+	}
+	host := apspark.IsHostSolver(apspark.SolverKind(*solver))
+	if host {
+		if err := rejectClusterFlags(*solver); err != nil {
+			fatal(err)
+		}
+	}
 
 	// Ctrl-C / SIGTERM cancel the solve at the next stage boundary; the
 	// partial result is reported below instead of being thrown away.
@@ -76,12 +91,23 @@ func main() {
 		apspark.WithTrace(*trace),
 	}
 	if *progress {
-		jobOpts = append(jobOpts, apspark.WithProgress(func(ev apspark.StageEvent) {
+		progressFn := func(ev apspark.StageEvent) {
 			if ev.Name == "unit" || ev.Done {
 				fmt.Fprintf(os.Stderr, "apsp: unit %5d/%d  virtual %-12s shuffle %s\n",
 					ev.UnitsDone, ev.UnitsTotal, bench.FormatDuration(ev.VirtualSeconds), fmtBytes(ev.ShuffleBytes))
 			}
-		}))
+		}
+		if host {
+			// Host-native runs have no virtual clock or shuffle traffic to
+			// report; each unit is one solved row panel (the final done
+			// event repeats the last panel's count, so it is skipped).
+			progressFn = func(ev apspark.StageEvent) {
+				if ev.Name == "unit" {
+					fmt.Fprintf(os.Stderr, "apsp: rows %6d/%d solved\n", ev.UnitsDone, ev.UnitsTotal)
+				}
+			}
+		}
+		jobOpts = append(jobOpts, apspark.WithProgress(progressFn))
 	}
 
 	if *storeOut != "" && *phantom {
@@ -89,6 +115,7 @@ func main() {
 	}
 
 	var res *apspark.Result
+	var start time.Time
 	if *phantom {
 		res, err = sess.Project(ctx, *n, jobOpts...)
 	} else {
@@ -107,8 +134,19 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("graph: n=%d edges=%d\n", g.N, g.NumEdges())
-		res, err = sess.Solve(ctx, g, jobOpts...)
+		// The reported wall time covers the solve only, not graph
+		// generation or edge-list parsing.
+		start = time.Now()
+		if host && *storeOut != "" {
+			// Host solvers stream completed row panels straight into the
+			// store file, so even n far beyond RAM persists without ever
+			// materializing the matrix.
+			res, err = sess.SolveToStore(ctx, g, *storeOut, jobOpts...)
+		} else {
+			res, err = sess.Solve(ctx, g, jobOpts...)
+		}
 	}
+	wall := time.Since(start)
 	cancelled := false
 	if err != nil {
 		if res == nil || !errors.Is(err, context.Canceled) {
@@ -119,22 +157,39 @@ func main() {
 			res.UnitsRun, res.UnitsTotal)
 	}
 
-	fmt.Printf("solver:            %s (partitioner %s, b=%d, B=%d, p=%d)\n", res.Solver, *partition, res.BlockSize, *bpc, *cores)
-	fmt.Printf("iteration units:   %d of %d\n", res.UnitsRun, res.UnitsTotal)
-	fmt.Printf("virtual time:      %s\n", bench.FormatDuration(res.VirtualSeconds))
-	if res.UnitsRun < res.UnitsTotal {
-		fmt.Printf("projected total:   %s\n", bench.FormatDuration(res.ProjectedSeconds))
+	if host {
+		fmt.Printf("solver:            %s (host-native, store tile b=%d)\n", res.Solver, res.BlockSize)
+		fmt.Printf("source rows:       %d of %d\n", res.UnitsRun, res.UnitsTotal)
+		fmt.Printf("host wall time:    %s\n", wall.Round(time.Millisecond))
+	} else {
+		fmt.Printf("solver:            %s (partitioner %s, b=%d, B=%d, p=%d)\n", res.Solver, *partition, res.BlockSize, *bpc, *cores)
+		fmt.Printf("iteration units:   %d of %d\n", res.UnitsRun, res.UnitsTotal)
+		fmt.Printf("virtual time:      %s\n", bench.FormatDuration(res.VirtualSeconds))
+		if res.UnitsRun < res.UnitsTotal {
+			fmt.Printf("projected total:   %s\n", bench.FormatDuration(res.ProjectedSeconds))
+		}
+		m := res.Metrics
+		fmt.Printf("stages/tasks:      %d / %d (%d retries)\n", m.Stages, m.Tasks, m.TaskRetries)
+		fmt.Printf("shuffle bytes:     %s\n", fmtBytes(m.ShuffleBytes))
+		fmt.Printf("shared FS r/w:     %s / %s\n", fmtBytes(m.SharedReadBytes), fmtBytes(m.SharedWriteBytes))
+		fmt.Printf("collect/broadcast: %s / %s\n", fmtBytes(m.CollectBytes), fmtBytes(m.BroadcastBytes))
+		fmt.Printf("peak local SSD:    %s per node\n", fmtBytes(m.LocalPeakBytes))
 	}
-	m := res.Metrics
-	fmt.Printf("stages/tasks:      %d / %d (%d retries)\n", m.Stages, m.Tasks, m.TaskRetries)
-	fmt.Printf("shuffle bytes:     %s\n", fmtBytes(m.ShuffleBytes))
-	fmt.Printf("shared FS r/w:     %s / %s\n", fmtBytes(m.SharedReadBytes), fmtBytes(m.SharedWriteBytes))
-	fmt.Printf("collect/broadcast: %s / %s\n", fmtBytes(m.CollectBytes), fmtBytes(m.BroadcastBytes))
-	fmt.Printf("peak local SSD:    %s per node\n", fmtBytes(m.LocalPeakBytes))
 	if res.Dist != nil && *verify {
 		fmt.Println("verification:      OK (matches sequential Floyd-Warshall)")
 	}
-	if *storeOut != "" {
+	if *storeOut != "" && host {
+		// SolveToStore already streamed the panels to disk; a cancelled run
+		// aborted its temp file and left nothing at the target path.
+		if !cancelled {
+			st, err := os.Stat(*storeOut)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("store:             %s (%s, b=%d; serve with apsp-serve -store %s)\n",
+				*storeOut, fmtBytes(st.Size()), res.BlockSize, *storeOut)
+		}
+	} else if *storeOut != "" {
 		if res.Dist == nil {
 			// Truncated or cancelled runs carry no distances; the missing
 			// artifact must be loud, not discovered when serving fails.
@@ -184,6 +239,59 @@ func fmtBytes(b int64) string {
 		exp++
 	}
 	return fmt.Sprintf("%.1f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}
+
+// solverFlagNames lists every accepted -solver value, host-native first.
+func solverFlagNames() string {
+	var names []string
+	for _, h := range apspark.HostSolvers() {
+		names = append(names, string(h.Name))
+	}
+	names = append(names, core.RegisteredSolvers()...)
+	return strings.Join(names, " | ")
+}
+
+// printSolverHelp renders the -solver help listing, separating solvers
+// that run natively on this host from those that run on the simulated
+// Spark cluster.
+func printSolverHelp() {
+	fmt.Println("host-native solvers (run on this machine, real solves only; no -phantom/-p/-partitioner/-B):")
+	for _, h := range apspark.HostSolvers() {
+		fmt.Printf("  %-5s %s\n", h.Name, h.Description)
+	}
+	fmt.Println("virtual-cluster solvers (paper §4; real solves and -phantom projections):")
+	for _, name := range core.RegisteredSolvers() {
+		s, err := core.SolverByName(name)
+		if err != nil {
+			continue
+		}
+		kind := "impure"
+		if s.Pure() {
+			kind = "pure"
+		}
+		fmt.Printf("  %-5s %s (%s)\n", name, s.Name(), kind)
+	}
+}
+
+// rejectClusterFlags fails a host-native run that sets flags which only
+// mean something on the virtual cluster, instead of silently ignoring
+// them.
+func rejectClusterFlags(solver string) error {
+	clusterOnly := map[string]bool{
+		"phantom": true, "p": true, "partitioner": true, "B": true,
+		"max-units": true, "calibrate": true, "trace": true,
+	}
+	var offending []string
+	flag.Visit(func(f *flag.Flag) {
+		if clusterOnly[f.Name] {
+			offending = append(offending, "-"+f.Name)
+		}
+	})
+	if len(offending) > 0 {
+		return fmt.Errorf("-solver %s runs on this host, not the virtual cluster: %s only apply to cluster solvers (%s)",
+			solver, strings.Join(offending, ", "), strings.Join(core.RegisteredSolvers(), "|"))
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -11,6 +11,8 @@
 //	graphgen -n 1024 -p 0.01                  # explicit edge probability, stdout
 //	graphgen -n 1024 -weights unit            # hop-count graphs (all weights 1)
 //	graphgen -n 1024 -weights int -maxw 100   # integer weights in [1, 100]
+//	graphgen -n 65536 -avg-degree 16 -connect # sparse benchmark graph, no
+//	                                          # unreachable pairs
 //
 // -weights selects the edge-weight distribution:
 //
@@ -18,8 +20,15 @@
 //	unit      every weight 1 (shortest paths become hop counts)
 //	int       integer weights uniform in [1, maxw]
 //
-// Edge placement depends only on -n, -p and -seed, so changing -weights
-// re-weights the exact same topology.
+// -avg-degree d is the sparse-benchmark alternative to -p: it samples
+// G(n, d/(n-1)), so the expected average degree is d regardless of n.
+// -connect adds a ring backbone 0–1–…–(n-1)–0 (weights drawn from the
+// same distribution) guaranteeing a single connected component, so
+// sparse APSP benchmarks carry no unreachable-pair noise.
+//
+// Edge placement depends only on -n, the edge probability and -seed, so
+// changing -weights re-weights the exact same topology, and adding
+// -connect only adds the backbone — the random edges stay identical.
 package main
 
 import (
@@ -35,6 +44,8 @@ func main() {
 	var (
 		n       = flag.Int("n", 1024, "number of vertices")
 		p       = flag.Float64("p", -1, "edge probability (default: the paper's 1.1*ln(n)/n)")
+		avgDeg  = flag.Float64("avg-degree", 0, "sparse mode: target average degree (sets p = d/(n-1); overrides -p)")
+		connect = flag.Bool("connect", false, "add a ring backbone so the graph is connected (no unreachable pairs)")
 		maxW    = flag.Float64("maxw", 10, "weight scale: uniform draws from [1, maxw), int from [1, maxw]")
 		weights = flag.String("weights", "uniform", "weight distribution: uniform | unit | int")
 		seed    = flag.Int64("seed", 42, "random seed")
@@ -43,14 +54,20 @@ func main() {
 	flag.Parse()
 
 	prob := *p
-	if prob < 0 {
+	if *avgDeg > 0 {
+		prob = graph.AvgDegreeProb(*n, *avgDeg)
+	} else if prob < 0 {
 		prob = graph.ErdosRenyiPaperProb(*n)
 	}
 	wf, err := graph.WeightsByName(*weights, *maxW)
 	if err != nil {
 		fatal(err)
 	}
-	g, err := graph.ErdosRenyiWeighted(*n, prob, wf, *seed)
+	gen := graph.ErdosRenyiWeighted
+	if *connect {
+		gen = graph.ErdosRenyiConnected
+	}
+	g, err := gen(*n, prob, wf, *seed)
 	if err != nil {
 		fatal(err)
 	}

@@ -260,13 +260,61 @@ func ErdosRenyi(n int, p float64, maxW float64, seed int64) (*Graph, error) {
 // Edge placement depends only on n, p and seed, so two distributions at
 // the same seed produce the same topology with different weights.
 func ErdosRenyiWeighted(n int, p float64, wf WeightFn, seed int64) (*Graph, error) {
+	edges, err := sampleEdges(n, p, wf, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return FromEdges(n, edges)
+}
+
+// ErdosRenyiConnected is ErdosRenyiWeighted with a connectivity
+// guarantee: after sampling G(n, p) it adds a ring backbone
+// 0–1–…–(n-1)–0 with weights drawn from the same distribution, so every
+// pair of vertices is reachable and sparse APSP benchmarks carry no
+// unreachable-pair noise. The ER edges are sampled first from the same
+// rng stream as ErdosRenyiWeighted, so at equal (n, p, seed) the random
+// part of the topology is identical with or without the backbone;
+// duplicate edges keep the minimum weight as usual.
+func ErdosRenyiConnected(n int, p float64, wf WeightFn, seed int64) (*Graph, error) {
+	if wf == nil {
+		wf = UniformWeights(10)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges, err := sampleEdges(n, p, wf, rng)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1 {
+		for u := 0; u < n; u++ {
+			edges = append(edges, Edge{U: u, V: (u + 1) % n, W: wf(rng)})
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// AvgDegreeProb converts a target average degree into the G(n, p) edge
+// probability d/(n-1), clamped to [0, 1] — the knob sparse benchmarks use
+// instead of the paper's log-density probability.
+func AvgDegreeProb(n int, d float64) float64 {
+	if n < 2 || d <= 0 {
+		return 0
+	}
+	p := d / float64(n-1)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// sampleEdges draws the G(n, p) edge set from rng, consuming one rng
+// value per geometric skip and one per edge weight.
+func sampleEdges(n int, p float64, wf WeightFn, rng *rand.Rand) ([]Edge, error) {
 	if p < 0 || p > 1 {
 		return nil, fmt.Errorf("graph: edge probability %v outside [0,1]", p)
 	}
 	if wf == nil {
 		wf = UniformWeights(10)
 	}
-	rng := rand.New(rand.NewSource(seed))
 	var edges []Edge
 	if p > 0 {
 		lq := math.Log1p(-p) // log(1-p); p==1 gives -Inf and dense output
@@ -289,7 +337,7 @@ func ErdosRenyiWeighted(n int, p float64, wf WeightFn, seed int64) (*Graph, erro
 			idx++
 		}
 	}
-	return FromEdges(n, edges)
+	return edges, nil
 }
 
 // ErdosRenyiPaper generates the exact graph family from the paper's §5.1.

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAvgDegreeProb(t *testing.T) {
+	if got := AvgDegreeProb(1001, 16); math.Abs(got-16.0/1000) > 1e-15 {
+		t.Fatalf("AvgDegreeProb(1001, 16) = %v, want 0.016", got)
+	}
+	if got := AvgDegreeProb(10, 100); got != 1 {
+		t.Fatalf("over-dense degree not clamped: %v", got)
+	}
+	for _, tc := range []struct {
+		n int
+		d float64
+	}{{1, 5}, {0, 5}, {100, 0}, {100, -2}} {
+		if got := AvgDegreeProb(tc.n, tc.d); got != 0 {
+			t.Fatalf("AvgDegreeProb(%d, %v) = %v, want 0", tc.n, tc.d, got)
+		}
+	}
+}
+
+func TestErdosRenyiConnectedIsConnected(t *testing.T) {
+	// Expected degree 2 leaves a plain ER graph shattered into many
+	// components; the backbone must make it one.
+	n := 500
+	p := AvgDegreeProb(n, 2)
+	plain, err := ErdosRenyiWeighted(n, p, UniformWeights(10), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Connected() {
+		t.Skip("plain ER unexpectedly connected; pick a sparser config")
+	}
+	conn, err := ErdosRenyiConnected(n, p, UniformWeights(10), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conn.Connected() {
+		t.Fatal("ErdosRenyiConnected produced a disconnected graph")
+	}
+}
+
+// TestErdosRenyiConnectedPreservesRandomTopology pins the same-seed
+// contract: the backbone is added after ER sampling from the same rng
+// stream, so the random edge placement is identical with and without it.
+func TestErdosRenyiConnectedPreservesRandomTopology(t *testing.T) {
+	n := 300
+	p := AvgDegreeProb(n, 4)
+	plain, err := ErdosRenyiWeighted(n, p, IntegerWeights(50), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := ErdosRenyiConnected(n, p, IntegerWeights(50), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isRing := func(u, v int) bool {
+		return v == (u+1)%n || u == (v+1)%n
+	}
+	connEdges := map[[2]int]float64{}
+	for _, e := range conn.Edges() {
+		connEdges[[2]int{e.U, e.V}] = e.W
+	}
+	for _, e := range plain.Edges() {
+		w, ok := connEdges[[2]int{e.U, e.V}]
+		if !ok {
+			t.Fatalf("ER edge (%d,%d) missing from connected graph", e.U, e.V)
+		}
+		// A ring edge can coincide with an ER edge, in which case dedup
+		// keeps the smaller weight; otherwise weights must match exactly.
+		if w != e.W && !(isRing(e.U, e.V) && w < e.W) {
+			t.Fatalf("edge (%d,%d) weight %v, plain ER has %v", e.U, e.V, w, e.W)
+		}
+		delete(connEdges, [2]int{e.U, e.V})
+	}
+	for k := range connEdges {
+		if !isRing(k[0], k[1]) {
+			t.Fatalf("extra non-backbone edge (%d,%d) in connected graph", k[0], k[1])
+		}
+	}
+}
+
+func TestErdosRenyiConnectedDeterministic(t *testing.T) {
+	a, err := ErdosRenyiConnected(128, AvgDegreeProb(128, 3), UniformWeights(10), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ErdosRenyiConnected(128, AvgDegreeProb(128, 3), UniformWeights(10), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestErdosRenyiConnectedTinyGraphs(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3} {
+		g, err := ErdosRenyiConnected(n, 0, UnitWeights(), 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !g.Connected() {
+			t.Fatalf("n=%d: not connected", n)
+		}
+		if n == 2 && g.NumEdges() != 1 {
+			t.Fatalf("n=2 ring has %d edges, want 1 (deduped)", g.NumEdges())
+		}
+	}
+}

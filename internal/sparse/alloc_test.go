@@ -1,0 +1,29 @@
+//go:build !race
+
+package sparse
+
+import "testing"
+
+// TestPerSourceZeroAllocs pins the engine's allocation discipline: after
+// the first source has grown the pooled scratch, solving further sources
+// performs no heap allocations at all. Excluded under -race, where
+// sync.Pool intentionally drops items to widen interleaving coverage and
+// the scratch reallocates by design.
+func TestPerSourceZeroAllocs(t *testing.T) {
+	g := intER(t, 512, 8, 9)
+	e := New(g)
+	row := make([]float64, g.N)
+	if err := e.SolveRowInto(0, row); err != nil { // warmup: scratch grows once
+		t.Fatal(err)
+	}
+	src := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		src = (src + 1) % g.N
+		if err := e.SolveRowInto(src, row); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("per-source Dijkstra allocates %v objects/op after warmup, want 0", allocs)
+	}
+}

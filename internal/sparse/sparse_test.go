@@ -1,0 +1,274 @@
+package sparse
+
+import (
+	"context"
+	"testing"
+
+	"apspark/internal/graph"
+	"apspark/internal/matrix"
+	"apspark/internal/seq"
+)
+
+// intER builds a connected sparse ER graph with integer weights. Integer
+// weights make every path sum exact in float64, so Dijkstra and
+// Floyd-Warshall must agree bit for bit, not just within tolerance.
+func intER(t *testing.T, n int, deg float64, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := graph.ErdosRenyiConnected(n, graph.AvgDegreeProb(n, deg), graph.IntegerWeights(100), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// requireBitIdentical fails unless got and want are exactly equal,
+// reporting the first mismatching pair.
+func requireBitIdentical(t *testing.T, got, want *matrix.Block) {
+	t.Helper()
+	if got.R != want.R || got.C != want.C {
+		t.Fatalf("shape %dx%d, want %dx%d", got.R, got.C, want.R, want.C)
+	}
+	for i := 0; i < got.R; i++ {
+		for j := 0; j < got.C; j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("dist[%d][%d] = %v, want %v", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func solveFull(t *testing.T, g *graph.Graph, panelRows int) *matrix.Block {
+	t.Helper()
+	out, done, err := New(g).Solve(context.Background(), panelRows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != g.N {
+		t.Fatalf("solved %d rows, want %d", done, g.N)
+	}
+	return out
+}
+
+func TestDijkstraMatchesFloydWarshallSparseER(t *testing.T) {
+	g := intER(t, 193, 8, 1)
+	requireBitIdentical(t, solveFull(t, g, 32), seq.FloydWarshall(g))
+}
+
+func TestDijkstraMatchesFloydWarshallDenseER(t *testing.T) {
+	g, err := graph.ErdosRenyiWeighted(96, 0.5, graph.IntegerWeights(50), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, solveFull(t, g, 17), seq.FloydWarshall(g))
+}
+
+func TestDijkstraUnitWeights(t *testing.T) {
+	g, err := graph.ErdosRenyiWeighted(150, 0.05, graph.UnitWeights(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, solveFull(t, g, 64), seq.FloydWarshall(g))
+}
+
+func TestDijkstraZeroWeightEdges(t *testing.T) {
+	// A chain with zero-weight links plus shortcut edges: relaxations at
+	// equal distance must not loop or mis-rank.
+	edges := []graph.Edge{
+		{U: 0, V: 1, W: 0}, {U: 1, V: 2, W: 0}, {U: 2, V: 3, W: 5},
+		{U: 3, V: 4, W: 0}, {U: 0, V: 4, W: 5}, {U: 1, V: 3, W: 2},
+		{U: 4, V: 5, W: 1}, {U: 5, V: 0, W: 0},
+	}
+	g, err := graph.FromEdges(6, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, solveFull(t, g, 2), seq.FloydWarshall(g))
+}
+
+func TestDijkstraDisconnected(t *testing.T) {
+	// Two components: cross-component distances must be exactly +Inf.
+	edges := []graph.Edge{
+		{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3},
+		{U: 3, V: 4, W: 1},
+	}
+	g, err := graph.FromEdges(6, edges) // vertex 5 fully isolated
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := solveFull(t, g, 4)
+	requireBitIdentical(t, got, seq.FloydWarshall(g))
+	if got.At(0, 3) != matrix.Inf || got.At(5, 0) != matrix.Inf {
+		t.Fatalf("cross-component distances not Inf: %v %v", got.At(0, 3), got.At(5, 0))
+	}
+	if got.At(5, 5) != 0 {
+		t.Fatalf("isolated vertex self-distance = %v, want 0", got.At(5, 5))
+	}
+}
+
+func TestDijkstraSingleNode(t *testing.T) {
+	g, err := graph.FromEdges(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := solveFull(t, g, 1)
+	if got.R != 1 || got.C != 1 || got.At(0, 0) != 0 {
+		t.Fatalf("single-node solve = %+v, want 1x1 [0]", got)
+	}
+}
+
+func TestDijkstraUniformWeightsWithinTolerance(t *testing.T) {
+	// Uniform real weights: path sums associate differently in FW than in
+	// Dijkstra, so equality is only up to rounding (the reason exact tests
+	// above use integer weights).
+	g, err := graph.ErdosRenyiPaper(128, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solveFull(t, g, 32).AllClose(seq.FloydWarshall(g), 1e-9) {
+		t.Fatal("dij diverges from Floyd-Warshall beyond 1e-9")
+	}
+}
+
+func TestSolvePanelsMatchesFullSolve(t *testing.T) {
+	g := intER(t, 131, 6, 4)
+	want := solveFull(t, g, 131)
+	for _, panelRows := range []int{1, 32, 50, 131, 500} {
+		e := New(g)
+		got := matrix.New(g.N, g.N)
+		rows := 0
+		done, err := e.SolvePanels(context.Background(), panelRows, Options{}, func(bi int, panel *matrix.Block) error {
+			if panel.C != g.N {
+				t.Fatalf("panel width %d, want %d", panel.C, g.N)
+			}
+			for r := 0; r < panel.R; r++ {
+				copy(got.Row(rows), panel.Row(r))
+				rows++
+			}
+			_ = bi
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done != g.N || rows != g.N {
+			t.Fatalf("panelRows=%d: emitted %d rows (done=%d), want %d", panelRows, rows, done, g.N)
+		}
+		requireBitIdentical(t, got, want)
+	}
+}
+
+func TestParallelWorkersBitIdentical(t *testing.T) {
+	g := intER(t, 257, 8, 5)
+	serial, _, err := New(g).Solve(context.Background(), 64, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := New(g).Solve(context.Background(), 64, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, par, serial)
+}
+
+func TestSolveRowIntoMatchesReferenceDijkstra(t *testing.T) {
+	g := intER(t, 200, 5, 6)
+	e := New(g)
+	row := make([]float64, g.N)
+	for _, src := range []int{0, 1, 99, 199} {
+		if err := e.SolveRowInto(src, row); err != nil {
+			t.Fatal(err)
+		}
+		want := seq.Dijkstra(g, src)
+		for v := range row {
+			if row[v] != want[v] {
+				t.Fatalf("src %d: dist[%d] = %v, want %v", src, v, row[v], want[v])
+			}
+		}
+	}
+	if err := e.SolveRowInto(-1, row); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if err := e.SolveRowInto(0, row[:10]); err == nil {
+		t.Fatal("short row accepted")
+	}
+	for _, bad := range []int{0, -1} {
+		if _, err := e.SolvePanels(context.Background(), bad, Options{}, func(int, *matrix.Block) error { return nil }); err == nil {
+			t.Fatalf("panel height %d accepted", bad)
+		}
+	}
+}
+
+func TestCancellationReturnsPartialRows(t *testing.T) {
+	g := intER(t, 120, 4, 7)
+	e := New(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	emitted := 0
+	done, err := e.SolvePanels(ctx, 16, Options{Workers: 1}, func(int, *matrix.Block) error {
+		emitted++
+		if emitted == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if done != 32 {
+		t.Fatalf("done = %d, want 32 (two emitted panels)", done)
+	}
+}
+
+func TestProgressReportsEveryPanel(t *testing.T) {
+	g := intER(t, 70, 4, 8)
+	var marks []int
+	_, done, err := New(g).Solve(context.Background(), 32, Options{
+		Progress: func(rowsDone, rowsTotal int) {
+			if rowsTotal != 70 {
+				t.Fatalf("rowsTotal = %d, want 70", rowsTotal)
+			}
+			marks = append(marks, rowsDone)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 70 || len(marks) != 3 || marks[0] != 32 || marks[1] != 64 || marks[2] != 70 {
+		t.Fatalf("progress marks = %v (done=%d), want [32 64 70]", marks, done)
+	}
+}
+
+// TestSolvePanelsPoolSafety runs a streaming solve under the arena's
+// double-Put detector: the reused panel and the per-worker scratch must
+// never be returned to the pool twice.
+func TestSolvePanelsPoolSafety(t *testing.T) {
+	matrix.SetPoolCheck(true)
+	defer matrix.SetPoolCheck(false)
+	g := intER(t, 150, 6, 10)
+	_, err := New(g).SolvePanels(context.Background(), 32, Options{Workers: 2}, func(int, *matrix.Block) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := matrix.PoolCheckStats(); st.DoublePuts != 0 {
+		t.Fatalf("DoublePuts = %d, want 0", st.DoublePuts)
+	}
+}
+
+func TestEpochWrapClearsStaleState(t *testing.T) {
+	g := intER(t, 40, 4, 11)
+	e := New(g)
+	sc := e.scratch.Get().(*state)
+	sc.epoch = ^uint32(0) - 1 // two sources from wrapping
+	e.scratch.Put(sc)
+	want := seq.FloydWarshall(g)
+	row := make([]float64, g.N)
+	for src := 0; src < 4; src++ { // crosses the wrap boundary
+		if err := e.SolveRowInto(src, row); err != nil {
+			t.Fatal(err)
+		}
+		for v := range row {
+			if row[v] != want.At(src, v) {
+				t.Fatalf("after epoch wrap: dist[%d][%d] = %v, want %v", src, v, row[v], want.At(src, v))
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Streaming writer: the store file built one row-panel at a time, so a
+// solver that produces rows incrementally (the sparse Dijkstra engine)
+// can persist an n x n matrix while holding only O(b·n) of it.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"apspark/internal/matrix"
+)
+
+// PanelWriter writes a tiled distance store incrementally from row
+// panels: panel bi carries matrix rows [bi*b, bi*b+h) as an h x n dense
+// block, delivered in order. Because tile sizes are fully determined by
+// (n, b), the header and index are written up front and each panel's
+// tiles append sequentially, producing a file byte-identical to
+// Write(path, m, b) for the same matrix. The file appears at path only on
+// a successful Close (temp file + atomic rename), so readers never see a
+// partial store.
+type PanelWriter struct {
+	tmp       *os.File
+	path      string
+	n, b, q   int
+	nextPanel int
+	index     []tileRef
+	buf       []byte
+	closed    bool
+	failed    bool
+}
+
+// NewPanelWriter creates the temp file and writes the header and tile
+// index for an n x n store with tile edge blockSize (clamped to n, like
+// Write).
+func NewPanelWriter(path string, n, blockSize int) (*PanelWriter, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("store: empty matrix")
+	}
+	if blockSize < 1 {
+		return nil, fmt.Errorf("store: block size %d < 1", blockSize)
+	}
+	if blockSize > n {
+		blockSize = n
+	}
+	q := (n + blockSize - 1) / blockSize
+
+	tmp, err := os.CreateTemp(dirOf(path), ".apsp-store-*")
+	if err != nil {
+		return nil, err
+	}
+	w := &PanelWriter{tmp: tmp, path: path, n: n, b: blockSize, q: q}
+	w.index = make([]tileRef, q*q)
+	off := int64(fileHdrLen + q*q*idxEntryLen)
+	for bi := 0; bi < q; bi++ {
+		h := tileEdge(n, blockSize, bi)
+		for bj := 0; bj < q; bj++ {
+			length := matrix.DenseMarshaledSize(h, tileEdge(n, blockSize, bj))
+			w.index[bi*q+bj] = tileRef{off: off, length: length}
+			off += length
+		}
+	}
+	if _, err := tmp.Write(headerBytes(n, blockSize, q, w.index)); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	return w, nil
+}
+
+// headerBytes encodes the file header plus tile index (shared with Write).
+func headerBytes(n, blockSize, q int, index []tileRef) []byte {
+	hdr := make([]byte, 0, fileHdrLen+len(index)*idxEntryLen)
+	hdr = append(hdr, magic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, version)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(n))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(blockSize))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(q))
+	for _, ref := range index {
+		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ref.off))
+		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ref.length))
+	}
+	return hdr
+}
+
+// BlockSize returns the effective tile edge (after clamping to n) — the
+// height every panel except possibly the last must have.
+func (w *PanelWriter) BlockSize() int { return w.b }
+
+// Panels returns how many panels a full matrix needs (q = ceil(n/b)).
+func (w *PanelWriter) Panels() int { return w.q }
+
+// WritePanel appends the next row panel: a dense h x n block holding
+// matrix rows [p*b, p*b+h) where p panels have been written so far and
+// h = b except for a ragged final panel. The panel is cut into its q
+// tiles and marshalled through one pooled tile block, so the writer's own
+// footprint stays O(b²). The panel is only read, never retained.
+func (w *PanelWriter) WritePanel(rows *matrix.Block) error {
+	if w.closed {
+		return fmt.Errorf("store: WritePanel on closed writer")
+	}
+	if w.failed {
+		return fmt.Errorf("store: writer failed on an earlier panel; the partial file cannot be completed")
+	}
+	if w.nextPanel >= w.q {
+		return fmt.Errorf("store: all %d panels already written", w.q)
+	}
+	if rows == nil || rows.Phantom() {
+		return fmt.Errorf("store: need a dense row panel")
+	}
+	h := tileEdge(w.n, w.b, w.nextPanel)
+	if rows.R != h || rows.C != w.n {
+		return fmt.Errorf("store: panel %d is %dx%d, want %dx%d", w.nextPanel, rows.R, rows.C, h, w.n)
+	}
+	bi := w.nextPanel
+	for bj := 0; bj < w.q; bj++ {
+		tw := tileEdge(w.n, w.b, bj)
+		tile := matrix.Get(h, tw)
+		err := rows.ExtractInto(tile, 0, bj*w.b)
+		if err == nil {
+			w.buf = tile.AppendMarshal(w.buf[:0])
+			if int64(len(w.buf)) != w.index[bi*w.q+bj].length {
+				err = fmt.Errorf("store: tile (%d,%d) encoded to %d bytes, index says %d",
+					bi, bj, len(w.buf), w.index[bi*w.q+bj].length)
+			}
+		}
+		if err == nil {
+			_, err = w.tmp.Write(w.buf)
+		}
+		matrix.Put(tile)
+		if err != nil {
+			// The file may now hold a partial panel at tile-precise
+			// offsets; retrying would append duplicates past them. The
+			// writer is poisoned: only Abort (or a failing Close) remains.
+			w.failed = true
+			return err
+		}
+	}
+	w.nextPanel++
+	return nil
+}
+
+// Close finalizes the store: it fails unless every panel has been
+// written, then syncs and atomically renames the temp file into place.
+// After Close (success or not) the writer is spent; Abort is a no-op.
+func (w *PanelWriter) Close() error {
+	if w.closed {
+		return fmt.Errorf("store: writer already closed")
+	}
+	if w.failed {
+		w.Abort()
+		return fmt.Errorf("store: writer failed on panel %d; store discarded", w.nextPanel)
+	}
+	if w.nextPanel < w.q {
+		w.Abort()
+		return fmt.Errorf("store: only %d of %d panels written", w.nextPanel, w.q)
+	}
+	w.closed = true
+	name := w.tmp.Name()
+	if err := w.tmp.Sync(); err != nil {
+		w.tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := w.tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, w.path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// Abort discards the partial store, removing the temp file. Safe to call
+// any number of times and after Close (where it does nothing), so it can
+// sit in a defer alongside the success path.
+func (w *PanelWriter) Abort() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	name := w.tmp.Name()
+	w.tmp.Close()
+	os.Remove(name)
+}

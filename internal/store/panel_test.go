@@ -1,0 +1,213 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"apspark/internal/matrix"
+)
+
+// randomDist builds a dense matrix with a mix of finite values and Inf,
+// shaped like a distance matrix (zero diagonal).
+func randomDist(n int, seed int64) *matrix.Block {
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				m.Set(i, j, 0)
+			case rng.Float64() < 0.15:
+				// leave +Inf
+			default:
+				m.Set(i, j, 1+rng.Float64()*99)
+			}
+		}
+	}
+	return m
+}
+
+// writePanels streams m through a PanelWriter in row panels of height b.
+func writePanels(t *testing.T, path string, m *matrix.Block, b int) {
+	t.Helper()
+	pw, err := NewPanelWriter(path, m.R, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pw.Abort()
+	eb := pw.BlockSize()
+	panel := matrix.New(eb, m.R)
+	for bi := 0; bi < pw.Panels(); bi++ {
+		h := tileEdge(m.R, eb, bi)
+		panel.R, panel.Data = h, panel.Data[:h*m.R]
+		if err := m.ExtractInto(panel, bi*eb, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := pw.WritePanel(panel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPanelWriterByteIdenticalToWrite pins the streaming writer's core
+// contract: for the same matrix and block size the emitted file is
+// byte-for-byte the file Write produces — same header, index, tile
+// payloads, everything.
+func TestPanelWriterByteIdenticalToWrite(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct{ n, b int }{
+		{100, 32}, // ragged last tile both ways
+		{64, 16},  // exact multiple
+		{50, 50},  // single tile
+		{7, 100},  // blockSize clamped to n
+		{9, 1},    // one row per panel
+		{1, 1},    // single vertex
+	} {
+		m := randomDist(tc.n, int64(tc.n*100+tc.b))
+		ref := filepath.Join(dir, "ref.apsp")
+		stream := filepath.Join(dir, "stream.apsp")
+		if err := Write(ref, m, tc.b); err != nil {
+			t.Fatal(err)
+		}
+		writePanels(t, stream, m, tc.b)
+		want, err := os.ReadFile(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("n=%d b=%d: streamed store differs from Write output (%d vs %d bytes)",
+				tc.n, tc.b, len(got), len(want))
+		}
+	}
+}
+
+func TestPanelWriterServesQueries(t *testing.T) {
+	m := randomDist(75, 9)
+	path := filepath.Join(t.TempDir(), "dist.apsp")
+	writePanels(t, path, m, 20)
+	s, err := Open(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	for i := 0; i < m.R; i += 7 {
+		row, err := s.Row(ctx, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range row {
+			if row[j] != m.At(i, j) {
+				t.Fatalf("row %d col %d = %v, want %v", i, j, row[j], m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestPanelWriterRejectsBadPanels(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dist.apsp")
+	pw, err := NewPanelWriter(path, 50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pw.Abort()
+	if err := pw.WritePanel(matrix.New(21, 50)); err == nil {
+		t.Fatal("wrong panel height accepted")
+	}
+	if err := pw.WritePanel(matrix.New(20, 49)); err == nil {
+		t.Fatal("wrong panel width accepted")
+	}
+	if err := pw.WritePanel(matrix.NewPhantom(20, 50)); err == nil {
+		t.Fatal("phantom panel accepted")
+	}
+	if err := pw.WritePanel(matrix.New(20, 50)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanelWriterIncompleteCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dist.apsp")
+	pw, err := NewPanelWriter(path, 50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.WritePanel(matrix.New(20, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.Close(); err == nil {
+		t.Fatal("Close with 1 of 3 panels succeeded")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("incomplete store visible at %s", path)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestPanelWriterAbortCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dist.apsp")
+	pw, err := NewPanelWriter(path, 50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw.Abort()
+	pw.Abort() // idempotent
+	if err := pw.WritePanel(matrix.New(20, 50)); err == nil {
+		t.Fatal("WritePanel after Abort succeeded")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("aborted store visible at %s", path)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestPanelWriterTooManyPanels(t *testing.T) {
+	dir := t.TempDir()
+	pw, err := NewPanelWriter(filepath.Join(dir, "dist.apsp"), 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pw.Abort()
+	if err := pw.WritePanel(matrix.New(20, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.WritePanel(matrix.New(20, 20)); err == nil {
+		t.Fatal("extra panel accepted")
+	}
+}
+
+func TestPanelWriterRejectsBadShape(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := NewPanelWriter(filepath.Join(dir, "x"), 0, 16); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewPanelWriter(filepath.Join(dir, "x"), 16, 0); err == nil {
+		t.Fatal("blockSize=0 accepted")
+	}
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if len(e.Name()) > 0 && e.Name()[0] == '.' {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}

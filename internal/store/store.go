@@ -110,17 +110,7 @@ func Write(path string, dist *matrix.Block, blockSize int) error {
 		}
 	}
 
-	hdr := make([]byte, 0, fileHdrLen+q*q*idxEntryLen)
-	hdr = append(hdr, magic...)
-	hdr = binary.LittleEndian.AppendUint32(hdr, version)
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(n))
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(blockSize))
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(q))
-	for _, ref := range index {
-		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ref.off))
-		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ref.length))
-	}
-	if _, err := tmp.Write(hdr); err != nil {
+	if _, err := tmp.Write(headerBytes(n, blockSize, q, index)); err != nil {
 		return err
 	}
 

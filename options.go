@@ -148,7 +148,8 @@ func WithBlockSize(b int) SharedOption {
 }
 
 // WithPartitioner chooses the RDD partitioner: PartitionerMD (default)
-// or PartitionerPH.
+// or PartitionerPH. Host-native solvers have no RDDs to partition and
+// disregard it.
 func WithPartitioner(k PartitionerKind) SharedOption {
 	return settingsOption(func(j *jobSettings) error {
 		switch k {
@@ -162,6 +163,7 @@ func WithPartitioner(k PartitionerKind) SharedOption {
 
 // WithPartsPerCore sets the over-decomposition factor B; 0 restores the
 // default (2), matching the other options' 0-means-default convention.
+// Host-native solvers have no RDDs to decompose and disregard it.
 func WithPartsPerCore(b int) SharedOption {
 	return settingsOption(func(j *jobSettings) error {
 		if b < 0 {

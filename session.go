@@ -109,6 +109,12 @@ func (s *Session) run(ctx context.Context, g *Graph, n int, job jobSettings) (*R
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if IsHostSolver(job.solver) {
+		if g == nil {
+			return nil, fmt.Errorf("apspark: host-native solver %q has no phantom mode; projections need a virtual-cluster solver", job.solver)
+		}
+		return s.runHost(ctx, g, job, "")
+	}
 	solver, err := core.SolverByName(string(job.solver))
 	if err != nil {
 		return nil, err

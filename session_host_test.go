@@ -1,0 +1,260 @@
+package apspark
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"apspark/internal/graph"
+	"apspark/internal/seq"
+)
+
+// hostTestGraph is a connected sparse ER graph with integer weights:
+// integer path sums are exact in float64, so the Dijkstra fast path must
+// agree with the dense solvers bit for bit.
+func hostTestGraph(t *testing.T, n int, deg float64, seed int64) *Graph {
+	t.Helper()
+	g, err := graph.ErdosRenyiConnected(n, graph.AvgDegreeProb(n, deg), graph.IntegerWeights(100), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestHostSolverMatchesClusterSolvers pins the sparse fast path against
+// both references: the sequential Floyd-Warshall ground truth and a full
+// virtual-cluster Blocked-CB solve, exactly (0 tolerance).
+func TestHostSolverMatchesClusterSolvers(t *testing.T) {
+	g := hostTestGraph(t, 160, 6, 21)
+	s, err := New(WithClusterCores(64), WithSolver(SolverDijkstra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist == nil {
+		t.Fatal("host solve returned no matrix")
+	}
+	if res.Solver != "CSR Dijkstra (host)" || res.UnitsRun != g.N || res.UnitsTotal != g.N {
+		t.Fatalf("unexpected result header: %+v", res)
+	}
+	if res.VirtualSeconds != 0 {
+		t.Fatalf("host solve charged %v virtual seconds", res.VirtualSeconds)
+	}
+	want := seq.FloydWarshall(g)
+	if !res.Dist.Equal(want) {
+		t.Fatal("dij diverges from sequential Floyd-Warshall")
+	}
+	cb, err := s.Solve(context.Background(), g, WithSolver(SolverCB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dist.Equal(cb.Dist) {
+		t.Fatal("dij diverges from Blocked-CB")
+	}
+}
+
+func TestHostSolverVerifyOption(t *testing.T) {
+	g := hostTestGraph(t, 80, 4, 22)
+	s, err := New(WithSolver(SolverDijkstra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(context.Background(), g, WithVerify(true)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveToStoreStreamingByteIdentical pins the facade contract the
+// differential satellite asks for: the file a streamed host solve writes
+// is byte-identical to Result.WriteStore of the same solve's matrix at
+// the same tile size.
+func TestSolveToStoreStreamingByteIdentical(t *testing.T) {
+	g := hostTestGraph(t, 130, 5, 23)
+	dir := t.TempDir()
+	s, err := New(WithSolver(SolverDijkstra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := filepath.Join(dir, "streamed.apsp")
+	res, err := s.SolveToStore(context.Background(), g, streamed, WithBlockSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist != nil {
+		t.Fatal("streamed solve materialized the matrix")
+	}
+	if res.UnitsRun != g.N || res.BlockSize != 32 {
+		t.Fatalf("unexpected streamed result: %+v", res)
+	}
+	mem, err := s.Solve(context.Background(), g, WithBlockSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := filepath.Join(dir, "ref.apsp")
+	if err := mem.WriteStore(ref, 32); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("streamed store differs from WriteStore output (%d vs %d bytes)", len(got), len(want))
+	}
+	// And the streamed store serves the right distances.
+	st, err := OpenStore(streamed, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, pair := range [][2]int{{0, 1}, {5, 77}, {129, 0}} {
+		d, err := st.Dist(context.Background(), pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != mem.Dist.At(pair[0], pair[1]) {
+			t.Fatalf("store dist(%d,%d) = %v, want %v", pair[0], pair[1], d, mem.Dist.At(pair[0], pair[1]))
+		}
+	}
+}
+
+// TestSolveToStoreClusterFallback: virtual-cluster solvers still work
+// through SolveToStore (solve in memory, then write).
+func TestSolveToStoreClusterFallback(t *testing.T) {
+	g := hostTestGraph(t, 96, 5, 24)
+	s, err := New(WithClusterCores(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cb.apsp")
+	// The cluster fallback materializes the matrix, so WithVerify is
+	// honored (only streamed host solves reject it).
+	res, err := s.SolveToStore(context.Background(), g, path, WithSolver(SolverCB), WithVerify(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist == nil {
+		t.Fatal("cluster fallback dropped the matrix")
+	}
+	st, err := OpenStore(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	d, err := st.Dist(context.Background(), 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != res.Dist.At(0, 50) {
+		t.Fatalf("store dist = %v, want %v", d, res.Dist.At(0, 50))
+	}
+}
+
+func TestHostSolverRejectsUnsupportedModes(t *testing.T) {
+	g := hostTestGraph(t, 40, 4, 25)
+	s, err := New(WithSolver(SolverDijkstra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Project(ctx, 1024); err == nil {
+		t.Fatal("host solver accepted a phantom projection")
+	}
+	if _, err := s.Solve(ctx, g, WithMaxUnits(3)); err == nil {
+		t.Fatal("host solver accepted WithMaxUnits")
+	}
+	if _, err := s.Solve(ctx, g, WithTrace(true)); err == nil {
+		t.Fatal("host solver accepted WithTrace")
+	}
+	if _, err := s.SolveToStore(ctx, g, filepath.Join(t.TempDir(), "x.apsp"), WithVerify(true)); err == nil {
+		t.Fatal("streamed solve accepted WithVerify")
+	}
+	if _, err := s.SolveToStore(ctx, nil, "x.apsp"); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := s.SolveToStore(ctx, g, ""); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestHostSolverProgressAndCancellation(t *testing.T) {
+	g := hostTestGraph(t, 200, 4, 26)
+	var events []StageEvent
+	s, err := New(WithSolver(SolverDijkstra), WithProgress(func(ev StageEvent) {
+		events = append(events, ev)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(context.Background(), g, WithBlockSize(64)); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 || !events[len(events)-1].Done {
+		t.Fatalf("progress stream missing final done event: %d events", len(events))
+	}
+	units := 0
+	for _, ev := range events {
+		if ev.Name == "unit" {
+			units++
+		}
+	}
+	if units != 4 { // ceil(200/64) panels
+		t.Fatalf("got %d unit events, want 4", units)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rows := 0
+	s2, err := New(WithSolver(SolverDijkstra), WithProgress(func(ev StageEvent) {
+		if ev.Name == "unit" {
+			rows = ev.UnitsDone
+			cancel()
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s2.Solve(ctx, g, WithBlockSize(32))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Dist != nil || res.UnitsRun != rows || res.UnitsRun >= g.N {
+		t.Fatalf("unexpected partial result %+v (rows=%d)", res, rows)
+	}
+	// A cancelled streamed solve must leave nothing at the target path.
+	path := filepath.Join(t.TempDir(), "cancelled.apsp")
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	s3, err := New(WithSolver(SolverDijkstra), WithProgress(func(ev StageEvent) {
+		if ev.Name == "unit" {
+			cancel2()
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.SolveToStore(ctx2, g, path, WithBlockSize(32)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("cancelled streamed solve left a store at %s", path)
+	}
+}
+
+func TestHostSolverRegistry(t *testing.T) {
+	if !IsHostSolver(SolverDijkstra) || IsHostSolver(SolverCB) || IsHostSolver("nope") {
+		t.Fatal("IsHostSolver misclassifies")
+	}
+	hs := HostSolvers()
+	if len(hs) != 1 || hs[0].Name != SolverDijkstra || hs[0].Description == "" {
+		t.Fatalf("HostSolvers() = %+v", hs)
+	}
+}
