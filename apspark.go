@@ -42,6 +42,7 @@ package apspark
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"apspark/internal/cluster"
 	"apspark/internal/core"
@@ -144,6 +145,11 @@ type Result struct {
 	ProjectedSeconds float64
 	// UnitsRun / UnitsTotal report iteration progress.
 	UnitsRun, UnitsTotal int
+	// UnitsSkipped counts source rows a resumed streamed solve restored
+	// from a checkpoint instead of re-solving (WithResume); zero
+	// everywhere else. UnitsRun + UnitsSkipped == UnitsTotal for a
+	// completed resumed solve.
+	UnitsSkipped int
 	// Metrics exposes the cluster accounting (shuffle bytes, stage
 	// counts, storage traffic, ...).
 	Metrics cluster.Metrics
@@ -221,6 +227,13 @@ type StoreOptions struct {
 	// Shards forces the lock-stripe count of both caches; 0 picks
 	// automatically from the budgets.
 	Shards int
+	// ReadRetries grants transient disk-read failures a bounded retry
+	// budget (0 fails on the first error). Checksum mismatches are never
+	// retried — they mean bad data, not a flaky read.
+	ReadRetries int
+	// RetryBackoff is the initial wait between read retries, doubling
+	// each attempt (default 2ms when ReadRetries > 0).
+	RetryBackoff time.Duration
 }
 
 // WriteStore persists the solve's distance matrix as a tiled store file
@@ -250,6 +263,8 @@ func OpenStoreWithOptions(path string, opts StoreOptions) (*Store, error) {
 		TileCacheBytes: opts.TileCacheBytes,
 		RowCacheBytes:  opts.RowCacheBytes,
 		Shards:         opts.Shards,
+		ReadRetries:    opts.ReadRetries,
+		RetryBackoff:   opts.RetryBackoff,
 	})
 	if err != nil {
 		return nil, err
@@ -294,7 +309,7 @@ func Project(n int, cfg Config) (*Result, error) {
 
 // SequentialAPSP computes the distance matrix with the sequential
 // Floyd-Warshall reference — the paper's T1 baseline.
-func SequentialAPSP(g *Graph) *Matrix { return seq.FloydWarshall(g) }
+func SequentialAPSP(g *Graph) (*Matrix, error) { return seq.FloydWarshall(g) }
 
 // Johnson computes the distance matrix with Johnson's algorithm.
 func Johnson(g *Graph) (*Matrix, error) { return seq.Johnson(g) }

@@ -7,6 +7,17 @@ import (
 	"apspark/internal/cluster"
 )
 
+// mustFW is the sequential Floyd-Warshall reference for tests, failing
+// the test on the (impossible for well-formed graphs) kernel error.
+func mustFW(t testing.TB, g *Graph) *Matrix {
+	t.Helper()
+	m, err := SequentialAPSP(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func tinyCluster() *cluster.Config {
 	cfg := cluster.Paper()
 	cfg.Nodes = 2
@@ -39,7 +50,7 @@ func TestSolveAllSolverKinds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := SequentialAPSP(g)
+	want := mustFW(t, g)
 	for _, k := range []SolverKind{SolverRS, SolverFW2D, SolverIM, SolverCB} {
 		res, err := Solve(g, Config{Solver: k, BlockSize: 6, Cluster: tinyCluster()})
 		if err != nil {
@@ -107,7 +118,7 @@ func TestJohnsonFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !jd.AllClose(SequentialAPSP(g), 1e-9) {
+	if !jd.AllClose(mustFW(t, g), 1e-9) {
 		t.Fatal("Johnson facade diverges from FW")
 	}
 }

@@ -177,7 +177,7 @@ func BenchmarkFigure5SequentialBaseline(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = seq.FloydWarshall(g)
+		_, _ = seq.FloydWarshall(g)
 	}
 	b.ReportMetric(bench.SequentialGops(costmodel.PaperKernels(), 256), "model-Gops")
 }

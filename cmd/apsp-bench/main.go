@@ -387,7 +387,10 @@ func storeQueries(_ costmodel.KernelModel, quick bool, rep *report) error {
 	if err != nil {
 		return err
 	}
-	dist := seq.FloydWarshall(g)
+	dist, err := seq.FloydWarshall(g)
+	if err != nil {
+		return err
+	}
 
 	dir, err := os.MkdirTemp("", "apsp-bench-store-*")
 	if err != nil {

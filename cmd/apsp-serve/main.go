@@ -18,7 +18,10 @@
 //
 // -graph enables /path: hops are reconstructed from the distance matrix
 // and the adjacency lists via d[i][k] + w(k,j) == d[i][j], so no
-// successor matrix is ever stored.
+// successor matrix is ever stored. It also arms the corrupt-tile
+// fallback: a v2 store tile that fails its checksum is quarantined and
+// the affected rows are re-solved from the graph on demand, so a
+// bit-flipped file degrades to compute-speed answers instead of errors.
 //
 // The serving read path is two-level: -row-cache-mb budgets the
 // assembled-row cache (whole distance rows; Row/KNN/Path/Dist all consume
@@ -26,6 +29,15 @@
 // -cache-mb budgets the decoded-tile cache beneath it. Cold rows are
 // assembled with direct row-span reads (q small preads), so even a miss
 // never decodes full tiles.
+//
+// The server is hardened for unattended operation: the listener is up
+// (and /healthz answers "loading") before the store is opened, handler
+// panics become 500s, -max-inflight bounds concurrent requests (the
+// excess is shed with 429 + Retry-After), -req-timeout deadlines each
+// request (blown deadlines answer 504), -max-body caps request bodies,
+// and -read-retries/-retry-backoff absorb transient disk faults under
+// the store. /healthz reports ok or degraded (quarantined tiles exist)
+// plus the retry/quarantine/recompute counters.
 //
 // -pprof exposes net/http/pprof on a separate listener (opt-in), so
 // serving hot spots are profilable in production without exposing the
@@ -56,21 +68,50 @@ import (
 func main() {
 	var (
 		storePath = flag.String("store", "", "tiled distance store written by apsp -store (required)")
-		graphPath = flag.String("graph", "", "edge-list file of the solved graph; enables /path")
+		graphPath = flag.String("graph", "", "edge-list file of the solved graph; enables /path and corrupt-tile recompute")
 		addr      = flag.String("addr", ":8080", "listen address")
 		cacheMB   = flag.Int64("cache-mb", 64, "decoded-tile cache budget in MiB (0 disables tile caching)")
 		rowMB     = flag.Int64("row-cache-mb", 16, "assembled-row cache budget in MiB (0 disables row caching)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 		drain     = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+
+		maxInFlight = flag.Int("max-inflight", 256, "max concurrent requests; the excess gets 429 + Retry-After (0 = unlimited)")
+		reqTimeout  = flag.Duration("req-timeout", 30*time.Second, "per-request deadline; blown deadlines answer 504 (0 = none)")
+		maxBody     = flag.Int64("max-body", 1<<20, "max request body bytes")
+		readRetries = flag.Int("read-retries", 2, "retry budget for transient store read faults (0 = fail on first error)")
+		retryWait   = flag.Duration("retry-backoff", 2*time.Millisecond, "initial backoff between store read retries, doubling each attempt")
 	)
 	flag.Parse()
 
 	if *storePath == "" {
 		fatal(fmt.Errorf("missing -store (write one with: apsp -n ... -store dist.apsp)"))
 	}
+
+	// Listener first, store second: the Gate answers "loading" on /healthz
+	// (503 elsewhere) until the store is open, so orchestrator probes see
+	// a live process during a slow cold start instead of refused
+	// connections.
+	gate := serve.NewGate()
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: http.MaxBytesHandler(serve.Harden(gate, serve.HardenOptions{
+			MaxInFlight: *maxInFlight,
+			Timeout:     *reqTimeout,
+		}), *maxBody),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "apsp-serve: listening on %s (loading store)\n", *addr)
+
 	st, err := store.OpenWithOptions(*storePath, store.Options{
 		TileCacheBytes: *cacheMB << 20,
 		RowCacheBytes:  *rowMB << 20,
+		ReadRetries:    *readRetries,
+		RetryBackoff:   *retryWait,
 	})
 	if err != nil {
 		fatal(err)
@@ -93,10 +134,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	gate.Ready(serve.Handler(eng))
 
-	fmt.Printf("apsp-serve: n=%d b=%d tiles=%dx%d file=%.1f MiB tile-cache=%d MiB row-cache=%d MiB path=%v listening on %s\n",
+	fmt.Printf("apsp-serve: ready n=%d b=%d tiles=%dx%d file=%.1f MiB tile-cache=%d MiB row-cache=%d MiB path=%v inflight<=%d timeout=%s on %s\n",
 		st.N(), st.BlockSize(), st.TilesPerSide(), st.TilesPerSide(),
-		float64(st.FileBytes())/(1<<20), *cacheMB, *rowMB, g != nil, *addr)
+		float64(st.FileBytes())/(1<<20), *cacheMB, *rowMB, g != nil, *maxInFlight, *reqTimeout, *addr)
 
 	if *pprofAddr != "" {
 		go func() {
@@ -107,19 +149,9 @@ func main() {
 		}()
 	}
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           serve.Handler(eng),
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      60 * time.Second,
-	}
-
 	// Serve until the listener fails or a shutdown signal arrives.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
 
 	select {
 	case err := <-errCh:

@@ -51,6 +51,7 @@ func main() {
 		trace     = flag.Bool("trace", false, "print the slowest virtual stages afterwards")
 		progress  = flag.Bool("progress", false, "stream per-unit progress to stderr while solving")
 		storeOut  = flag.String("store", "", "persist the solved distances as a tiled store file (real runs only; serve it with apsp-serve)")
+		resume    = flag.Bool("resume", false, "resume a killed/cancelled -store solve from its checkpoint (host-native solvers only)")
 	)
 	flag.Parse()
 
@@ -113,6 +114,12 @@ func main() {
 	if *storeOut != "" && *phantom {
 		fatal(fmt.Errorf("-store needs a real solve; phantom runs carry no distances"))
 	}
+	if *resume {
+		if !host || *storeOut == "" {
+			fatal(fmt.Errorf("-resume picks up the checkpoint of a host-native -store solve (e.g. -solver dij -store d.apsp); nothing else has one"))
+		}
+		jobOpts = append(jobOpts, apspark.WithResume(true))
+	}
 
 	var res *apspark.Result
 	var start time.Time
@@ -160,6 +167,9 @@ func main() {
 	if host {
 		fmt.Printf("solver:            %s (host-native, store tile b=%d)\n", res.Solver, res.BlockSize)
 		fmt.Printf("source rows:       %d of %d\n", res.UnitsRun, res.UnitsTotal)
+		if res.UnitsSkipped > 0 {
+			fmt.Printf("resumed:           %d rows restored from checkpoint, %d re-solved\n", res.UnitsSkipped, res.UnitsRun)
+		}
 		fmt.Printf("host wall time:    %s\n", wall.Round(time.Millisecond))
 	} else {
 		fmt.Printf("solver:            %s (partitioner %s, b=%d, B=%d, p=%d)\n", res.Solver, *partition, res.BlockSize, *bpc, *cores)
@@ -180,7 +190,11 @@ func main() {
 	}
 	if *storeOut != "" && host {
 		// SolveToStore already streamed the panels to disk; a cancelled run
-		// aborted its temp file and left nothing at the target path.
+		// leaves no store at the target path, only the durable checkpoint
+		// (.partial + .manifest) that -resume picks up.
+		if cancelled {
+			fmt.Fprintf(os.Stderr, "apsp: checkpoint kept; rerun with -resume to continue from the last durable panel\n")
+		}
 		if !cancelled {
 			st, err := os.Stat(*storeOut)
 			if err != nil {

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"apspark/internal/graph"
 )
@@ -72,24 +73,41 @@ func main() {
 		fatal(err)
 	}
 
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+	if *out == "" {
+		if err := g.WriteEdgeList(os.Stdout); err != nil {
 			fatal(err)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
-		w = f
-	}
-	if err := g.WriteEdgeList(w); err != nil {
+	} else if err := writeAtomic(*out, g.WriteEdgeList); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "graphgen: n=%d m=%d p=%.6f weights=%s connected=%v\n",
 		g.N, g.NumEdges(), prob, *weights, g.Connected())
+}
+
+// writeAtomic streams write's output into a temp file next to path, fsyncs
+// it, and renames it into place — so -o never leaves a truncated edge list
+// behind: readers see either the old file or the complete new one, even if
+// graphgen is killed mid-write.
+func writeAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp) // no-op after a successful rename
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func fatal(err error) {

@@ -36,7 +36,10 @@ func BuildServeFixture(dir string, n, blockSize int, seed int64) (*ServeFixture,
 	if err != nil {
 		return nil, err
 	}
-	dist := seq.FloydWarshall(g)
+	dist, err := seq.FloydWarshall(g)
+	if err != nil {
+		return nil, err
+	}
 	path := filepath.Join(dir, fmt.Sprintf("dist-n%d-b%d.apsp", n, blockSize))
 	if err := store.Write(path, dist, blockSize); err != nil {
 		return nil, err

@@ -13,8 +13,19 @@ import (
 	"apspark/internal/seq"
 )
 
+// fwRef is the Floyd-Warshall ground truth for a test graph.
+func fwRef(t testing.TB, g *graph.Graph) *matrix.Block {
+	t.Helper()
+	m, err := seq.FloydWarshall(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 // testCluster builds a small virtual cluster so tests run many stages
 // quickly (virtual time is unaffected by the host).
+
 func testCluster(t *testing.T) *cluster.Cluster {
 	t.Helper()
 	cfg := cluster.Paper()
@@ -46,7 +57,7 @@ func solveReal(t *testing.T, s Solver, n, b int, seed int64, opts Options) *Resu
 	if err != nil {
 		t.Fatalf("%s failed: %v", s.Name(), err)
 	}
-	want := seq.FloydWarshall(g)
+	want := fwRef(t, g)
 	if res.Dist == nil {
 		t.Fatalf("%s returned no distance matrix", s.Name())
 	}
@@ -102,7 +113,7 @@ func TestSolverDisconnectedGraph(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
-		if !res.Dist.AllClose(seq.FloydWarshall(g), 1e-9) {
+		if !res.Dist.AllClose(fwRef(t, g), 1e-9) {
 			t.Fatalf("%s wrong on disconnected graph", s.Name())
 		}
 	}
@@ -288,7 +299,7 @@ func TestPureSolverSurvivesInjectedFailure(t *testing.T) {
 	if err != nil {
 		t.Fatalf("pure solver did not survive failures: %v", err)
 	}
-	if !res.Dist.AllClose(seq.FloydWarshall(g), 1e-9) {
+	if !res.Dist.AllClose(fwRef(t, g), 1e-9) {
 		t.Fatal("recovered run produced wrong distances")
 	}
 	if ctx.Cluster.Metrics().TaskRetries == 0 {

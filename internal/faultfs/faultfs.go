@@ -1,0 +1,202 @@
+// Package faultfs is a fault-injection harness for the store's disk
+// layer: an io.ReaderAt wrapper that injects I/O errors, short reads,
+// latency and bit flips on a deterministic schedule, so the retry,
+// checksum-quarantine and serving-degradation paths can be driven by
+// tests instead of waiting for real hardware to rot.
+//
+// The wrapper is deliberately deterministic — faults fire by read count
+// or byte offset, never by wall clock or randomness — so every failure a
+// test provokes is reproducible under -race and in CI. All methods are
+// safe for concurrent use.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error injected reads fail with; tests assert on it
+// with errors.Is to prove an observed failure came from the harness and
+// not from a real disk.
+var ErrInjected = errors.New("faultfs: injected I/O error")
+
+// Fault describes one injectable failure. The zero value never fires.
+type Fault struct {
+	// Kind selects what happens when the fault fires.
+	Kind Kind
+	// After fires the fault on the (After+1)-th read and every following
+	// read while Count lasts (a read-ordinal trigger).
+	After int64
+	// Count bounds how many reads the fault fires on; 0 means every
+	// eligible read.
+	Count int64
+	// Every, when > 1, makes the fault periodic: it fires on every
+	// Every-th eligible read (the first, the Every+1-th, ...) instead of
+	// every one — the shape of a genuinely transient fault, where an
+	// immediate retry succeeds.
+	Every int64
+	// OffLo/OffHi restrict the fault to reads overlapping the byte range
+	// [OffLo, OffHi); both zero means any offset.
+	OffLo, OffHi int64
+	// Latency is the delay injected before the read proceeds (KindLatency,
+	// or any kind as an extra stall).
+	Latency time.Duration
+	// FlipBit is the bit index (within the read's returned buffer) XOR'd
+	// by KindBitFlip. A flip past the buffer's end flips the last byte's
+	// low bit instead, so a misconfigured fault still corrupts.
+	FlipBit int64
+
+	// fired is allocated when the fault is armed (Inject), so the
+	// user-facing Fault literal stays a plain copyable value.
+	fired *atomic.Int64
+}
+
+// Kind enumerates the failure modes.
+type Kind int
+
+const (
+	// KindErr fails the read with ErrInjected and no data.
+	KindErr Kind = iota
+	// KindShortRead returns half the requested bytes (at least one fewer)
+	// with io.ErrUnexpectedEOF, the contract ReaderAt demands of partial
+	// reads.
+	KindShortRead
+	// KindLatency delays the read by Latency, then serves it correctly.
+	KindLatency
+	// KindBitFlip serves the read with one bit XOR'd — silent corruption,
+	// the failure checksums exist for.
+	KindBitFlip
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindErr:
+		return "err"
+	case KindShortRead:
+		return "short-read"
+	case KindLatency:
+		return "latency"
+	case KindBitFlip:
+		return "bit-flip"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Reader wraps an io.ReaderAt, injecting the configured faults. Faults
+// are evaluated in order; the first eligible one fires per read.
+type Reader struct {
+	inner io.ReaderAt
+
+	mu     sync.Mutex
+	faults []*Fault
+
+	reads    atomic.Int64
+	injected atomic.Int64
+}
+
+// New wraps r with no faults armed; reads pass straight through until
+// Inject is called.
+func New(r io.ReaderAt) *Reader {
+	return &Reader{inner: r}
+}
+
+// Inject arms a fault. Multiple faults may be armed; each read fires at
+// most one (the first eligible in arming order). The returned pointer is
+// the armed instance — re-arming requires a fresh Fault.
+func (r *Reader) Inject(f Fault) *Fault {
+	armed := f
+	armed.fired = new(atomic.Int64)
+	r.mu.Lock()
+	r.faults = append(r.faults, &armed)
+	r.mu.Unlock()
+	return &armed
+}
+
+// Clear disarms all faults; in-flight reads finish under the old set.
+func (r *Reader) Clear() {
+	r.mu.Lock()
+	r.faults = nil
+	r.mu.Unlock()
+}
+
+// Reads returns how many ReadAt calls the wrapper has seen.
+func (r *Reader) Reads() int64 { return r.reads.Load() }
+
+// Injected returns how many reads had a fault fired into them.
+func (r *Reader) Injected() int64 { return r.injected.Load() }
+
+// Fired returns how many reads this armed fault has fired on.
+func (f *Fault) Fired() int64 {
+	if f.fired == nil {
+		return 0
+	}
+	return f.fired.Load()
+}
+
+// pick returns the first armed fault eligible for this read, consuming
+// one firing from its Count budget, or nil.
+func (r *Reader) pick(ordinal, off, length int64) *Fault {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.faults {
+		if ordinal <= f.After {
+			continue
+		}
+		if f.Count > 0 && f.fired.Load() >= f.Count {
+			continue
+		}
+		if f.OffLo != 0 || f.OffHi != 0 {
+			if off+length <= f.OffLo || off >= f.OffHi {
+				continue
+			}
+		}
+		if f.Every > 1 && (ordinal-f.After-1)%f.Every != 0 {
+			continue
+		}
+		f.fired.Add(1)
+		return f
+	}
+	return nil
+}
+
+// ReadAt implements io.ReaderAt with fault injection.
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	ordinal := r.reads.Add(1)
+	f := r.pick(ordinal, off, int64(len(p)))
+	if f == nil {
+		return r.inner.ReadAt(p, off)
+	}
+	r.injected.Add(1)
+	if f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+	switch f.Kind {
+	case KindErr:
+		return 0, fmt.Errorf("%w (read %d at %d+%d)", ErrInjected, ordinal, off, len(p))
+	case KindShortRead:
+		n := len(p) / 2
+		if n >= len(p) && n > 0 {
+			n = len(p) - 1
+		}
+		if _, err := r.inner.ReadAt(p[:n], off); err != nil {
+			return 0, err
+		}
+		return n, io.ErrUnexpectedEOF
+	case KindBitFlip:
+		n, err := r.inner.ReadAt(p, off)
+		if n > 0 {
+			bit := f.FlipBit
+			if bit >= int64(n)*8 {
+				bit = int64(n)*8 - 8
+			}
+			p[bit/8] ^= 1 << (bit % 8)
+		}
+		return n, err
+	default: // KindLatency: delay already served
+		return r.inner.ReadAt(p, off)
+	}
+}

@@ -1,0 +1,204 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func payload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 7)
+	}
+	return b
+}
+
+func TestPassThrough(t *testing.T) {
+	data := payload(256)
+	r := New(bytes.NewReader(data))
+	got := make([]byte, 64)
+	if _, err := r.ReadAt(got, 32); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[32:96]) {
+		t.Fatal("pass-through read returned wrong bytes")
+	}
+	if r.Reads() != 1 || r.Injected() != 0 {
+		t.Fatalf("reads=%d injected=%d, want 1/0", r.Reads(), r.Injected())
+	}
+}
+
+func TestErrAfterCount(t *testing.T) {
+	r := New(bytes.NewReader(payload(128)))
+	f := r.Inject(Fault{Kind: KindErr, After: 1, Count: 2})
+	buf := make([]byte, 8)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read 1 should pass: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := r.ReadAt(buf, 0); !errors.Is(err, ErrInjected) {
+			t.Fatalf("read %d: err = %v, want ErrInjected", i+2, err)
+		}
+	}
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read past Count should pass: %v", err)
+	}
+	if f.Fired() != 2 || r.Injected() != 2 {
+		t.Fatalf("fired=%d injected=%d, want 2/2", f.Fired(), r.Injected())
+	}
+}
+
+func TestEveryPeriodic(t *testing.T) {
+	r := New(bytes.NewReader(payload(128)))
+	r.Inject(Fault{Kind: KindErr, Every: 3})
+	buf := make([]byte, 8)
+	for i := 1; i <= 9; i++ {
+		_, err := r.ReadAt(buf, 0)
+		if wantFail := i%3 == 1; (err != nil) != wantFail {
+			t.Fatalf("read %d: err = %v, want failure %v", i, err, wantFail)
+		}
+	}
+	if r.Injected() != 3 {
+		t.Fatalf("injected = %d, want 3", r.Injected())
+	}
+}
+
+func TestOffsetWindow(t *testing.T) {
+	r := New(bytes.NewReader(payload(256)))
+	r.Inject(Fault{Kind: KindErr, OffLo: 100, OffHi: 200})
+	buf := make([]byte, 10)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read outside window failed: %v", err)
+	}
+	if _, err := r.ReadAt(buf, 95); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read overlapping window passed: %v", err)
+	}
+	if _, err := r.ReadAt(buf, 200); err != nil {
+		t.Fatalf("read at OffHi (exclusive) failed: %v", err)
+	}
+}
+
+func TestShortRead(t *testing.T) {
+	data := payload(64)
+	r := New(bytes.NewReader(data))
+	r.Inject(Fault{Kind: KindShortRead, Count: 1})
+	buf := make([]byte, 32)
+	n, err := r.ReadAt(buf, 0)
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+	if n != 16 || !bytes.Equal(buf[:16], data[:16]) {
+		t.Fatalf("short read returned %d wrong bytes", n)
+	}
+}
+
+func TestBitFlip(t *testing.T) {
+	data := payload(64)
+	r := New(bytes.NewReader(data))
+	r.Inject(Fault{Kind: KindBitFlip, FlipBit: 19, Count: 1})
+	buf := make([]byte, 8)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), data[:8]...)
+	want[2] ^= 1 << 3
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("flip produced % x, want % x", buf, want)
+	}
+	// The corruption is one-shot: the next read is clean.
+	if _, err := r.ReadAt(buf, 0); err != nil || !bytes.Equal(buf, data[:8]) {
+		t.Fatalf("read after flip not clean: % x (err %v)", buf, err)
+	}
+}
+
+func TestBitFlipPastEndClamps(t *testing.T) {
+	data := payload(64)
+	r := New(bytes.NewReader(data))
+	r.Inject(Fault{Kind: KindBitFlip, FlipBit: 1 << 30, Count: 1})
+	buf := make([]byte, 8)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, data[:8]) {
+		t.Fatal("clamped flip corrupted nothing")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	r := New(bytes.NewReader(payload(64)))
+	r.Inject(Fault{Kind: KindLatency, Latency: 30 * time.Millisecond, Count: 1})
+	buf := make([]byte, 8)
+	start := time.Now()
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency fault delayed only %v", d)
+	}
+}
+
+func TestClear(t *testing.T) {
+	r := New(bytes.NewReader(payload(64)))
+	r.Inject(Fault{Kind: KindErr})
+	buf := make([]byte, 8)
+	if _, err := r.ReadAt(buf, 0); !errors.Is(err, ErrInjected) {
+		t.Fatal("armed fault did not fire")
+	}
+	r.Clear()
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read after Clear failed: %v", err)
+	}
+}
+
+// TestConcurrentReads drives the wrapper from many goroutines under
+// -race: counters must add up and every failure must be the injected one.
+func TestConcurrentReads(t *testing.T) {
+	data := payload(4096)
+	r := New(bytes.NewReader(data))
+	r.Inject(Fault{Kind: KindErr, Count: 50})
+	var wg sync.WaitGroup
+	var injected, clean int64
+	var mu sync.Mutex
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 16)
+			for i := 0; i < 100; i++ {
+				_, err := r.ReadAt(buf, int64((g*100+i)%4000))
+				mu.Lock()
+				if err != nil {
+					if !errors.Is(err, ErrInjected) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					injected++
+				} else {
+					clean++
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if injected != 50 || clean != 750 {
+		t.Fatalf("injected=%d clean=%d, want 50/750", injected, clean)
+	}
+	if r.Reads() != 800 || r.Injected() != 50 {
+		t.Fatalf("counters reads=%d injected=%d, want 800/50", r.Reads(), r.Injected())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindErr: "err", KindShortRead: "short-read",
+		KindLatency: "latency", KindBitFlip: "bit-flip", Kind(9): "kind(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

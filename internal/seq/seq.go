@@ -16,14 +16,15 @@ import (
 )
 
 // FloydWarshall returns the APSP distance matrix of g via the classic
-// O(n^3) dynamic program.
-func FloydWarshall(g *graph.Graph) *matrix.Block {
+// O(n^3) dynamic program. The kernel error (a malformed dense matrix) is
+// returned, not panicked: reference solves run inside long benchmark and
+// verification pipelines that must fail one case, not the process.
+func FloydWarshall(g *graph.Graph) (*matrix.Block, error) {
 	a := g.Dense()
-	// The kernel cannot fail on a square dense matrix.
 	if err := matrix.FloydWarshall(a); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("seq: floyd-warshall: %w", err)
 	}
-	return a
+	return a, nil
 }
 
 // FloydWarshallDense runs Floyd-Warshall in place on an adjacency matrix

@@ -9,6 +9,16 @@ import (
 	"apspark/internal/matrix"
 )
 
+// mustFW runs FloydWarshall, failing the test on the kernel error.
+func mustFW(t testing.TB, g *graph.Graph) *matrix.Block {
+	t.Helper()
+	m, err := FloydWarshall(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func pathGraph(t *testing.T, n int) *graph.Graph {
 	t.Helper()
 	edges := make([]graph.Edge, 0, n-1)
@@ -33,7 +43,7 @@ func randomGraph(t *testing.T, n int, p float64, seed int64) *graph.Graph {
 
 func TestFloydWarshallPathGraph(t *testing.T) {
 	g := pathGraph(t, 6)
-	d := FloydWarshall(g)
+	d := mustFW(t, g)
 	for i := 0; i < 6; i++ {
 		for j := 0; j < 6; j++ {
 			want := math.Abs(float64(i - j))
@@ -47,7 +57,7 @@ func TestFloydWarshallPathGraph(t *testing.T) {
 func TestFloydWarshallMatchesDijkstra(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		g := randomGraph(t, 40, 0.15, seed)
-		fw := FloydWarshall(g)
+		fw := mustFW(t, g)
 		dj := APSPBySources(g)
 		if !fw.AllClose(dj, 1e-9) {
 			t.Fatalf("seed %d: FW != Dijkstra oracle", seed)
@@ -69,7 +79,7 @@ func TestBlockedFloydWarshallMatchesPlain(t *testing.T) {
 		{20, 5, 1}, {20, 7, 2}, {33, 8, 3}, {16, 16, 4}, {17, 1, 5}, {50, 13, 6},
 	} {
 		g := randomGraph(t, cfg.n, 0.2, cfg.seed)
-		want := FloydWarshall(g)
+		want := mustFW(t, g)
 		got, err := BlockedFloydWarshall(g, cfg.b)
 		if err != nil {
 			t.Fatal(err)
@@ -92,7 +102,7 @@ func TestBlockedFloydWarshallErrors(t *testing.T) {
 func TestRepeatedSquaringMatchesFW(t *testing.T) {
 	for seed := int64(0); seed < 4; seed++ {
 		g := randomGraph(t, 30, 0.2, seed)
-		want := FloydWarshall(g)
+		want := mustFW(t, g)
 		got, err := RepeatedSquaring(g)
 		if err != nil {
 			t.Fatal(err)
@@ -117,7 +127,7 @@ func TestRepeatedSquaringSingleVertex(t *testing.T) {
 func TestJohnsonMatchesFW(t *testing.T) {
 	for seed := int64(0); seed < 4; seed++ {
 		g := randomGraph(t, 35, 0.15, seed)
-		want := FloydWarshall(g)
+		want := mustFW(t, g)
 		got, err := Johnson(g)
 		if err != nil {
 			t.Fatal(err)
@@ -160,7 +170,7 @@ func TestAllSolversAgreeQuick(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		fw := FloydWarshall(g)
+		fw := mustFW(t, g)
 		bfw, err := BlockedFloydWarshall(g, n/3+1)
 		if err != nil {
 			return false
@@ -182,7 +192,7 @@ func TestAllSolversAgreeQuick(t *testing.T) {
 
 func TestSymmetryOfDistances(t *testing.T) {
 	g := randomGraph(t, 45, 0.15, 77)
-	d := FloydWarshall(g)
+	d := mustFW(t, g)
 	for i := 0; i < g.N; i++ {
 		for j := 0; j < g.N; j++ {
 			if d.At(i, j) != d.At(j, i) {

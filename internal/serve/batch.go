@@ -39,7 +39,7 @@ const DefaultK = 10
 func (e *Engine) DistBatch(ctx context.Context, pairs []PairQuery) ([]float64, error) {
 	out := make([]float64, len(pairs))
 	for i, p := range pairs {
-		d, err := e.src.Dist(ctx, p.From, p.To)
+		d, err := e.Dist(ctx, p.From, p.To)
 		if err != nil {
 			return nil, fmt.Errorf("dist[%d]: %w", i, err)
 		}
@@ -53,7 +53,7 @@ func (e *Engine) DistBatch(ctx context.Context, pairs []PairQuery) ([]float64, e
 func (e *Engine) RowBatch(ctx context.Context, from []int) ([][]float64, error) {
 	out := make([][]float64, len(from))
 	for i, f := range from {
-		row, err := e.src.Row(ctx, f)
+		row, err := e.Row(ctx, f)
 		if err != nil {
 			return nil, fmt.Errorf("row[%d]: %w", i, err)
 		}

@@ -16,9 +16,13 @@ import (
 	"apspark/internal/seq"
 )
 
-func fwRef(t *testing.T, g *graph.Graph) *matrix.Block {
+func fwRef(t testing.TB, g *graph.Graph) *matrix.Block {
 	t.Helper()
-	return seq.FloydWarshall(g)
+	m, err := seq.FloydWarshall(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
 }
 
 func graphFromEdges(t *testing.T, n int, edges [][3]float64) (*graph.Graph, error) {

@@ -9,7 +9,6 @@ import (
 
 	"apspark/internal/graph"
 	"apspark/internal/matrix"
-	"apspark/internal/seq"
 )
 
 // Differential tests: the heap-based KNN selection and the CSR path walk
@@ -106,7 +105,7 @@ func knnCases(t *testing.T) []struct {
 		dist *matrix.Block
 	}
 	add := func(name string, g *graph.Graph) {
-		dist := seq.FloydWarshall(g)
+		dist := fwRef(t, g)
 		cases = append(cases, struct {
 			name string
 			e    *Engine
@@ -216,7 +215,7 @@ func TestPathCSRMatchesReference(t *testing.T) {
 	graphs = append(graphs, ug)
 
 	for gi, g := range graphs {
-		dist := seq.FloydWarshall(g)
+		dist := fwRef(t, g)
 		e := newEngine(t, g, dist)
 		checked := 0
 		for from := 0; from < g.N; from += 2 {

@@ -21,13 +21,17 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"apspark/internal/graph"
 	"apspark/internal/matrix"
+	"apspark/internal/sparse"
+	"apspark/internal/store"
 )
 
 // Source supplies distances. Implementations must be safe for concurrent
@@ -162,6 +166,14 @@ type Engine struct {
 
 	rowScratch  sync.Pool // *[]float64, for sources without RowView
 	pathScratch sync.Pool // *pathVisit
+
+	// sp re-derives any single distance row from the graph (Dijkstra over
+	// the CSR arrays) when a store read comes back corrupt: a quarantined
+	// tile degrades that row-stripe to compute-on-demand instead of
+	// failing it. nil without a graph — then corruption surfaces as the
+	// store's typed error.
+	sp         *sparse.Engine
+	recomputed atomic.Int64
 }
 
 // New builds an engine. g may be nil, disabling Path queries; when
@@ -178,6 +190,7 @@ func New(src Source, g *graph.Graph) (*Engine, error) {
 	e.rc, _ = src.(RowCopier)
 	if g != nil {
 		e.adjPtr, e.adjTo, e.adjW = g.CSR()
+		e.sp = sparse.New(g)
 	}
 	return e, nil
 }
@@ -188,24 +201,81 @@ func (e *Engine) N() int { return e.src.N() }
 // HasGraph reports whether Path queries are available.
 func (e *Engine) HasGraph() bool { return e.g != nil }
 
+// Recomputed counts the row queries answered by re-solving from the
+// graph after a corrupt store read — a nonzero value means the store has
+// quarantined tiles and the engine is serving degraded (correct answers,
+// Dijkstra-speed instead of read-speed, for the affected row stripes).
+func (e *Engine) Recomputed() int64 { return e.recomputed.Load() }
+
+// canRecompute reports whether err is a corrupt-tile store read the
+// engine can answer from the graph instead.
+func (e *Engine) canRecompute(err error) bool {
+	return e.sp != nil && errors.Is(err, store.ErrCorruptTile)
+}
+
+// recomputeRowInto re-derives from's full distance row from the graph,
+// reusing dst's backing array when large enough.
+func (e *Engine) recomputeRowInto(from int, dst []float64) ([]float64, error) {
+	n := e.src.N()
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]float64, n)
+	}
+	if err := e.sp.SolveRowInto(from, dst); err != nil {
+		return nil, err
+	}
+	e.recomputed.Add(1)
+	return dst, nil
+}
+
 // Dist returns d(from, to).
 func (e *Engine) Dist(ctx context.Context, from, to int) (float64, error) {
-	return e.src.Dist(ctx, from, to)
+	d, err := e.src.Dist(ctx, from, to)
+	if err == nil || !e.canRecompute(err) {
+		return d, err
+	}
+	// A corrupt read past the source's own validation means from and to
+	// are in range; answer from the graph.
+	bp, _ := e.rowScratch.Get().(*[]float64)
+	if bp == nil {
+		bp = new([]float64)
+	}
+	row, rerr := e.recomputeRowInto(from, *bp)
+	if rerr != nil {
+		e.rowScratch.Put(bp)
+		return 0, err
+	}
+	*bp = row
+	d = row[to]
+	e.rowScratch.Put(bp)
+	return d, nil
 }
 
 // Row returns the full distance row of from (caller-owned).
 func (e *Engine) Row(ctx context.Context, from int) ([]float64, error) {
-	return e.src.Row(ctx, from)
+	row, err := e.src.Row(ctx, from)
+	if err != nil && e.canRecompute(err) {
+		return e.recomputeRowInto(from, nil)
+	}
+	return row, err
 }
 
 // RowInto fills dst with the full distance row of from, reusing dst's
 // backing array when it is large enough.
 func (e *Engine) RowInto(ctx context.Context, from int, dst []float64) ([]float64, error) {
 	if e.rc != nil {
-		return e.rc.RowInto(ctx, from, dst)
+		out, err := e.rc.RowInto(ctx, from, dst)
+		if err != nil && e.canRecompute(err) {
+			return e.recomputeRowInto(from, dst)
+		}
+		return out, err
 	}
 	row, err := e.src.Row(ctx, from)
 	if err != nil {
+		if e.canRecompute(err) {
+			return e.recomputeRowInto(from, dst)
+		}
 		return nil, err
 	}
 	if cap(dst) >= len(row) {
@@ -216,10 +286,31 @@ func (e *Engine) RowInto(ctx context.Context, from int, dst []float64) ([]float6
 	return row, nil
 }
 
-// acquireRow obtains from's distance row as cheaply as the source allows:
-// a shared view when the source supports it (zero-copy, release is nil),
-// otherwise a pooled scratch buffer (release returns it to the pool).
+// acquireRow obtains from's distance row as cheaply as the source allows
+// (see acquireSourceRow), falling back to a graph recompute into pooled
+// scratch when the store copy of the row is corrupt.
 func (e *Engine) acquireRow(ctx context.Context, from int) (row []float64, release func(), err error) {
+	row, release, err = e.acquireSourceRow(ctx, from)
+	if err == nil || !e.canRecompute(err) {
+		return row, release, err
+	}
+	bp, _ := e.rowScratch.Get().(*[]float64)
+	if bp == nil {
+		bp = new([]float64)
+	}
+	nrow, nerr := e.recomputeRowInto(from, *bp)
+	if nerr != nil {
+		e.rowScratch.Put(bp)
+		return nil, nil, err
+	}
+	*bp = nrow
+	return *bp, func() { e.rowScratch.Put(bp) }, nil
+}
+
+// acquireSourceRow obtains from's distance row from the source: a shared
+// view when the source supports it (zero-copy, release is nil),
+// otherwise a pooled scratch buffer (release returns it to the pool).
+func (e *Engine) acquireSourceRow(ctx context.Context, from int) (row []float64, release func(), err error) {
 	if e.rv != nil {
 		row, err = e.rv.RowView(ctx, from)
 		return row, nil, err

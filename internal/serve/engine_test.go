@@ -7,7 +7,6 @@ import (
 
 	"apspark/internal/graph"
 	"apspark/internal/matrix"
-	"apspark/internal/seq"
 )
 
 // solvedGraph returns a deterministic Erdős–Rényi graph and its exact
@@ -18,7 +17,7 @@ func solvedGraph(t *testing.T, n int, seed int64) (*graph.Graph, *matrix.Block) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	return g, seq.FloydWarshall(g)
+	return g, fwRef(t, g)
 }
 
 func newEngine(t *testing.T, g *graph.Graph, dist *matrix.Block) *Engine {
@@ -200,7 +199,7 @@ func TestPathHandBuilt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := newEngine(t, g, seq.FloydWarshall(g))
+	e := newEngine(t, g, fwRef(t, g))
 	p, err := e.Path(context.Background(), 0, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -228,7 +227,7 @@ func TestPathZeroWeightEdges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dist := seq.FloydWarshall(g)
+	dist := fwRef(t, g)
 	e := newEngine(t, g, dist)
 	p, err := e.Path(context.Background(), 0, 4)
 	if err != nil {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -158,11 +159,24 @@ const MaxBatchValues = 4 << 20
 // larger; row batches dominate it).
 const maxBatchBody = 1 << 20
 
-// Health is the /healthz payload.
+// Health is the /healthz payload. Status is three-state: "loading"
+// while the Gate still fronts the server, "ok" when serving normally,
+// and "degraded" when the store has quarantined tiles — queries still
+// answer (recomputed from the graph when one is loaded, see
+// Engine.Recomputed) but the store file needs attention.
 type Health struct {
 	Status    string `json:"status"`
 	N         int    `json:"n"`
 	PathReady bool   `json:"path_ready"`
+	// Quarantined counts store tiles sidelined after failing checksum
+	// verification; any nonzero value flips Status to "degraded".
+	Quarantined int64 `json:"quarantined,omitempty"`
+	// RetriedReads counts store reads that failed transiently and
+	// succeeded on retry — an early-warning signal for a flaky disk.
+	RetriedReads int64 `json:"retried_reads,omitempty"`
+	// Recomputed counts row queries answered by re-solving from the
+	// graph because the store copy was corrupt.
+	Recomputed int64 `json:"recomputed,omitempty"`
 	// Cache carries the tile-cache counters (with per-shard breakdown)
 	// when the engine serves from a persistent store (absent for
 	// in-memory sources).
@@ -176,12 +190,17 @@ type Health struct {
 func Handler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		h := Health{Status: "ok", N: e.N(), PathReady: e.HasGraph()}
+		h := Health{Status: "ok", N: e.N(), PathReady: e.HasGraph(), Recomputed: e.Recomputed()}
 		if st, ok := e.src.(*store.Store); ok {
 			stats := st.Stats()
 			h.Cache = &stats
 			rstats := st.RowStats()
 			h.RowCache = &rstats
+			h.Quarantined = int64(st.Quarantined())
+			h.RetriedReads = st.RetriedReads()
+			if h.Quarantined > 0 {
+				h.Status = "degraded"
+			}
 		}
 		writeJSON(w, http.StatusOK, h)
 	})
@@ -192,7 +211,7 @@ func Handler(e *Engine) http.Handler {
 		}
 		d, err := e.Dist(r.Context(), from, to)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, errStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, distResponse{From: from, To: to, Dist: jsonDist(d)})
@@ -206,7 +225,7 @@ func Handler(e *Engine) http.Handler {
 		// encoder only reads, so a row-cache hit is copied zero times.
 		row, release, err := e.acquireRow(r.Context(), from)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, errStatus(err), err)
 			return
 		}
 		writeJSONSized(w, http.StatusOK, rowResponse{From: from, N: len(row), Dist: row}, jsonRowEstBytes*len(row))
@@ -230,7 +249,7 @@ func Handler(e *Engine) http.Handler {
 		}
 		targets, err := e.KNN(r.Context(), from, k)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, errStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, knnResponse{From: from, K: k, Targets: knnTargets(targets)})
@@ -249,7 +268,7 @@ func Handler(e *Engine) http.Handler {
 			writeError(w, http.StatusNotImplemented, err)
 			return
 		case err != nil:
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, errStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, pathResponse{From: from, To: to, Dist: jsonDist(p.Dist), Hops: p.Hops})
@@ -258,6 +277,24 @@ func Handler(e *Engine) http.Handler {
 		e.handleBatch(w, r)
 	})
 	return mux
+}
+
+// errStatus maps an engine/source failure to an HTTP status. A deadline
+// blown inside a read (the Harden per-request timeout, or a caller
+// deadline) is 504 — the server, not the request, ran out of time; a
+// client that went away mid-read gets nginx's conventional 499 (the
+// write is moot, but access logs stay honest); everything else — IO
+// errors past the retry budget, corrupt tiles with no graph to recompute
+// from — is a plain 500.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func knnTargets(ts []Target) []knnTarget {
@@ -341,7 +378,7 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if len(req.Dist) > 0 {
 		ds, err := e.DistBatch(ctx, req.Dist)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, errStatus(err), err)
 			return
 		}
 		resp.Dist = make([]distResponse, len(ds))
@@ -363,7 +400,7 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for i, from := range req.Row {
 			row, release, err := e.acquireRow(ctx, from)
 			if err != nil {
-				writeError(w, http.StatusInternalServerError, fmt.Errorf("batch: row[%d]: %w", i, err))
+				writeError(w, errStatus(err), fmt.Errorf("batch: row[%d]: %w", i, err))
 				return
 			}
 			if release != nil {
@@ -375,7 +412,7 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if len(req.KNN) > 0 {
 		kts, err := e.KNNBatch(ctx, req.KNN)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, errStatus(err), err)
 			return
 		}
 		resp.KNN = make([]knnResponse, len(kts))
@@ -395,7 +432,7 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 			case errors.Is(err, ErrNoPath):
 				resp.Path[i] = pathResponse{From: pq.From, To: pq.To, Dist: jsonDist(math.Inf(1))}
 			case err != nil:
-				writeError(w, http.StatusInternalServerError, fmt.Errorf("batch: path[%d]: %w", i, err))
+				writeError(w, errStatus(err), fmt.Errorf("batch: path[%d]: %w", i, err))
 				return
 			default:
 				resp.Path[i] = pathResponse{From: pq.From, To: pq.To, Dist: jsonDist(p.Dist), Hops: p.Hops}

@@ -12,7 +12,6 @@ import (
 	"testing"
 
 	"apspark/internal/graph"
-	"apspark/internal/seq"
 	"apspark/internal/store"
 )
 
@@ -25,7 +24,7 @@ func newStoreServer(t *testing.T, n int, seed int64) (*httptest.Server, *graph.G
 	if err != nil {
 		t.Fatal(err)
 	}
-	dist := seq.FloydWarshall(g)
+	dist := fwRef(t, g)
 	path := filepath.Join(t.TempDir(), "dist.apsp")
 	bs := 8
 	if err := store.Write(path, dist, bs); err != nil {
@@ -65,7 +64,7 @@ func getJSON(t *testing.T, url string, wantCode int, into any) {
 
 func TestHTTPEndpoints(t *testing.T) {
 	srv, g, _ := newStoreServer(t, 40, 6)
-	dist := seq.FloydWarshall(g)
+	dist := fwRef(t, g)
 
 	var h Health
 	getJSON(t, srv.URL+"/healthz", http.StatusOK, &h)
@@ -168,7 +167,7 @@ func TestHTTPPathWithoutGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src, err := NewMatrixSource(seq.FloydWarshall(g))
+	src, err := NewMatrixSource(fwRef(t, g))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +193,7 @@ func TestHTTPPathWithoutGraph(t *testing.T) {
 // cache, budget never exceeded).
 func TestHTTPConcurrent(t *testing.T) {
 	srv, g, st := newStoreServer(t, 40, 6)
-	dist := seq.FloydWarshall(g)
+	dist := fwRef(t, g)
 	client := srv.Client()
 
 	const workers = 8

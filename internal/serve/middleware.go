@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Serving hardening: the middleware stack that stands between the
+// listener and the query handlers. Harden wraps a handler with (outside
+// to inside) panic recovery, bounded in-flight admission, and a
+// per-request deadline; Gate fronts the whole stack while the store is
+// still opening, so the listener — and /healthz — are up from the first
+// millisecond of the process.
+
+// HardenOptions configures Harden. The zero value disables every layer
+// except panic recovery, which is always on.
+type HardenOptions struct {
+	// MaxInFlight bounds the requests being served at once; excess
+	// requests are rejected immediately with 429 and a Retry-After hint
+	// rather than queued (a queue just moves the overload into memory).
+	// /healthz is exempt: probes must see past the overload they are
+	// there to detect. <= 0 means unlimited.
+	MaxInFlight int
+	// Timeout is the per-request wall-clock budget, enforced through the
+	// request context so store reads stop at the deadline; the handler
+	// then answers 504. <= 0 means no deadline beyond the server's own
+	// read/write timeouts.
+	Timeout time.Duration
+	// RetryAfter is the client back-off hint sent with 429 responses
+	// (rounded up to whole seconds, minimum 1). <= 0 picks 1s.
+	RetryAfter time.Duration
+}
+
+// Harden wraps h with the serving protection stack described by opts.
+func Harden(h http.Handler, opts HardenOptions) http.Handler {
+	inner := h
+	if opts.Timeout > 0 {
+		inner = withTimeout(inner, opts.Timeout)
+	}
+	if opts.MaxInFlight > 0 {
+		inner = withAdmission(inner, opts.MaxInFlight, opts.RetryAfter)
+	}
+	return withRecovery(inner)
+}
+
+// withRecovery converts a handler panic into a 500 instead of killing
+// the connection's goroutine with a stack dump mid-response. The one
+// deliberate panic of net/http, http.ErrAbortHandler, passes through —
+// it is the documented way to abort a response.
+func withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			log.Printf("serve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			// If the handler already wrote a partial body this write is
+			// moot (net/http discards the late header), but the client
+			// still sees a broken response instead of a hung one.
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withAdmission bounds concurrent requests with a semaphore, shedding
+// the excess as 429 + Retry-After.
+func withAdmission(next http.Handler, maxInFlight int, retryAfter time.Duration) http.Handler {
+	sem := make(chan struct{}, maxInFlight)
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	hint := strconv.Itoa(int(math.Ceil(retryAfter.Seconds())))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", hint)
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("serve: %d requests already in flight, try again in %ss", maxInFlight, hint))
+		}
+	})
+}
+
+// withTimeout puts a deadline on each request's context. Store reads and
+// batch loops check the context, so a stuck disk turns into a 504 (see
+// errStatus) instead of an indefinitely held connection slot.
+func withTimeout(next http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// Gate is an atomically swappable handler that answers for the server
+// before it is ready: /healthz reports "loading" and every other route
+// is 503 + Retry-After until Ready installs the real handler. It lets
+// the listener come up before the store is opened, so orchestrators see
+// a live (not-yet-ready) process instead of a connection refusal during
+// a slow cold start.
+type Gate struct {
+	h atomic.Pointer[http.Handler]
+}
+
+// NewGate returns a Gate in the loading state.
+func NewGate() *Gate { return &Gate{} }
+
+// Ready installs the real handler; all subsequent requests route to it.
+func (g *Gate) Ready(h http.Handler) { g.h.Store(&h) }
+
+// ServeHTTP implements http.Handler.
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if hp := g.h.Load(); hp != nil {
+		(*hp).ServeHTTP(w, r)
+		return
+	}
+	if r.URL.Path == "/healthz" {
+		writeJSON(w, http.StatusOK, Health{Status: "loading"})
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: still loading the store"))
+}

@@ -275,8 +275,17 @@ type Options struct {
 	Workers int
 	// Progress, when non-nil, is called after each completed panel with
 	// the number of source rows finished so far and the total. It runs on
-	// the calling goroutine.
+	// the calling goroutine. On a resumed run (FirstPanel > 0) rowsDone
+	// includes the skipped rows, so the stream reads as overall solve
+	// progress.
 	Progress func(rowsDone, rowsTotal int)
+	// FirstPanel makes SolvePanels start at that panel index instead of
+	// 0, skipping the sources of earlier panels entirely — the resume
+	// hook for a solve whose first panels are already durable on disk.
+	// The returned count covers only the rows actually solved. Solve
+	// rejects a non-zero FirstPanel: a resumed in-memory solve would hold
+	// garbage in its skipped rows.
+	FirstPanel int
 }
 
 func (o Options) workers() int {
@@ -291,6 +300,9 @@ func (o Options) workers() int {
 // ctx.Err(); the partial matrix is discarded. nil ctx means
 // context.Background().
 func (e *Engine) Solve(ctx context.Context, panelRows int, opts Options) (*matrix.Block, int, error) {
+	if opts.FirstPanel != 0 {
+		return nil, 0, fmt.Errorf("sparse: FirstPanel=%d: only SolvePanels can resume (an in-memory solve has no durable prior rows)", opts.FirstPanel)
+	}
 	if e.n == 0 {
 		return matrix.NewZero(0, 0), 0, nil
 	}
@@ -347,8 +359,16 @@ func (e *Engine) solvePanels(ctx context.Context, panelRows int, opts Options, r
 	}
 	workers := opts.workers()
 	numPanels := (e.n + panelRows - 1) / panelRows
+	first := opts.FirstPanel
+	if first < 0 || first > numPanels {
+		return 0, fmt.Errorf("sparse: first panel %d outside [0,%d]", first, numPanels)
+	}
+	skipped := first * panelRows
+	if skipped > e.n {
+		skipped = e.n
+	}
 	done := 0
-	for bi := 0; bi < numPanels; bi++ {
+	for bi := first; bi < numPanels; bi++ {
 		if err := ctx.Err(); err != nil {
 			return done, err
 		}
@@ -365,7 +385,7 @@ func (e *Engine) solvePanels(ctx context.Context, panelRows int, opts Options, r
 		}
 		done += h
 		if opts.Progress != nil {
-			opts.Progress(done, e.n)
+			opts.Progress(skipped+done, e.n)
 		}
 	}
 	return done, nil

@@ -9,9 +9,20 @@ import (
 	"apspark/internal/seq"
 )
 
+// fwRef is the Floyd-Warshall ground truth for a test graph.
+func fwRef(t testing.TB, g *graph.Graph) *matrix.Block {
+	t.Helper()
+	m, err := seq.FloydWarshall(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 // intER builds a connected sparse ER graph with integer weights. Integer
 // weights make every path sum exact in float64, so Dijkstra and
 // Floyd-Warshall must agree bit for bit, not just within tolerance.
+
 func intER(t *testing.T, n int, deg float64, seed int64) *graph.Graph {
 	t.Helper()
 	g, err := graph.ErdosRenyiConnected(n, graph.AvgDegreeProb(n, deg), graph.IntegerWeights(100), seed)
@@ -51,7 +62,7 @@ func solveFull(t *testing.T, g *graph.Graph, panelRows int) *matrix.Block {
 
 func TestDijkstraMatchesFloydWarshallSparseER(t *testing.T) {
 	g := intER(t, 193, 8, 1)
-	requireBitIdentical(t, solveFull(t, g, 32), seq.FloydWarshall(g))
+	requireBitIdentical(t, solveFull(t, g, 32), fwRef(t, g))
 }
 
 func TestDijkstraMatchesFloydWarshallDenseER(t *testing.T) {
@@ -59,7 +70,7 @@ func TestDijkstraMatchesFloydWarshallDenseER(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	requireBitIdentical(t, solveFull(t, g, 17), seq.FloydWarshall(g))
+	requireBitIdentical(t, solveFull(t, g, 17), fwRef(t, g))
 }
 
 func TestDijkstraUnitWeights(t *testing.T) {
@@ -67,7 +78,7 @@ func TestDijkstraUnitWeights(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	requireBitIdentical(t, solveFull(t, g, 64), seq.FloydWarshall(g))
+	requireBitIdentical(t, solveFull(t, g, 64), fwRef(t, g))
 }
 
 func TestDijkstraZeroWeightEdges(t *testing.T) {
@@ -82,7 +93,7 @@ func TestDijkstraZeroWeightEdges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	requireBitIdentical(t, solveFull(t, g, 2), seq.FloydWarshall(g))
+	requireBitIdentical(t, solveFull(t, g, 2), fwRef(t, g))
 }
 
 func TestDijkstraDisconnected(t *testing.T) {
@@ -96,7 +107,7 @@ func TestDijkstraDisconnected(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := solveFull(t, g, 4)
-	requireBitIdentical(t, got, seq.FloydWarshall(g))
+	requireBitIdentical(t, got, fwRef(t, g))
 	if got.At(0, 3) != matrix.Inf || got.At(5, 0) != matrix.Inf {
 		t.Fatalf("cross-component distances not Inf: %v %v", got.At(0, 3), got.At(5, 0))
 	}
@@ -124,7 +135,7 @@ func TestDijkstraUniformWeightsWithinTolerance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !solveFull(t, g, 32).AllClose(seq.FloydWarshall(g), 1e-9) {
+	if !solveFull(t, g, 32).AllClose(fwRef(t, g), 1e-9) {
 		t.Fatal("dij diverges from Floyd-Warshall beyond 1e-9")
 	}
 }
@@ -259,7 +270,7 @@ func TestEpochWrapClearsStaleState(t *testing.T) {
 	sc := e.scratch.Get().(*state)
 	sc.epoch = ^uint32(0) - 1 // two sources from wrapping
 	e.scratch.Put(sc)
-	want := seq.FloydWarshall(g)
+	want := fwRef(t, g)
 	row := make([]float64, g.N)
 	for src := 0; src < 4; src++ { // crosses the wrap boundary
 		if err := e.SolveRowInto(src, row); err != nil {

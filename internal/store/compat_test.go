@@ -1,0 +1,222 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"apspark/internal/matrix"
+)
+
+// writeV1Store synthesizes a version-1 store file — 16-byte index entries,
+// no checksums — exactly as the previous format revision wrote it, so
+// backward compatibility is pinned against real v1 bytes rather than
+// against this build's writer.
+func writeV1Store(t *testing.T, path string, m *matrix.Block, blockSize int) {
+	t.Helper()
+	n := m.R
+	if blockSize > n {
+		blockSize = n
+	}
+	q := (n + blockSize - 1) / blockSize
+	hdr := make([]byte, 0, fileHdrLen+q*q*idxEntryLenV1)
+	hdr = append(hdr, magic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, versionV1)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(n))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(blockSize))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(q))
+	off := int64(fileHdrLen + q*q*idxEntryLenV1)
+	var tiles []byte
+	for bi := 0; bi < q; bi++ {
+		h := tileEdge(n, blockSize, bi)
+		for bj := 0; bj < q; bj++ {
+			w := tileEdge(n, blockSize, bj)
+			tile := matrix.New(h, w)
+			if err := m.ExtractInto(tile, bi*blockSize, bj*blockSize); err != nil {
+				t.Fatal(err)
+			}
+			buf := tile.AppendMarshal(nil)
+			hdr = binary.LittleEndian.AppendUint64(hdr, uint64(off))
+			hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(buf)))
+			tiles = append(tiles, buf...)
+			off += int64(len(buf))
+		}
+	}
+	if err := os.WriteFile(path, append(hdr, tiles...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV1StoreOpensAndServes: the previous on-disk format still opens and
+// serves unchanged through both the tile and the row-span read paths.
+func TestV1StoreOpensAndServes(t *testing.T) {
+	n := 25
+	m := testMatrix(n, 31)
+	path := filepath.Join(t.TempDir(), "v1.apsp")
+	writeV1Store(t, path, m, 8)
+
+	for name, opts := range map[string]Options{
+		"tile-path": {TileCacheBytes: 1 << 20},
+		"span-path": {RowCacheBytes: 1 << 20},
+		"uncached":  {},
+	} {
+		t.Run(name, func(t *testing.T) {
+			s, err := OpenWithOptions(path, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if s.Version() != versionV1 || s.Checksummed() {
+				t.Fatalf("version = %d checksummed = %v, want v1 unchecksummed", s.Version(), s.Checksummed())
+			}
+			ctx := context.Background()
+			for i := 0; i < n; i++ {
+				row, err := s.Row(ctx, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := range row {
+					if row[j] != m.At(i, j) {
+						t.Fatalf("v1 row %d col %d = %v, want %v", i, j, row[j], m.At(i, j))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestV1CorruptHeaderStillRejected: v1 has no checksums, but a smashed
+// tile header is still caught by the shape validation on both paths.
+func TestV1CorruptHeaderStillRejected(t *testing.T) {
+	n := 12
+	m := testMatrix(n, 17)
+	path := filepath.Join(t.TempDir(), "v1.apsp")
+	writeV1Store(t, path, m, 4)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[24+9*idxEntryLenV1] = 0x42 // tile (0,0) magic byte
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Tile(context.Background(), 0, 0); !errors.Is(err, ErrCorruptTile) {
+		t.Fatalf("v1 smashed tile header: err = %v, want ErrCorruptTile", err)
+	}
+}
+
+// TestOpenErrorsAreTyped maps each malformed-store class to the sentinel
+// an operator dispatches on: not-a-store, unsupported version, malformed.
+func TestOpenErrorsAreTyped(t *testing.T) {
+	good, err := os.ReadFile(writeTestStore(t, testMatrix(12, 4), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name   string
+		want   error
+		mutate func([]byte) []byte
+	}{
+		{"bad-magic", ErrNotAStore, func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"empty-file", ErrMalformed, func(b []byte) []byte { return nil }},
+		{"truncated-header", ErrMalformed, func(b []byte) []byte { return b[:10] }},
+		{"future-version", ErrVersion, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], 99)
+			return b
+		}},
+		{"zero-version", ErrVersion, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], 0)
+			return b
+		}},
+		{"zero-n", ErrMalformed, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:16], 0)
+			return b
+		}},
+		{"b-gt-n", ErrMalformed, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[16:20], 1000)
+			return b
+		}},
+		{"q-mismatch", ErrMalformed, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[20:24], 7)
+			return b
+		}},
+		{"truncated-index", ErrMalformed, func(b []byte) []byte { return b[:30] }},
+		{"truncated-body", ErrMalformed, func(b []byte) []byte { return b[:len(b)-5] }},
+		{"index-off-out-of-file", ErrMalformed, func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[24:32], 1<<40)
+			return b
+		}},
+		{"index-len-mismatch", ErrMalformed, func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[32:40], 12345)
+			return b
+		}},
+		{"q-overflow-forgery", ErrMalformed, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:16], 0xFFFFFFFF)
+			binary.LittleEndian.PutUint32(b[16:20], 1)
+			binary.LittleEndian.PutUint32(b[20:24], 0xFFFFFFFF)
+			return b
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := tc.mutate(append([]byte(nil), good...))
+			path := filepath.Join(dir, tc.name)
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s, err := Open(path, 1<<20)
+			if err == nil {
+				s.Close()
+				t.Fatal("malformed store opened cleanly")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want errors.Is(%v)", err, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzOpen feeds arbitrary bytes (seeded with a valid store and its
+// truncations) through Open: it must reject or accept, never panic. An
+// accepted store must survive a probe query without panicking either.
+func FuzzOpen(f *testing.F) {
+	seed := filepath.Join(f.TempDir(), "seed.apsp")
+	if err := Write(seed, testMatrix(9, 2), 4); err != nil {
+		f.Fatal(err)
+	}
+	good, err := os.ReadFile(seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	for _, cut := range []int{0, 7, 8, 12, 23, 24, 40, len(good) / 2, len(good) - 1} {
+		if cut <= len(good) {
+			f.Add(good[:cut])
+		}
+	}
+	flip := append([]byte(nil), good...)
+	flip[9] ^= 0xFF
+	f.Add(flip)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.apsp")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		s, err := Open(path, 1<<16)
+		if err != nil {
+			return
+		}
+		defer s.Close()
+		// Whatever parsed must also be probeable without panicking.
+		_, _ = s.Dist(context.Background(), 0, 0)
+		_, _ = s.Row(context.Background(), s.N()-1)
+	})
+}

@@ -1,0 +1,193 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"apspark/internal/faultfs"
+	"apspark/internal/matrix"
+)
+
+// openFaulty opens the test store through a faultfs wrapper so tests can
+// inject disk failures under the store's read path.
+func openFaulty(t *testing.T, path string, opts Options) (*Store, *faultfs.Reader) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := faultfs.New(readerAtOf(raw))
+	s, err := OpenReader(fr, int64(len(raw)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, fr
+}
+
+// readerAtOf adapts a byte slice (bytes.Reader without the import noise).
+type byteReaderAt []byte
+
+func readerAtOf(b []byte) byteReaderAt { return byteReaderAt(b) }
+
+func (b byteReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off >= int64(len(b)) {
+		return 0, errors.New("read past end")
+	}
+	n := copy(p, b[off:])
+	if n < len(p) {
+		return n, errors.New("short read past end")
+	}
+	return n, nil
+}
+
+// TestTransientFaultsWithinRetryBudget: injected EIO bursts shorter than
+// the retry budget are absorbed — every query still returns correct data
+// and the retry counter records the flakiness.
+func TestTransientFaultsWithinRetryBudget(t *testing.T) {
+	n := 24
+	m := testMatrix(n, 5)
+	path := writeTestStore(t, m, 8)
+	s, fr := openFaulty(t, path, Options{
+		TileCacheBytes: 1 << 20, RowCacheBytes: 1 << 20,
+		ReadRetries: 2, RetryBackoff: time.Microsecond,
+	})
+	// Every other read fails: each store read sees at most one EIO before
+	// its retry lands on a clean ordinal, well inside the 2-retry budget.
+	fr.Inject(faultfs.Fault{Kind: faultfs.KindErr, Every: 2})
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		row, err := s.Row(ctx, i)
+		if err != nil {
+			t.Fatalf("row %d under transient faults: %v", i, err)
+		}
+		for j := range row {
+			if row[j] != m.At(i, j) {
+				t.Fatalf("row %d col %d = %v, want %v (fault leaked into data)", i, j, row[j], m.At(i, j))
+			}
+		}
+	}
+	if s.RetriedReads() == 0 {
+		t.Fatal("no retries recorded despite injected faults")
+	}
+	if s.Quarantined() != 0 {
+		t.Fatalf("%d tiles quarantined by transient faults", s.Quarantined())
+	}
+}
+
+// TestPersistentFaultsExhaustBudget: a fault outlasting the retry budget
+// surfaces as an error (wrapping the injected one), never as wrong data.
+func TestPersistentFaultsExhaustBudget(t *testing.T) {
+	n := 24
+	m := testMatrix(n, 5)
+	path := writeTestStore(t, m, 8)
+	s, fr := openFaulty(t, path, Options{
+		TileCacheBytes: 1 << 20,
+		ReadRetries:    1, RetryBackoff: time.Microsecond,
+	})
+	fr.Inject(faultfs.Fault{Kind: faultfs.KindErr})
+	if _, err := s.Tile(context.Background(), 0, 0); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("err = %v, want the injected error surfaced", err)
+	}
+	if s.Quarantined() != 0 {
+		t.Fatal("transient-class fault quarantined a tile")
+	}
+	// The disk heals: the same tile now serves fine (no sticky failure).
+	fr.Clear()
+	tile, err := s.Tile(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatalf("tile after faults cleared: %v", err)
+	}
+	if got := tile.At(1, 2); got != m.At(1, 2) {
+		t.Fatalf("healed tile serves %v, want %v", got, m.At(1, 2))
+	}
+}
+
+// TestShortReadsRetried: short reads are I/O errors like any other and
+// consume retry budget rather than truncating data.
+func TestShortReadsRetried(t *testing.T) {
+	n := 24
+	m := testMatrix(n, 9)
+	path := writeTestStore(t, m, 8)
+	s, fr := openFaulty(t, path, Options{
+		ReadRetries: 1, RetryBackoff: time.Microsecond,
+	})
+	fr.Inject(faultfs.Fault{Kind: faultfs.KindShortRead, Every: 2})
+	ctx := context.Background()
+	for i := 0; i < n; i += 5 {
+		for j := 0; j < n; j += 5 {
+			got, err := s.Dist(ctx, i, j)
+			if err != nil {
+				t.Fatalf("dist(%d,%d): %v", i, j, err)
+			}
+			if got != m.At(i, j) {
+				t.Fatalf("dist(%d,%d) = %v, want %v", i, j, got, m.At(i, j))
+			}
+		}
+	}
+}
+
+// TestBitFlipQuarantines is the integrity acceptance criterion at store
+// level: a flipped bit in a tile payload is detected by the v2 checksum
+// on a cold read, the tile is quarantined (typed error, no second disk
+// read), and undamaged tiles keep serving.
+func TestBitFlipQuarantines(t *testing.T) {
+	n := 24
+	m := testMatrix(n, 13)
+	path := writeTestStore(t, m, 8)
+
+	for name, opts := range map[string]Options{
+		"tile-path": {TileCacheBytes: 1 << 20},
+		"span-path": {RowCacheBytes: 1 << 20},
+	} {
+		t.Run(name, func(t *testing.T) {
+			s, fr := openFaulty(t, path, opts)
+			// Flip one payload bit in tile (0,0)'s float region on every
+			// read overlapping it.
+			ref := s.index[0]
+			fr.Inject(faultfs.Fault{
+				Kind: faultfs.KindBitFlip, FlipBit: int64(matrix.HeaderLen)*8 + 17,
+				OffLo: ref.off, OffHi: ref.off + ref.length,
+			})
+			ctx := context.Background()
+			_, err := s.Dist(ctx, 0, 0)
+			if !errors.Is(err, ErrCorruptTile) {
+				t.Fatalf("flipped bit served: err = %v, want ErrCorruptTile", err)
+			}
+			if s.Quarantined() != 1 {
+				t.Fatalf("quarantined = %d, want 1", s.Quarantined())
+			}
+			readsBefore := fr.Reads()
+			if _, err := s.Dist(ctx, 0, 0); !errors.Is(err, ErrCorruptTile) {
+				t.Fatalf("second read of quarantined tile: %v", err)
+			}
+			if fr.Reads() != readsBefore {
+				t.Fatal("quarantined tile was re-read from disk")
+			}
+			// A row outside the damaged tile still serves correctly.
+			row, err := s.Row(ctx, n-1)
+			if err != nil {
+				t.Fatalf("undamaged row: %v", err)
+			}
+			if row[n-1] != m.At(n-1, n-1) {
+				t.Fatal("undamaged row served wrong data")
+			}
+		})
+	}
+}
+
+// TestLatencyFaultsJustSlow: latency injection must not change results.
+func TestLatencyFaultsJustSlow(t *testing.T) {
+	n := 16
+	m := testMatrix(n, 21)
+	path := writeTestStore(t, m, 8)
+	s, fr := openFaulty(t, path, Options{})
+	fr.Inject(faultfs.Fault{Kind: faultfs.KindLatency, Latency: time.Millisecond, Count: 4})
+	got, err := s.Dist(context.Background(), 3, 7)
+	if err != nil || got != m.At(3, 7) {
+		t.Fatalf("dist under latency = %v (err %v), want %v", got, err, m.At(3, 7))
+	}
+}

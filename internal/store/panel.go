@@ -1,23 +1,73 @@
 // Streaming writer: the store file built one row-panel at a time, so a
 // solver that produces rows incrementally (the sparse Dijkstra engine)
 // can persist an n x n matrix while holding only O(b·n) of it.
+//
+// In checkpoint mode the writer adds a crash-safe discipline: the panel
+// data lands in a stable partial file (path + ".partial") and, after each
+// panel's bytes are fsync'd, a sidecar manifest (path + ".manifest") is
+// atomically rewritten recording how many panels are durable. A process
+// killed mid-solve can then resume: the partial file is truncated back to
+// the last durable panel boundary and writing continues from there, so
+// only the unfinished panels are ever re-solved. Because tile offsets are
+// fully determined by (n, b), a resumed store is byte-identical to one
+// written in a single uninterrupted run.
 package store
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 
 	"apspark/internal/matrix"
 )
 
+// manifestMagic identifies a PanelWriter checkpoint manifest.
+const manifestMagic = "APSPCKPT"
+
+// manifestVersion is the manifest schema version.
+const manifestVersion = 1
+
+// manifest is the JSON sidecar a checkpointing PanelWriter rewrites after
+// every durable panel. Panels counts row panels whose tile bytes are
+// fsync'd in the partial file; CRCs carries the per-tile CRC32C values
+// accumulated so far (q*q entries, row-major; entries past the completed
+// panels are zero and ignored on resume).
+type manifest struct {
+	Magic   string   `json:"magic"`
+	Version int      `json:"version"`
+	N       int      `json:"n"`
+	B       int      `json:"b"`
+	Q       int      `json:"q"`
+	Panels  int      `json:"panels"`
+	CRCs    []uint32 `json:"crcs"`
+}
+
+// PanelWriterOptions configures the crash-safety discipline of a
+// PanelWriter. The zero value is the classic anonymous-temp-file writer.
+type PanelWriterOptions struct {
+	// Checkpoint writes panels to a stable partial file (path+".partial")
+	// and maintains a durable sidecar manifest (path+".manifest") after
+	// each panel, at the cost of one fsync per panel. Abort then keeps the
+	// partial file and manifest so a later run can resume.
+	Checkpoint bool
+	// Resume (implies Checkpoint) picks up an existing checkpoint: the
+	// partial file is truncated to the last durable panel boundary and the
+	// writer continues from there. When no usable checkpoint exists the
+	// writer simply starts from panel 0. The checkpoint's geometry must
+	// match (n, blockSize) or the writer refuses to resume.
+	Resume bool
+}
+
 // PanelWriter writes a tiled distance store incrementally from row
 // panels: panel bi carries matrix rows [bi*b, bi*b+h) as an h x n dense
 // block, delivered in order. Because tile sizes are fully determined by
 // (n, b), the header and index are written up front and each panel's
-// tiles append sequentially, producing a file byte-identical to
-// Write(path, m, b) for the same matrix. The file appears at path only on
-// a successful Close (temp file + atomic rename), so readers never see a
+// tiles append sequentially; the per-tile checksums are patched into the
+// index on Close, producing a file byte-identical to Write(path, m, b)
+// for the same matrix. The file appears at path only on a successful
+// Close (temp or partial file + atomic rename), so readers never see a
 // partial store.
 type PanelWriter struct {
 	tmp       *os.File
@@ -28,12 +78,23 @@ type PanelWriter struct {
 	buf       []byte
 	closed    bool
 	failed    bool
+
+	checkpoint   bool
+	partialPath  string
+	manifestPath string
+	resumed      int // panels restored from a checkpoint (0 on a fresh run)
 }
 
 // NewPanelWriter creates the temp file and writes the header and tile
 // index for an n x n store with tile edge blockSize (clamped to n, like
-// Write).
+// Write). Equivalent to NewPanelWriterWithOptions with the zero options.
 func NewPanelWriter(path string, n, blockSize int) (*PanelWriter, error) {
+	return NewPanelWriterWithOptions(path, n, blockSize, PanelWriterOptions{})
+}
+
+// NewPanelWriterWithOptions creates a panel writer with an explicit
+// crash-safety discipline (see PanelWriterOptions).
+func NewPanelWriterWithOptions(path string, n, blockSize int, opts PanelWriterOptions) (*PanelWriter, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("store: empty matrix")
 	}
@@ -45,13 +106,9 @@ func NewPanelWriter(path string, n, blockSize int) (*PanelWriter, error) {
 	}
 	q := (n + blockSize - 1) / blockSize
 
-	tmp, err := os.CreateTemp(dirOf(path), ".apsp-store-*")
-	if err != nil {
-		return nil, err
-	}
-	w := &PanelWriter{tmp: tmp, path: path, n: n, b: blockSize, q: q}
+	w := &PanelWriter{path: path, n: n, b: blockSize, q: q}
 	w.index = make([]tileRef, q*q)
-	off := int64(fileHdrLen + q*q*idxEntryLen)
+	off := int64(fileHdrLen + q*q*idxEntryLenV2)
 	for bi := 0; bi < q; bi++ {
 		h := tileEdge(n, blockSize, bi)
 		for bj := 0; bj < q; bj++ {
@@ -60,26 +117,192 @@ func NewPanelWriter(path string, n, blockSize int) (*PanelWriter, error) {
 			off += length
 		}
 	}
-	if _, err := tmp.Write(headerBytes(n, blockSize, q, w.index)); err != nil {
-		w.Abort()
+
+	if !opts.Checkpoint && !opts.Resume {
+		tmp, err := os.CreateTemp(dirOf(path), ".apsp-store-*")
+		if err != nil {
+			return nil, err
+		}
+		w.tmp = tmp
+		if _, err := tmp.Write(headerBytes(n, blockSize, q, w.index)); err != nil {
+			w.Abort()
+			return nil, err
+		}
+		return w, nil
+	}
+
+	w.checkpoint = true
+	w.partialPath = path + ".partial"
+	w.manifestPath = path + ".manifest"
+
+	if opts.Resume {
+		if err := w.resume(); err != nil {
+			return nil, err
+		}
+		if w.tmp != nil {
+			return w, nil
+		}
+		// No usable checkpoint: fall through to a fresh start.
+	}
+
+	f, err := os.OpenFile(w.partialPath, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w.tmp = f
+	// A stale manifest from an older run must not outlive its data.
+	os.Remove(w.manifestPath)
+	if _, err := f.Write(headerBytes(n, blockSize, q, w.index)); err != nil {
+		f.Close()
+		os.Remove(w.partialPath)
 		return nil, err
 	}
 	return w, nil
 }
 
-// headerBytes encodes the file header plus tile index (shared with Write).
+// resume restores the writer's state from an existing checkpoint. On
+// success w.tmp is open and positioned at the last durable panel
+// boundary; when no checkpoint exists w.tmp stays nil (fresh start). A
+// checkpoint that exists but disagrees with the requested geometry is an
+// error: silently discarding hours of solve work would be worse.
+func (w *PanelWriter) resume() error {
+	raw, err := os.ReadFile(w.manifestPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading checkpoint manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("store: checkpoint manifest %s is corrupt: %w", w.manifestPath, err)
+	}
+	if m.Magic != manifestMagic || m.Version != manifestVersion {
+		return fmt.Errorf("store: %s is not a version-%d checkpoint manifest", w.manifestPath, manifestVersion)
+	}
+	if m.N != w.n || m.B != w.b || m.Q != w.q {
+		return fmt.Errorf("store: checkpoint is for n=%d b=%d (q=%d), this solve is n=%d b=%d (q=%d)",
+			m.N, m.B, m.Q, w.n, w.b, w.q)
+	}
+	if m.Panels < 0 || m.Panels > w.q || len(m.CRCs) != w.q*w.q {
+		return fmt.Errorf("store: checkpoint manifest %s is inconsistent (panels=%d, crcs=%d)",
+			w.manifestPath, m.Panels, len(m.CRCs))
+	}
+	f, err := os.OpenFile(w.partialPath, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		// Manifest without data: treat as no checkpoint.
+		os.Remove(w.manifestPath)
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: opening partial store: %w", err)
+	}
+	end := w.panelEnd(m.Panels)
+	st, err := f.Stat()
+	if err == nil && st.Size() < end {
+		err = fmt.Errorf("store: partial store is %d bytes, manifest's %d panels need %d", st.Size(), m.Panels, end)
+	}
+	// Drop any torn tail past the last durable panel, then continue
+	// appending from exactly that boundary.
+	if err == nil {
+		err = f.Truncate(end)
+	}
+	if err == nil {
+		_, err = f.Seek(end, 0)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for i := 0; i < m.Panels*w.q; i++ {
+		w.index[i].crc = m.CRCs[i]
+	}
+	w.tmp = f
+	w.nextPanel = m.Panels
+	w.resumed = m.Panels
+	return nil
+}
+
+// panelEnd returns the file offset one past the last tile of panel p-1 —
+// the boundary writing resumes from after p durable panels.
+func (w *PanelWriter) panelEnd(p int) int64 {
+	if p == 0 {
+		return int64(fileHdrLen + w.q*w.q*idxEntryLenV2)
+	}
+	last := w.index[p*w.q-1]
+	return last.off + last.length
+}
+
+// checkpointPanel makes the panels written so far durable: the data file
+// is fsync'd, then the manifest is atomically replaced (temp + fsync +
+// rename). Only after both steps is the new panel considered resumable —
+// a crash between them resumes from the previous manifest, re-solving
+// one panel.
+func (w *PanelWriter) checkpointPanel() error {
+	if err := w.tmp.Sync(); err != nil {
+		return err
+	}
+	m := manifest{
+		Magic:   manifestMagic,
+		Version: manifestVersion,
+		N:       w.n, B: w.b, Q: w.q,
+		Panels: w.nextPanel,
+		CRCs:   make([]uint32, w.q*w.q),
+	}
+	for i := range w.index {
+		m.CRCs[i] = w.index[i].crc
+	}
+	raw, err := json.Marshal(&m)
+	if err != nil {
+		return err
+	}
+	tmpName := w.manifestPath + ".tmp"
+	mf, err := os.OpenFile(tmpName, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = mf.Write(raw)
+	if err == nil {
+		err = mf.Sync()
+	}
+	if cerr := mf.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, w.manifestPath)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// headerBytes encodes the file header plus tile index (shared with
+// Write). Index entries carry whatever checksums are present in index;
+// writers that stream tiles first and learn checksums later patch the
+// index region afterwards with indexBytes.
 func headerBytes(n, blockSize, q int, index []tileRef) []byte {
-	hdr := make([]byte, 0, fileHdrLen+len(index)*idxEntryLen)
+	hdr := make([]byte, 0, fileHdrLen+len(index)*idxEntryLenV2)
 	hdr = append(hdr, magic...)
 	hdr = binary.LittleEndian.AppendUint32(hdr, version)
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(n))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(blockSize))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(q))
+	return append(hdr, indexBytes(index)...)
+}
+
+// indexBytes encodes the tile index region (v2: 24-byte entries with
+// per-tile CRC32C), as written at fileHdrLen.
+func indexBytes(index []tileRef) []byte {
+	out := make([]byte, 0, len(index)*idxEntryLenV2)
 	for _, ref := range index {
-		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ref.off))
-		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ref.length))
+		out = binary.LittleEndian.AppendUint64(out, uint64(ref.off))
+		out = binary.LittleEndian.AppendUint64(out, uint64(ref.length))
+		out = binary.LittleEndian.AppendUint32(out, ref.crc)
+		out = binary.LittleEndian.AppendUint32(out, 0)
 	}
-	return hdr
+	return out
 }
 
 // BlockSize returns the effective tile edge (after clamping to n) — the
@@ -89,11 +312,22 @@ func (w *PanelWriter) BlockSize() int { return w.b }
 // Panels returns how many panels a full matrix needs (q = ceil(n/b)).
 func (w *PanelWriter) Panels() int { return w.q }
 
+// NextPanel returns the index of the panel the writer expects next; after
+// a resume this is the number of durable panels restored from the
+// checkpoint, so callers can skip already-solved rows.
+func (w *PanelWriter) NextPanel() int { return w.nextPanel }
+
+// Resumed returns how many panels were restored from a checkpoint when
+// the writer was created (0 on a fresh run).
+func (w *PanelWriter) Resumed() int { return w.resumed }
+
 // WritePanel appends the next row panel: a dense h x n block holding
 // matrix rows [p*b, p*b+h) where p panels have been written so far and
 // h = b except for a ragged final panel. The panel is cut into its q
 // tiles and marshalled through one pooled tile block, so the writer's own
-// footprint stays O(b²). The panel is only read, never retained.
+// footprint stays O(b²). The panel is only read, never retained. In
+// checkpoint mode the panel is made durable (data fsync + manifest
+// update) before WritePanel returns.
 func (w *PanelWriter) WritePanel(rows *matrix.Block) error {
 	if w.closed {
 		return fmt.Errorf("store: WritePanel on closed writer")
@@ -124,24 +358,36 @@ func (w *PanelWriter) WritePanel(rows *matrix.Block) error {
 			}
 		}
 		if err == nil {
+			w.index[bi*w.q+bj].crc = crc32.Checksum(w.buf, castagnoli)
 			_, err = w.tmp.Write(w.buf)
 		}
 		matrix.Put(tile)
 		if err != nil {
 			// The file may now hold a partial panel at tile-precise
 			// offsets; retrying would append duplicates past them. The
-			// writer is poisoned: only Abort (or a failing Close) remains.
+			// writer is poisoned for in-process use: only Abort (or a
+			// failing Close) remains. In checkpoint mode the manifest
+			// still records the last fully durable panel, so a fresh
+			// process can resume past this failure.
 			w.failed = true
 			return err
 		}
 	}
 	w.nextPanel++
+	if w.checkpoint {
+		if err := w.checkpointPanel(); err != nil {
+			w.failed = true
+			return err
+		}
+	}
 	return nil
 }
 
 // Close finalizes the store: it fails unless every panel has been
-// written, then syncs and atomically renames the temp file into place.
-// After Close (success or not) the writer is spent; Abort is a no-op.
+// written, then patches the per-tile checksums into the index, syncs and
+// atomically renames the temp (or partial) file into place, and removes
+// the checkpoint manifest. After Close (success or not) the writer is
+// spent; Abort is a no-op.
 func (w *PanelWriter) Close() error {
 	if w.closed {
 		return fmt.Errorf("store: writer already closed")
@@ -156,10 +402,16 @@ func (w *PanelWriter) Close() error {
 	}
 	w.closed = true
 	name := w.tmp.Name()
-	if err := w.tmp.Sync(); err != nil {
+	fail := func(err error) error {
 		w.tmp.Close()
 		os.Remove(name)
 		return err
+	}
+	if _, err := w.tmp.WriteAt(indexBytes(w.index), fileHdrLen); err != nil {
+		return fail(err)
+	}
+	if err := w.tmp.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := w.tmp.Close(); err != nil {
 		os.Remove(name)
@@ -169,18 +421,47 @@ func (w *PanelWriter) Close() error {
 		os.Remove(name)
 		return err
 	}
+	if w.checkpoint {
+		os.Remove(w.manifestPath)
+	}
 	return nil
 }
 
-// Abort discards the partial store, removing the temp file. Safe to call
-// any number of times and after Close (where it does nothing), so it can
-// sit in a defer alongside the success path.
+// Abort abandons the writer. Without checkpointing it removes the temp
+// file; in checkpoint mode the partial file and manifest are deliberately
+// kept, so a cancelled or crashed solve stays resumable (use
+// RemoveCheckpoint to discard one explicitly). Safe to call any number of
+// times and after Close (where it does nothing), so it can sit in a defer
+// alongside the success path.
 func (w *PanelWriter) Abort() {
 	if w.closed {
 		return
 	}
 	w.closed = true
+	if w.tmp == nil {
+		return
+	}
 	name := w.tmp.Name()
 	w.tmp.Close()
-	os.Remove(name)
+	if !w.checkpoint {
+		os.Remove(name)
+	}
+}
+
+// RemoveCheckpoint deletes any partial file and manifest a checkpointing
+// solve left next to path. Call it to discard an unwanted resume point.
+func RemoveCheckpoint(path string) {
+	os.Remove(path + ".partial")
+	os.Remove(path + ".manifest")
+	os.Remove(path + ".manifest.tmp")
+}
+
+// HasCheckpoint reports whether a resumable checkpoint (manifest +
+// partial file) exists next to path.
+func HasCheckpoint(path string) bool {
+	if _, err := os.Stat(path + ".manifest"); err != nil {
+		return false
+	}
+	_, err := os.Stat(path + ".partial")
+	return err == nil
 }

@@ -203,7 +203,7 @@ func TestSpanReadRejectsCorruptHeader(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tileOff := 24 + 9*16 // header + 3x3 index
+	tileOff := 24 + 9*24 // header + 3x3 v2 index
 	buf[tileOff] = 0x42  // tile (0,0) magic byte
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		t.Fatal(err)

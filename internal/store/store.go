@@ -9,12 +9,28 @@
 // serving half of the pipeline. Layout (little-endian):
 //
 //	[0:8]    magic "APSPTDS1"
-//	[8:12]   uint32 format version (1)
+//	[8:12]   uint32 format version (2; version-1 files still open)
 //	[12:16]  uint32 n (vertices per side)
 //	[16:20]  uint32 b (tile edge; trailing tiles are ragged)
 //	[20:24]  uint32 q = ceil(n/b) (tiles per side, redundant, validated)
-//	[24:...] q*q index entries {uint64 offset, uint64 length}, row-major
+//	[24:...] q*q index entries, row-major:
+//	           v2: {uint64 offset, uint64 length, uint32 crc32c, uint32 0}
+//	           v1: {uint64 offset, uint64 length}
 //	[...]    tile payloads: matrix.Block.Marshal bytes, h x w dense tiles
+//
+// Version 2 carries a CRC32C (Castagnoli) checksum of every tile's
+// marshalled bytes in its index entry. The checksum is verified on every
+// cold read — both the whole-tile path and the first row-span touch of a
+// tile — so a flipped bit on disk surfaces as ErrCorruptTile instead of a
+// silently wrong distance. A tile that fails its checksum is quarantined:
+// later reads fail fast without re-reading the disk, and the quarantine
+// count is surfaced for health reporting (a serving layer can degrade or
+// recompute instead of serving garbage). Version-1 stores open and serve
+// exactly as before, with no checksum protection.
+//
+// Disk reads can also be retried: Options.ReadRetries grants a bounded
+// retry budget with exponential backoff for transient I/O errors (a
+// checksum mismatch is not transient and is never retried).
 //
 // The read path is built for concurrent serving:
 //
@@ -43,27 +59,56 @@ import (
 	"container/list"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"apspark/internal/matrix"
 )
 
 const (
-	magic       = "APSPTDS1"
-	version     = 1
-	fileHdrLen  = 24
-	idxEntryLen = 16
+	magic      = "APSPTDS1"
+	version    = 2 // written by this build
+	versionV1  = 1 // still readable: no per-tile checksums
+	fileHdrLen = 24
+
+	idxEntryLenV1 = 16
+	idxEntryLenV2 = 24
 
 	// maxShards bounds the lock striping of either cache. Shard count is
 	// chosen per cache so every shard can hold at least two of its
 	// largest items; tiny budgets degenerate to one shard, which behaves
 	// exactly like a single global LRU.
 	maxShards = 16
+)
+
+// castagnoli is the CRC32C table shared by writers and readers; hardware
+// CRC32C instructions make the checksum a negligible fraction of tile IO.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed errors for the failure modes an operator must tell apart: a file
+// that is not a store at all, a store from a future format, a malformed
+// or truncated store, and a store whose bytes rotted after it was
+// written. All Open and read errors wrap one of these (errors.Is).
+var (
+	// ErrNotAStore means the file does not begin with the store magic.
+	ErrNotAStore = errors.New("store: not a tiled distance store")
+	// ErrVersion means the format version is one this build cannot read.
+	ErrVersion = errors.New("store: unsupported format version")
+	// ErrMalformed means the header, index or file size are inconsistent:
+	// the file is recognizably a store but cannot be trusted.
+	ErrMalformed = errors.New("store: malformed store file")
+	// ErrCorruptTile means a tile's bytes failed their CRC32C checksum
+	// (or decoded to the wrong shape). The tile is quarantined: the store
+	// will not serve data from it again, and Quarantined() counts it so a
+	// serving layer can report degraded health or recompute the rows.
+	ErrCorruptTile = errors.New("store: corrupt tile")
 )
 
 // Write cuts the dense n x n distance matrix into blockSize-edged tiles
@@ -99,7 +144,7 @@ func Write(path string, dist *matrix.Block, blockSize int) error {
 	// before any payload is written: header + index first, tiles appended
 	// in row-major order.
 	index := make([]tileRef, q*q)
-	off := int64(fileHdrLen + q*q*idxEntryLen)
+	off := int64(fileHdrLen + q*q*idxEntryLenV2)
 	for bi := 0; bi < q; bi++ {
 		h := tileEdge(n, blockSize, bi)
 		for bj := 0; bj < q; bj++ {
@@ -116,7 +161,8 @@ func Write(path string, dist *matrix.Block, blockSize int) error {
 
 	// One pooled tile block and one marshal buffer, reused across tiles:
 	// the writer allocates O(b^2), not O(n^2). The tile never escapes, so
-	// returning it to the arena is safe.
+	// returning it to the arena is safe. Each tile's CRC32C is recorded as
+	// it streams past; the index is patched with the checksums afterwards.
 	var buf []byte
 	for bi := 0; bi < q; bi++ {
 		h := tileEdge(n, blockSize, bi)
@@ -132,6 +178,7 @@ func Write(path string, dist *matrix.Block, blockSize int) error {
 				}
 			}
 			if err == nil {
+				index[bi*q+bj].crc = crc32.Checksum(buf, castagnoli)
 				_, err = tmp.Write(buf)
 			}
 			matrix.Put(tile)
@@ -139,6 +186,9 @@ func Write(path string, dist *matrix.Block, blockSize int) error {
 				return err
 			}
 		}
+	}
+	if _, err := tmp.WriteAt(indexBytes(index), fileHdrLen); err != nil {
+		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		return err
@@ -170,6 +220,9 @@ func tileEdge(n, blockSize, k int) int {
 
 type tileRef struct {
 	off, length int64
+	// crc is the CRC32C of the tile's marshalled bytes (v2 stores; zero
+	// and unchecked for v1).
+	crc uint32
 }
 
 // ShardStat is the per-shard slice of a cache-stats snapshot, surfaced in
@@ -225,6 +278,15 @@ type Options struct {
 	// Shards forces the lock-stripe count of both caches (rounded down
 	// to a power of two, capped). 0 picks automatically from the budgets.
 	Shards int
+	// ReadRetries is the bounded retry budget for transient disk-read
+	// errors: a failing ReadAt is retried up to this many extra times
+	// with exponential backoff before the error surfaces. 0 disables
+	// retries. Checksum mismatches are never retried (bit rot is not
+	// transient); they quarantine the tile instead.
+	ReadRetries int
+	// RetryBackoff is the initial backoff between read retries, doubling
+	// each attempt (default 2ms when ReadRetries > 0).
+	RetryBackoff time.Duration
 }
 
 // flight is one in-progress tile read or row assembly that concurrent
@@ -322,8 +384,10 @@ func (sh *shard) stat() ShardStat {
 // for concurrent use; tiles and row views handed out are shared and must
 // be treated as read-only.
 type Store struct {
-	f         *os.File
+	r         io.ReaderAt
+	closer    io.Closer // closed by Close when the store owns the file
 	n, b, q   int
+	ver       int
 	index     []tileRef
 	fileBytes int64
 
@@ -335,11 +399,22 @@ type Store struct {
 	rowShards []*shard
 	rowMask   int
 
-	// hdrOK memoizes per-tile header validation for the row-span read
-	// path: the first span read of a tile checks the 9-byte Marshal
-	// header at its indexed offset, later reads trust the cached verdict.
+	// hdrOK memoizes per-tile integrity validation for the row-span read
+	// path: the first span read of a tile checks the whole tile (CRC32C
+	// on v2, the 9-byte Marshal header on v1) and later reads trust the
+	// cached verdict.
 	hdrOK     []atomic.Bool
 	spanReads atomic.Int64
+
+	// quar flags tiles whose bytes failed their checksum (or decoded to
+	// the wrong shape): reads of a quarantined tile fail fast with
+	// ErrCorruptTile and never touch the disk again.
+	quar      []atomic.Bool
+	quarCount atomic.Int64
+
+	readRetries  int
+	retryBackoff time.Duration
+	retriedReads atomic.Int64
 
 	// readHook, when set before concurrent use, observes every tile disk
 	// read (test seam for the singleflight coalescing tests).
@@ -375,66 +450,86 @@ func OpenWithOptions(path string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := open(f, opts)
+	st, err := f.Stat()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
+	s, err := open(f, st.Size(), opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.closer = f
 	return s, nil
 }
 
-func open(f *os.File, opts Options) (*Store, error) {
-	st, err := f.Stat()
-	if err != nil {
-		return nil, err
-	}
+// OpenReader opens a store from any io.ReaderAt of the given size — the
+// seam that lets tests (and fault-injection harnesses like
+// internal/faultfs) interpose on the store's disk reads. Close does not
+// close r; the caller owns it.
+func OpenReader(r io.ReaderAt, size int64, opts Options) (*Store, error) {
+	return open(r, size, opts)
+}
+
+func open(f io.ReaderAt, size int64, opts Options) (*Store, error) {
 	hdr := make([]byte, fileHdrLen)
-	if _, err := io.ReadFull(f, hdr); err != nil {
-		return nil, fmt.Errorf("store: header: %w", err)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("%w: header: %w", ErrMalformed, err)
 	}
 	if string(hdr[:8]) != magic {
-		return nil, fmt.Errorf("store: bad magic %q", hdr[:8])
+		return nil, fmt.Errorf("%w: bad magic %q", ErrNotAStore, hdr[:8])
 	}
-	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != version {
-		return nil, fmt.Errorf("store: format version %d, this build reads %d", v, version)
+	ver := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	idxEntryLen := int64(idxEntryLenV2)
+	switch ver {
+	case version:
+	case versionV1:
+		idxEntryLen = idxEntryLenV1
+	default:
+		return nil, fmt.Errorf("%w: version %d, this build reads %d and %d", ErrVersion, ver, versionV1, version)
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[12:16]))
 	b := int(binary.LittleEndian.Uint32(hdr[16:20]))
 	q := int(binary.LittleEndian.Uint32(hdr[20:24]))
 	if n < 1 || b < 1 || b > n {
-		return nil, fmt.Errorf("store: implausible shape n=%d b=%d", n, b)
+		return nil, fmt.Errorf("%w: implausible shape n=%d b=%d", ErrMalformed, n, b)
 	}
 	if want := (n + b - 1) / b; q != want {
-		return nil, fmt.Errorf("store: header says %d tiles/side, n=%d b=%d implies %d", q, n, b, want)
+		return nil, fmt.Errorf("%w: header says %d tiles/side, n=%d b=%d implies %d", ErrMalformed, q, n, b, want)
 	}
 	// Overflow-safe index-size check: q is up to 2^32-1 straight from the
 	// header, so q*q*idxEntryLen can wrap 64-bit int and slip past a naive
 	// file-size comparison into a panicking make(). Bound by division
 	// instead (q >= 1 here): q*q > maxEntries <=> q > maxEntries/q.
-	maxEntries := (st.Size() - fileHdrLen) / idxEntryLen
+	maxEntries := (size - fileHdrLen) / idxEntryLen
 	if maxEntries < 1 || int64(q) > maxEntries/int64(q) {
-		return nil, fmt.Errorf("store: file of %d bytes too small for %dx%d tile index", st.Size(), q, q)
+		return nil, fmt.Errorf("%w: file of %d bytes too small for %dx%d tile index", ErrMalformed, size, q, q)
 	}
-	idxBuf := make([]byte, q*q*idxEntryLen)
-	if _, err := io.ReadFull(f, idxBuf); err != nil {
-		return nil, fmt.Errorf("store: tile index: %w", err)
+	idxBuf := make([]byte, int64(q)*int64(q)*idxEntryLen)
+	if _, err := f.ReadAt(idxBuf, fileHdrLen); err != nil {
+		return nil, fmt.Errorf("%w: tile index: %w", ErrMalformed, err)
 	}
 	index := make([]tileRef, q*q)
 	for i := range index {
-		off := int64(binary.LittleEndian.Uint64(idxBuf[i*idxEntryLen:]))
-		length := int64(binary.LittleEndian.Uint64(idxBuf[i*idxEntryLen+8:]))
-		if off < fileHdrLen || length < matrix.HeaderLen || off > st.Size()-length {
-			return nil, fmt.Errorf("store: tile %d index entry (off=%d len=%d) outside file of %d bytes",
-				i, off, length, st.Size())
+		ent := idxBuf[int64(i)*idxEntryLen:]
+		off := int64(binary.LittleEndian.Uint64(ent))
+		length := int64(binary.LittleEndian.Uint64(ent[8:]))
+		if off < fileHdrLen || length < matrix.HeaderLen || off > size-length {
+			return nil, fmt.Errorf("%w: tile %d index entry (off=%d len=%d) outside file of %d bytes",
+				ErrMalformed, i, off, length, size)
 		}
 		// Tile shapes are fully determined by (n, b), so every index
 		// length is checkable up front. This is what lets the span
 		// reader trust computed intra-tile offsets.
 		bi, bj := i/q, i%q
 		if want := matrix.DenseMarshaledSize(tileEdge(n, b, bi), tileEdge(n, b, bj)); length != want {
-			return nil, fmt.Errorf("store: tile %d index length %d, geometry implies %d", i, length, want)
+			return nil, fmt.Errorf("%w: tile %d index length %d, geometry implies %d", ErrMalformed, i, length, want)
 		}
 		index[i] = tileRef{off: off, length: length}
+		if ver >= version {
+			index[i].crc = binary.LittleEndian.Uint32(ent[16:])
+		}
 	}
 	if opts.TileCacheBytes < 0 {
 		opts.TileCacheBytes = 0
@@ -454,20 +549,31 @@ func open(f *os.File, opts Options) (*Store, error) {
 		tileShards = fitShards(clampShards(opts.Shards), opts.TileCacheBytes, maxTile)
 		rowShards = fitShards(clampShards(opts.Shards), opts.RowCacheBytes, rowBytes)
 	}
+	if opts.ReadRetries < 0 {
+		opts.ReadRetries = 0
+	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 2 * time.Millisecond
+	}
 	s := &Store{
-		f: f, n: n, b: b, q: q, index: index, fileBytes: st.Size(),
-		tileBudget: opts.TileCacheBytes,
-		tileShards: newShards(opts.TileCacheBytes, tileShards),
-		tileMask:   tileShards - 1,
-		rowBudget:  opts.RowCacheBytes,
-		rowShards:  newShards(opts.RowCacheBytes, rowShards),
-		rowMask:    rowShards - 1,
-		hdrOK:      make([]atomic.Bool, q*q),
+		r: f, n: n, b: b, q: q, ver: ver, index: index, fileBytes: size,
+		tileBudget:   opts.TileCacheBytes,
+		tileShards:   newShards(opts.TileCacheBytes, tileShards),
+		tileMask:     tileShards - 1,
+		rowBudget:    opts.RowCacheBytes,
+		rowShards:    newShards(opts.RowCacheBytes, rowShards),
+		rowMask:      rowShards - 1,
+		hdrOK:        make([]atomic.Bool, q*q),
+		quar:         make([]atomic.Bool, q*q),
+		readRetries:  opts.ReadRetries,
+		retryBackoff: backoff,
 	}
 	return s, nil
 }
 
-// Close releases the file handle and drops both caches.
+// Close releases the file handle (when the store owns one) and drops both
+// caches.
 func (s *Store) Close() error {
 	for _, sh := range append(append([]*shard(nil), s.tileShards...), s.rowShards...) {
 		sh.mu.Lock()
@@ -476,7 +582,10 @@ func (s *Store) Close() error {
 		sh.inUse = 0
 		sh.mu.Unlock()
 	}
-	return s.f.Close()
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
 }
 
 // N returns the number of vertices.
@@ -490,6 +599,53 @@ func (s *Store) TilesPerSide() int { return s.q }
 
 // FileBytes returns the on-disk size of the store.
 func (s *Store) FileBytes() int64 { return s.fileBytes }
+
+// Version returns the on-disk format version (2 carries per-tile
+// checksums; 1 predates them).
+func (s *Store) Version() int { return s.ver }
+
+// Checksummed reports whether the store's tiles carry CRC32C checksums
+// (format v2).
+func (s *Store) Checksummed() bool { return s.ver >= version }
+
+// Quarantined returns the number of tiles quarantined for failing their
+// checksum (or decoding to the wrong shape). A nonzero count means some
+// distances cannot be served from this store; serving layers should
+// report degraded health and recompute or refuse those rows.
+func (s *Store) Quarantined() int { return int(s.quarCount.Load()) }
+
+// RetriedReads returns how many disk-read retries the transient-fault
+// budget (Options.ReadRetries) has consumed so far.
+func (s *Store) RetriedReads() int64 { return s.retriedReads.Load() }
+
+// readAt reads len(p) bytes at off, retrying transient failures within
+// the configured budget with exponential backoff. The retry counter is
+// global, not per call: it is a health signal ("this disk is flaky"), so
+// it must survive individual successes.
+func (s *Store) readAt(p []byte, off int64) error {
+	backoff := s.retryBackoff
+	for attempt := 0; ; attempt++ {
+		_, err := s.r.ReadAt(p, off)
+		if err == nil {
+			return nil
+		}
+		if attempt >= s.readRetries {
+			return err
+		}
+		s.retriedReads.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// quarantine flags tile id as corrupt (idempotently) and returns the
+// typed error every later read of it will fail fast with.
+func (s *Store) quarantine(id, bi, bj int, detail error) error {
+	if !s.quar[id].Swap(true) {
+		s.quarCount.Add(1)
+	}
+	return fmt.Errorf("%w: tile (%d,%d): %v", ErrCorruptTile, bi, bj, detail)
+}
 
 // Stats snapshots the tile-cache counters, aggregated across shards.
 func (s *Store) Stats() CacheStats {
@@ -638,42 +794,54 @@ func waitFlight(ctx context.Context, fl *flight) (*matrix.Block, error) {
 	return fl.tile, fl.err
 }
 
-// readTile fetches and decodes one tile from disk, validating its shape
-// against the geometry the header promised. The staging buffer is pooled;
-// Unmarshal copies the floats out, so the decoded block owns fresh heap
-// memory (it must: cached tiles are shared indefinitely).
+// readTile fetches and decodes one tile from disk, verifying its CRC32C
+// (v2 stores) and validating its shape against the geometry the header
+// promised. The staging buffer is pooled; Unmarshal copies the floats
+// out, so the decoded block owns fresh heap memory (it must: cached
+// tiles are shared indefinitely).
 func (s *Store) readTile(bi, bj, id int) (*matrix.Block, error) {
+	if s.quar[id].Load() {
+		return nil, fmt.Errorf("%w: tile (%d,%d) is quarantined", ErrCorruptTile, bi, bj)
+	}
 	if s.readHook != nil {
 		s.readHook(bi, bj)
 	}
 	ref := s.index[id]
 	bp := getIOBuf(int(ref.length))
 	defer ioBufPool.Put(bp)
-	if _, err := s.f.ReadAt(*bp, ref.off); err != nil {
+	if err := s.readAt(*bp, ref.off); err != nil {
 		return nil, fmt.Errorf("store: tile (%d,%d): %w", bi, bj, err)
+	}
+	if s.ver >= version {
+		if got := crc32.Checksum(*bp, castagnoli); got != ref.crc {
+			return nil, s.quarantine(id, bi, bj,
+				fmt.Errorf("checksum %08x, index says %08x", got, ref.crc))
+		}
 	}
 	blk, err := matrix.Unmarshal(*bp)
 	if err != nil {
-		return nil, fmt.Errorf("store: tile (%d,%d): %w", bi, bj, err)
+		return nil, s.quarantine(id, bi, bj, err)
 	}
 	h, w := tileEdge(s.n, s.b, bi), tileEdge(s.n, s.b, bj)
 	if blk.Phantom() || blk.R != h || blk.C != w {
-		return nil, fmt.Errorf("store: tile (%d,%d) decoded as %dx%d phantom=%v, want dense %dx%d",
-			bi, bj, blk.R, blk.C, blk.Phantom(), h, w)
+		return nil, s.quarantine(id, bi, bj,
+			fmt.Errorf("decoded as %dx%d phantom=%v, want dense %dx%d", blk.R, blk.C, blk.Phantom(), h, w))
 	}
 	s.hdrOK[id].Store(true)
 	return blk, nil
 }
 
-// ensureTileHeader validates the 9-byte Marshal header of a tile once,
-// memoizing the verdict, so span reads trust computed payload offsets
-// without re-reading headers on every query.
+// ensureTileHeader validates the 9-byte Marshal header of a v1 tile
+// once, memoizing the verdict, so span reads trust computed payload
+// offsets without re-reading headers on every query. (v2 tiles take the
+// verified full-read path in readRowSpan instead and never get here
+// cold.)
 func (s *Store) ensureTileHeader(id, bi, bj int) error {
 	if s.hdrOK[id].Load() {
 		return nil
 	}
 	var hdr [matrix.HeaderLen]byte
-	if _, err := s.f.ReadAt(hdr[:], s.index[id].off); err != nil {
+	if err := s.readAt(hdr[:], s.index[id].off); err != nil {
 		return fmt.Errorf("store: tile (%d,%d) header: %w", bi, bj, err)
 	}
 	h, w := tileEdge(s.n, s.b, bi), tileEdge(s.n, s.b, bj)
@@ -687,12 +855,22 @@ func (s *Store) ensureTileHeader(id, bi, bj int) error {
 // readRowSpan reads row r of tile (bi, bj) straight from its computed
 // file offset into seg (len = tile width), bypassing tile decode: q such
 // spans assemble a full matrix row with q small preads instead of q full
-// tile reads.
+// tile reads. On a v2 store the first span touch of a tile reads the
+// whole tile instead and verifies its CRC32C — one read that both proves
+// integrity and serves the span — so every byte the span path ever
+// serves was checksum-covered at least once since open; later touches do
+// the small pread and trust the memoized verdict.
 func (s *Store) readRowSpan(bi, bj, r int, seg []float64) error {
+	id := bi*s.q + bj
+	if s.quar[id].Load() {
+		return fmt.Errorf("%w: tile (%d,%d) is quarantined", ErrCorruptTile, bi, bj)
+	}
+	if s.ver >= version && !s.hdrOK[id].Load() {
+		return s.readRowSpanVerified(bi, bj, id, r, seg)
+	}
 	if s.readHook != nil {
 		s.readHook(bi, bj)
 	}
-	id := bi*s.q + bj
 	if err := s.ensureTileHeader(id, bi, bj); err != nil {
 		return err
 	}
@@ -700,10 +878,40 @@ func (s *Store) readRowSpan(bi, bj, r int, seg []float64) error {
 	off := s.index[id].off + matrix.HeaderLen + int64(r)*int64(w)*8
 	bp := getIOBuf(w * 8)
 	defer ioBufPool.Put(bp)
-	if _, err := s.f.ReadAt(*bp, off); err != nil {
+	if err := s.readAt(*bp, off); err != nil {
 		return fmt.Errorf("store: tile (%d,%d) row %d: %w", bi, bj, r, err)
 	}
 	buf := *bp
+	for t := 0; t < w; t++ {
+		seg[t] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*t:]))
+	}
+	s.spanReads.Add(1)
+	return nil
+}
+
+// readRowSpanVerified is the cold-tile span path of a v2 store: one
+// full-tile read whose bytes are CRC32C-checked and header-validated
+// before the requested row segment is copied out, memoized in hdrOK.
+func (s *Store) readRowSpanVerified(bi, bj, id, r int, seg []float64) error {
+	if s.readHook != nil {
+		s.readHook(bi, bj)
+	}
+	ref := s.index[id]
+	bp := getIOBuf(int(ref.length))
+	defer ioBufPool.Put(bp)
+	if err := s.readAt(*bp, ref.off); err != nil {
+		return fmt.Errorf("store: tile (%d,%d): %w", bi, bj, err)
+	}
+	if got := crc32.Checksum(*bp, castagnoli); got != ref.crc {
+		return s.quarantine(id, bi, bj,
+			fmt.Errorf("checksum %08x, index says %08x", got, ref.crc))
+	}
+	h, w := tileEdge(s.n, s.b, bi), tileEdge(s.n, s.b, bj)
+	if err := matrix.ValidateDenseHeader((*bp)[:matrix.HeaderLen], h, w); err != nil {
+		return s.quarantine(id, bi, bj, err)
+	}
+	s.hdrOK[id].Store(true)
+	buf := (*bp)[matrix.HeaderLen+r*w*8:]
 	for t := 0; t < w; t++ {
 		seg[t] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*t:]))
 	}

@@ -258,7 +258,7 @@ func TestCorruptTilePayload(t *testing.T) {
 		t.Fatal(err)
 	}
 	// First tile starts right after header+index; smash its magic byte.
-	tileOff := 24 + 9*16
+	tileOff := 24 + 9*24 // header + 3x3 v2 index
 	buf[tileOff] = 0x42
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		t.Fatal(err)

@@ -46,6 +46,7 @@ type jobSettings struct {
 	maxUnits     int
 	verify       bool
 	trace        bool
+	resume       bool
 	progress     func(StageEvent)
 }
 
@@ -204,6 +205,24 @@ func WithVerify(on bool) SharedOption {
 func WithTrace(on bool) SharedOption {
 	return settingsOption(func(j *jobSettings) error {
 		j.trace = on
+		return nil
+	})
+}
+
+// WithResume makes SolveToStore with a host-native solver pick up the
+// checkpoint a killed or cancelled streamed solve left behind (the
+// .partial and .manifest files next to the store path): the solve
+// restarts from the last durable panel, re-solving only the unfinished
+// source rows, and the finished store is byte-identical to an
+// uninterrupted run. When no checkpoint exists the solve simply starts
+// from scratch. Checkpointing itself is always on for streamed host
+// solves; WithResume only controls whether an existing checkpoint is
+// honored (off, the default, starts over and overwrites it). Solve and
+// the virtual-cluster solvers reject it: they have no durable partial
+// state to resume from.
+func WithResume(on bool) SharedOption {
+	return settingsOption(func(j *jobSettings) error {
+		j.resume = on
 		return nil
 	})
 }

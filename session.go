@@ -115,6 +115,9 @@ func (s *Session) run(ctx context.Context, g *Graph, n int, job jobSettings) (*R
 		}
 		return s.runHost(ctx, g, job, "")
 	}
+	if job.resume {
+		return nil, fmt.Errorf("apspark: WithResume needs the streamed store checkpoint of a host-native solver; %q has no durable partial state", job.solver)
+	}
 	solver, err := core.SolverByName(string(job.solver))
 	if err != nil {
 		return nil, err
@@ -172,7 +175,10 @@ func (s *Session) run(ctx context.Context, g *Graph, n int, job jobSettings) (*R
 		return out, solveErr
 	}
 	if job.verify && g != nil && res.Dist != nil {
-		want := seq.FloydWarshall(g)
+		want, err := seq.FloydWarshall(g)
+		if err != nil {
+			return nil, fmt.Errorf("apspark: verify reference: %w", err)
+		}
 		if !res.Dist.AllClose(want, 1e-9) {
 			return nil, fmt.Errorf("apspark: %s result diverges from sequential Floyd-Warshall", solver.Name())
 		}

@@ -50,11 +50,16 @@ func IsHostSolver(name SolverKind) bool {
 // to solve graphs whose distance matrix exceeds RAM. Virtual-cluster
 // solvers fall back to a full in-memory solve followed by a store write.
 // The store appears at path only when the whole solve succeeds; a
-// cancelled ctx leaves no file behind and returns the partial Result
-// alongside ctx.Err(). Dist on the returned Result is nil for streamed
-// solves (use OpenStore to query), and WithVerify is rejected there —
-// a streamed solve keeps no matrix to cross-check; the cluster fallback
-// materializes the matrix and honors WithVerify like Solve does.
+// cancelled or killed streamed solve leaves no store at path, but does
+// leave its checkpoint (path+".partial" and path+".manifest", durable
+// after every panel), so a later call with WithResume restarts from the
+// last completed panel and re-solves only the unfinished source rows —
+// the finished store is byte-identical to an uninterrupted run either
+// way (Result.UnitsSkipped counts the rows the resume skipped). Dist on
+// the returned Result is nil for streamed solves (use OpenStore to
+// query), and WithVerify is rejected there — a streamed solve keeps no
+// matrix to cross-check; the cluster fallback materializes the matrix
+// and honors WithVerify like Solve does.
 func (s *Session) SolveToStore(ctx context.Context, g *Graph, path string, opts ...SolveOption) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("apspark: SolveToStore with nil graph")
@@ -130,6 +135,9 @@ func (s *Session) runHost(ctx context.Context, g *Graph, job jobSettings, storeP
 	}
 
 	if storePath == "" {
+		if job.resume {
+			return nil, fmt.Errorf("apspark: WithResume resumes a streamed store solve; an in-memory solve has no checkpoint (use SolveToStore)")
+		}
 		dist, done, err := eng.Solve(ctx, b, sopts)
 		if err != nil {
 			return finish(done, err)
@@ -139,7 +147,10 @@ func (s *Session) runHost(ctx context.Context, g *Graph, job jobSettings, storeP
 		// Verify after the final progress event, mirroring the cluster
 		// path (FinishProgress precedes its verify check too).
 		if job.verify {
-			want := seq.FloydWarshall(g)
+			want, err := seq.FloydWarshall(g)
+			if err != nil {
+				return nil, fmt.Errorf("apspark: verify reference: %w", err)
+			}
 			if !dist.AllClose(want, 1e-9) {
 				return nil, fmt.Errorf("apspark: %s result diverges from sequential Floyd-Warshall", res.Solver)
 			}
@@ -153,11 +164,26 @@ func (s *Session) runHost(ctx context.Context, g *Graph, job jobSettings, storeP
 	if n == 0 {
 		return nil, fmt.Errorf("apspark: cannot store an empty graph")
 	}
-	pw, err := store.NewPanelWriter(storePath, n, b)
+	// Streamed solves always checkpoint: each panel is fsync'd and recorded
+	// in a sidecar manifest before the next is solved, so a crash (or the
+	// deferred Abort on cancellation) leaves a resumable partial store
+	// rather than nothing. WithResume picks such a checkpoint up,
+	// re-solving only the panels past the last durable one.
+	pw, err := store.NewPanelWriterWithOptions(storePath, n, b, store.PanelWriterOptions{
+		Checkpoint: true,
+		Resume:     job.resume,
+	})
 	if err != nil {
 		return nil, err
 	}
 	defer pw.Abort()
+	if skipped := pw.Resumed() * pw.BlockSize(); skipped > 0 {
+		if skipped > n {
+			skipped = n
+		}
+		res.UnitsSkipped = skipped
+		sopts.FirstPanel = pw.Resumed()
+	}
 	done, err := eng.SolvePanels(ctx, b, sopts, func(_ int, panel *Matrix) error {
 		return pw.WritePanel(panel)
 	})

@@ -9,7 +9,6 @@ import (
 	"testing"
 
 	"apspark/internal/graph"
-	"apspark/internal/seq"
 )
 
 // hostTestGraph is a connected sparse ER graph with integer weights:
@@ -46,7 +45,7 @@ func TestHostSolverMatchesClusterSolvers(t *testing.T) {
 	if res.VirtualSeconds != 0 {
 		t.Fatalf("host solve charged %v virtual seconds", res.VirtualSeconds)
 	}
-	want := seq.FloydWarshall(g)
+	want := mustFW(t, g)
 	if !res.Dist.Equal(want) {
 		t.Fatal("dij diverges from sequential Floyd-Warshall")
 	}

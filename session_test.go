@@ -55,7 +55,7 @@ func TestSessionCancelMidSolve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := SequentialAPSP(g)
+	want := mustFW(t, g)
 	for _, k := range []SolverKind{SolverRS, SolverFW2D, SolverIM, SolverCB} {
 		k := k
 		t.Run(string(k), func(t *testing.T) {
