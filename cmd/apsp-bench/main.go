@@ -91,6 +91,14 @@ type serveQueryResult struct {
 	NsPerOp        int64   `json:"wall_ns_per_op"`
 	AllocsPerOp    int64   `json:"allocs_per_op"`
 	QPS            float64 `json:"queries_per_sec"`
+	// Latency percentiles over the individual operations of the final
+	// (largest b.N) benchmark run, from an obs histogram recorded around
+	// each op; for batch entries they are divided by the batch size, like
+	// NsPerOp. The mean (NsPerOp) hides tail stalls — a row-cache miss
+	// storm or a GC pause shows up here first.
+	P50Ns  int64 `json:"p50_ns,omitempty"`
+	P99Ns  int64 `json:"p99_ns,omitempty"`
+	P999Ns int64 `json:"p999_ns,omitempty"`
 }
 
 // report aggregates everything a run produced.

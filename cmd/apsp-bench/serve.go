@@ -12,9 +12,11 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"apspark/internal/bench"
 	"apspark/internal/costmodel"
+	"apspark/internal/obs"
 	"apspark/internal/serve"
 )
 
@@ -52,12 +54,18 @@ func serveQueries(_ costmodel.KernelModel, quick bool, rep *report) error {
 	small := int64(n) * int64(n)     // dense matrix bytes / 8, the old store-target budget
 	dense := 8 * int64(n) * int64(n) // everything fits
 
-	add := func(name string, tileC, rowC int64, clients, batch int, r testing.BenchmarkResult) {
+	add := func(name string, tileC, rowC int64, clients, batch int, r testing.BenchmarkResult, lat obs.Distribution) {
 		perOp := r.NsPerOp()
 		allocs := r.AllocsPerOp()
+		p50, p99, p999 := lat.Quantile(0.5), lat.Quantile(0.99), lat.Quantile(0.999)
 		if batch > 1 {
 			perOp /= int64(batch)
 			allocs /= int64(batch)
+			// Percentiles are measured around the whole batched op; report
+			// them per query like NsPerOp so entries stay comparable.
+			p50 /= int64(batch)
+			p99 /= int64(batch)
+			p999 /= int64(batch)
 		}
 		qps := 0.0
 		if perOp > 0 {
@@ -68,15 +76,25 @@ func serveQueries(_ costmodel.KernelModel, quick bool, rep *report) error {
 			TileCacheBytes: tileC, RowCacheBytes: rowC,
 			Clients: clients, Batch: batch,
 			NsPerOp: perOp, AllocsPerOp: allocs, QPS: qps,
+			P50Ns: p50, P99Ns: p99, P999Ns: p999,
 		})
-		fmt.Printf("  %-10s %10d ns/op %6d allocs/op %12.0f queries/sec\n", name, perOp, allocs, qps)
+		fmt.Printf("  %-10s %10d ns/op %6d allocs/op %12.0f queries/sec  p50 %d p99 %d p999 %d ns\n",
+			name, perOp, allocs, qps, p50, p99, p999)
 	}
-	measure := func(query func() error) (testing.BenchmarkResult, error) {
+	// measure wraps each op with an obs histogram record; the returned
+	// distribution covers the final (largest b.N) benchmark run, whose
+	// per-op timings dominate the reported mean anyway.
+	measure := func(query func() error) (testing.BenchmarkResult, obs.Distribution, error) {
 		var failed error
+		var lat obs.Distribution
 		r := testing.Benchmark(func(b *testing.B) {
+			h := obs.NewHistogram()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if err := query(); err != nil {
+				opStart := time.Now()
+				err := query()
+				h.RecordSince(opStart)
+				if err != nil {
 					failed = err
 					// b.Fatal logs through machinery a detached
 					// testing.Benchmark B does not have; FailNow just
@@ -84,8 +102,10 @@ func serveQueries(_ costmodel.KernelModel, quick bool, rep *report) error {
 					b.FailNow()
 				}
 			}
+			b.StopTimer()
+			lat = h.Snapshot()
 		})
-		return r, failed
+		return r, lat, failed
 	}
 	ctx := context.Background()
 
@@ -101,31 +121,31 @@ func serveQueries(_ costmodel.KernelModel, quick bool, rep *report) error {
 	knnBuf := make([]serve.Target, 0, 16)
 	hopsBuf := make([]int, 0, 64)
 	runSet := func(eng *serve.Engine, tileC, rowC int64, suffix string, pick func() int) error {
-		r, err := measure(func() error {
+		r, lat, err := measure(func() error {
 			_, err := eng.Dist(ctx, pick(), pick())
 			return err
 		})
 		if err != nil {
 			return err
 		}
-		add("dist"+suffix, tileC, rowC, 0, 0, r)
-		if r, err = measure(func() error {
+		add("dist"+suffix, tileC, rowC, 0, 0, r, lat)
+		if r, lat, err = measure(func() error {
 			var err error
 			rowBuf, err = eng.RowInto(ctx, pick(), rowBuf)
 			return err
 		}); err != nil {
 			return err
 		}
-		add("row"+suffix, tileC, rowC, 0, 0, r)
-		if r, err = measure(func() error {
+		add("row"+suffix, tileC, rowC, 0, 0, r, lat)
+		if r, lat, err = measure(func() error {
 			var err error
 			knnBuf, err = eng.KNNInto(ctx, pick(), 10, knnBuf)
 			return err
 		}); err != nil {
 			return err
 		}
-		add("knn"+suffix, tileC, rowC, 0, 0, r)
-		if r, err = measure(func() error {
+		add("knn"+suffix, tileC, rowC, 0, 0, r, lat)
+		if r, lat, err = measure(func() error {
 			p, err := eng.PathInto(ctx, pick(), pick(), hopsBuf)
 			if err == serve.ErrNoPath {
 				err = nil // disconnected pair: still a served query
@@ -137,7 +157,7 @@ func serveQueries(_ costmodel.KernelModel, quick bool, rep *report) error {
 		}); err != nil {
 			return err
 		}
-		add("path"+suffix, tileC, rowC, 0, 0, r)
+		add("path"+suffix, tileC, rowC, 0, 0, r, lat)
 		return nil
 	}
 	if err := runSet(eng, small, small, "", func() int { return rng.Intn(n) }); err != nil {
@@ -186,7 +206,12 @@ func serveQueries(_ costmodel.KernelModel, quick bool, rep *report) error {
 		}
 		concMu.Unlock()
 	}
+	var concLat obs.Distribution
 	rc := testing.Benchmark(func(b *testing.B) {
+		// One shared lock-free histogram per run; every client records
+		// into it concurrently, so the percentiles cover the real mixed
+		// contention, not a single client in isolation.
+		h := obs.NewHistogram()
 		b.ReportAllocs()
 		b.SetParallelism(clients)
 		b.RunParallel(func(pb *testing.PB) {
@@ -199,6 +224,7 @@ func serveQueries(_ costmodel.KernelModel, quick bool, rep *report) error {
 				it++
 				i := hot[lrng.Intn(len(hot))]
 				var err error
+				opStart := time.Now()
 				switch it % 4 {
 				case 0:
 					_, err = eng2.Dist(ctx, i, lrng.Intn(n))
@@ -216,17 +242,20 @@ func serveQueries(_ costmodel.KernelModel, quick bool, rep *report) error {
 						lhops = p.Hops[:0]
 					}
 				}
+				h.RecordSince(opStart)
 				if err != nil {
 					setConcErr(err)
 					b.FailNow()
 				}
 			}
 		})
+		b.StopTimer()
+		concLat = h.Snapshot()
 	})
 	if concErr != nil {
 		return concErr
 	}
-	add("mixed_conc", small, dense, clients, 0, rc)
+	add("mixed_conc", small, dense, clients, 0, rc, concLat)
 
 	// --- /batch HTTP endpoint: many queries per JSON round-trip ---
 	srv := httptest.NewServer(serve.Handler(eng2))
@@ -249,7 +278,7 @@ func serveQueries(_ costmodel.KernelModel, quick bool, rep *report) error {
 	}
 	client := srv.Client()
 	fmt.Printf("/batch endpoint (%d queries per request):\n", batchN)
-	rb, err := measure(func() error {
+	rb, blat, err := measure(func() error {
 		resp, err := client.Post(srv.URL+"/batch", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return err
@@ -264,6 +293,6 @@ func serveQueries(_ costmodel.KernelModel, quick bool, rep *report) error {
 	if err != nil {
 		return err
 	}
-	add("batch_http", small, dense, 1, batchN, rb)
+	add("batch_http", small, dense, 1, batchN, rb, blat)
 	return nil
 }

@@ -13,6 +13,7 @@
 //	curl 'localhost:8080/knn?from=0&k=5'
 //	curl 'localhost:8080/path?from=0&to=100'   # needs -graph
 //	curl 'localhost:8080/healthz'
+//	curl 'localhost:8080/metrics'              # Prometheus text format
 //	curl -d '{"dist":[{"from":0,"to":100}],"knn":[{"from":0,"k":5}]}' \
 //	     'localhost:8080/batch'                # many queries, one round-trip
 //
@@ -39,9 +40,23 @@
 // the store. /healthz reports ok or degraded (quarantined tiles exist)
 // plus the retry/quarantine/recompute counters.
 //
+// Observability is on by default: /metrics (same listener; disable with
+// -metrics=false) exposes per-endpoint request counts, latency
+// summaries (p50/p99/p999), response bytes, in-flight, admission sheds,
+// store cache hit/miss/eviction counters, recompute fallbacks, and
+// process gauges. Logs are structured (log/slog); -log-format picks
+// text or json and -access-log adds one line per request with status,
+// bytes and latency — recorded for every outcome, including 429/504
+// sheds and recovered panics. /healthz and /metrics bypass admission
+// control, so probes and scrapes see past the overload they detect.
+//
 // -pprof exposes net/http/pprof on a separate listener (opt-in), so
 // serving hot spots are profilable in production without exposing the
-// profiler on the query port.
+// profiler on the query port. A pprof listener that cannot bind is a
+// startup error, not a background warning: the process exits non-zero
+// rather than running silently unprofilable. While -pprof is active,
+// each request's goroutine carries pprof labels (endpoint, shard) so
+// profiles attribute samples to the endpoint that burned them.
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes,
 // in-flight requests get -drain-timeout to finish (their reads are
@@ -53,14 +68,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"apspark/internal/graph"
+	"apspark/internal/obs"
 	"apspark/internal/serve"
 	"apspark/internal/store"
 )
@@ -80,24 +99,73 @@ func main() {
 		maxBody     = flag.Int64("max-body", 1<<20, "max request body bytes")
 		readRetries = flag.Int("read-retries", 2, "retry budget for transient store read faults (0 = fail on first error)")
 		retryWait   = flag.Duration("retry-backoff", 2*time.Millisecond, "initial backoff between store read retries, doubling each attempt")
+
+		metricsOn = flag.Bool("metrics", true, "expose Prometheus metrics at /metrics on the query listener")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		accessLog = flag.Bool("access-log", false, "log one structured line per request (method, path, status, bytes, latency)")
+		shard     = flag.String("shard", "", "shard identity for logs and pprof labels (default: store file basename)")
 	)
 	flag.Parse()
 
+	if err := obs.SetupLogging(*logFormat, *logLevel, os.Stderr); err != nil {
+		fatal(err)
+	}
 	if *storePath == "" {
 		fatal(fmt.Errorf("missing -store (write one with: apsp -n ... -store dist.apsp)"))
+	}
+	if *shard == "" {
+		*shard = filepath.Base(*storePath)
+	}
+
+	// A pprof listener that cannot bind must fail the start, not log a
+	// line into the void from a goroutine: bind synchronously, serve
+	// asynchronously.
+	var pprofLn net.Listener
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("pprof listener failed to bind %s: %w", *pprofAddr, err))
+		}
+		pprofLn = ln
+		slog.Info("pprof listening", "url", fmt.Sprintf("http://%s/debug/pprof/", ln.Addr()))
+		go func() {
+			if err := http.Serve(ln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				slog.Error("pprof server failed", "addr", *pprofAddr, "err", err)
+			}
+		}()
+		defer pprofLn.Close()
+	}
+
+	hopts := serve.HardenOptions{
+		MaxInFlight: *maxInFlight,
+		Timeout:     *reqTimeout,
+		PprofLabels: *pprofAddr != "",
+		Shard:       *shard,
+	}
+	if *metricsOn {
+		hopts.Metrics = obs.Default
+		obs.RegisterProcessMetrics(obs.Default)
+	}
+	if *accessLog {
+		hopts.AccessLog = slog.Default()
 	}
 
 	// Listener first, store second: the Gate answers "loading" on /healthz
 	// (503 elsewhere) until the store is open, so orchestrator probes see
 	// a live process during a slow cold start instead of refused
-	// connections.
+	// connections. /metrics shares the listener (and the Gate's
+	// early-availability property) but sits outside the body-size cap and
+	// the admission/timeout stack — scrapes must work under overload.
 	gate := serve.NewGate()
+	root := http.NewServeMux()
+	if *metricsOn {
+		root.Handle("GET /metrics", obs.Handler(obs.Default))
+	}
+	root.Handle("/", http.MaxBytesHandler(serve.Harden(gate, hopts), *maxBody))
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: http.MaxBytesHandler(serve.Harden(gate, serve.HardenOptions{
-			MaxInFlight: *maxInFlight,
-			Timeout:     *reqTimeout,
-		}), *maxBody),
+		Addr:              *addr,
+		Handler:           root,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -105,7 +173,7 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "apsp-serve: listening on %s (loading store)\n", *addr)
+	slog.Info("listening, loading store", "addr", *addr, "store", *storePath)
 
 	st, err := store.OpenWithOptions(*storePath, store.Options{
 		TileCacheBytes: *cacheMB << 20,
@@ -134,20 +202,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *metricsOn {
+		st.RegisterMetrics(obs.Default)
+		eng.RegisterMetrics(obs.Default)
+	}
 	gate.Ready(serve.Handler(eng))
 
-	fmt.Printf("apsp-serve: ready n=%d b=%d tiles=%dx%d file=%.1f MiB tile-cache=%d MiB row-cache=%d MiB path=%v inflight<=%d timeout=%s on %s\n",
-		st.N(), st.BlockSize(), st.TilesPerSide(), st.TilesPerSide(),
-		float64(st.FileBytes())/(1<<20), *cacheMB, *rowMB, g != nil, *maxInFlight, *reqTimeout, *addr)
-
-	if *pprofAddr != "" {
-		go func() {
-			fmt.Fprintf(os.Stderr, "apsp-serve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "apsp-serve: pprof:", err)
-			}
-		}()
-	}
+	slog.Info("ready",
+		"n", st.N(), "block", st.BlockSize(), "tiles_per_side", st.TilesPerSide(),
+		"file_mib", fmt.Sprintf("%.1f", float64(st.FileBytes())/(1<<20)),
+		"tile_cache_mib", *cacheMB, "row_cache_mib", *rowMB,
+		"path_enabled", g != nil, "max_inflight", *maxInFlight, "req_timeout", *reqTimeout,
+		"metrics", *metricsOn, "shard", *shard, "addr", *addr)
 
 	// Serve until the listener fails or a shutdown signal arrives.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -159,24 +225,24 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 		stop() // restore default signal behavior: a second ^C kills immediately
-		fmt.Fprintf(os.Stderr, "apsp-serve: shutting down (draining up to %s)\n", *drain)
+		slog.Info("shutting down", "drain_timeout", *drain)
 		sctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
-			fmt.Fprintln(os.Stderr, "apsp-serve: drain expired, closing:", err)
+			slog.Warn("drain expired, closing", "err", err)
 			srv.Close()
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "apsp-serve:", err)
+			slog.Error("listener failed", "err", err)
 		}
 		if err := st.Close(); err != nil {
 			fatal(fmt.Errorf("closing store: %w", err))
 		}
-		fmt.Fprintln(os.Stderr, "apsp-serve: bye")
+		slog.Info("bye")
 	}
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "apsp-serve:", err)
+	slog.Error(err.Error())
 	os.Exit(1)
 }

@@ -32,6 +32,7 @@ import (
 	"apspark/internal/core"
 	"apspark/internal/costmodel"
 	"apspark/internal/graph"
+	"apspark/internal/obs"
 )
 
 func main() {
@@ -52,8 +53,16 @@ func main() {
 		progress  = flag.Bool("progress", false, "stream per-unit progress to stderr while solving")
 		storeOut  = flag.String("store", "", "persist the solved distances as a tiled store file (real runs only; serve it with apsp-serve)")
 		resume    = flag.Bool("resume", false, "resume a killed/cancelled -store solve from its checkpoint (host-native solvers only)")
+
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		logLevel    = flag.String("log-level", "warn", "log level: debug, info, warn or error (debug shows solve/stage/panel spans)")
+		dumpMetrics = flag.Bool("dump-metrics", false, "print the process metric registry (Prometheus text format) to stderr after the run")
 	)
 	flag.Parse()
+
+	if err := obs.SetupLogging(*logFormat, *logLevel, os.Stderr); err != nil {
+		fatal(err)
+	}
 
 	if *solver == "help" {
 		printSolverHelp()
@@ -235,6 +244,17 @@ func main() {
 		for _, s := range tl[:k] {
 			fmt.Printf("  %-28s %5d tasks  %8.3fs makespan  (work %8.3fs)\n",
 				s.Name, s.Tasks, s.Makespan, s.ComputeSum)
+		}
+	}
+	if *dumpMetrics {
+		// The span histograms (and, for host solves, the sparse engine's
+		// telemetry) land in the default registry during the run; dump it
+		// so one-shot solves get the same numbers a served process would
+		// expose on /metrics.
+		obs.RegisterProcessMetrics(obs.Default)
+		fmt.Fprintln(os.Stderr, "# apsp: end-of-run metrics")
+		if err := obs.Default.WritePrometheus(os.Stderr); err != nil {
+			fatal(err)
 		}
 	}
 	if cancelled {

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free HDR-style (log-linear) histogram of
+// non-negative int64 samples, built for recording latencies in
+// nanoseconds on hot paths: Record is two atomic adds and a handful of
+// integer ops — no locks, no allocations, no time lookups.
+//
+// Bucketing is log-linear: values below 2^histSubBits land in exact
+// unit buckets; above that, each power-of-two range is split into
+// 2^histSubBits linear sub-buckets, bounding the relative quantile
+// error at 2^-histSubBits (~3.1%). This is the HdrHistogram layout with
+// a fixed precision, covering the full int64 range in histBuckets
+// buckets.
+//
+// The bucket array is sharded histShards ways to spread concurrent
+// recorders across cache lines. The shard is picked by mixing the
+// sample's own bits through a splitmix64 finalizer: concurrent latency
+// samples virtually never agree at nanosecond resolution, so recorders
+// land on different shards without any shared shard-picking state (a
+// round-robin counter would itself be a contended cache line, and Go
+// exposes no cheap per-CPU hint).
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+const (
+	// histSubBits is the log2 of the linear sub-bucket count per
+	// power-of-two range: 32 sub-buckets, <= ~3.1% relative error.
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits
+	histSubMask  = histSubCount - 1
+
+	// histShards spreads concurrent recorders; must be a power of two.
+	histShards = 4
+
+	// histBuckets covers the full non-negative int64 range: one linear
+	// block for values < histSubCount, then one block per exponent.
+	histBuckets = (64 - histSubBits) << histSubBits
+)
+
+// histShard keeps its own bucket array and sum so concurrent recorders
+// mostly touch distinct cache lines. Each shard is ~15 KiB, so shards
+// never share lines with each other.
+type histShard struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Int64
+}
+
+// NewHistogram returns an empty histogram (~61 KiB of buckets).
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1
+	return ((exp - histSubBits + 1) << histSubBits) | int((v>>(uint(exp)-histSubBits))&histSubMask)
+}
+
+// bucketMax returns the largest sample value mapping to bucket b — the
+// representative quantile extraction reports, so reported quantiles
+// never undershoot the true nearest-rank value.
+func bucketMax(b int) int64 {
+	if b < histSubCount {
+		return int64(b)
+	}
+	block := b >> histSubBits
+	sub := b & histSubMask
+	exp := uint(block + histSubBits - 1)
+	width := int64(1) << (exp - histSubBits)
+	lower := int64(1)<<exp + int64(sub)*width
+	return lower + width - 1
+}
+
+// shardOf picks the shard for a sample by mixing its bits
+// (splitmix64 finalizer).
+func shardOf(v uint64) int {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return int(v & (histShards - 1))
+}
+
+// Record adds one sample. Negative samples clamp to zero. Safe for
+// concurrent use; never allocates.
+func (h *Histogram) Record(v int64) {
+	u := uint64(v)
+	if v < 0 {
+		u = 0
+	}
+	s := &h.shards[shardOf(u)]
+	s.counts[bucketOf(u)].Add(1)
+	s.sum.Add(int64(u))
+}
+
+// RecordSince records the elapsed nanoseconds since start.
+func (h *Histogram) RecordSince(start time.Time) {
+	h.Record(time.Since(start).Nanoseconds())
+}
+
+// Distribution is an immutable merged snapshot of a histogram, the unit
+// of quantile extraction and cross-histogram merging.
+type Distribution struct {
+	counts []uint64
+	count  uint64
+	sum    int64
+}
+
+// Snapshot merges the shards into a consistent-enough view (each bucket
+// is loaded once; samples recorded concurrently with the snapshot may
+// or may not be included).
+func (h *Histogram) Snapshot() Distribution {
+	d := Distribution{counts: make([]uint64, histBuckets)}
+	for s := range h.shards {
+		sh := &h.shards[s]
+		d.sum += sh.sum.Load()
+		for b := range sh.counts {
+			if c := sh.counts[b].Load(); c != 0 {
+				d.counts[b] += c
+				d.count += c
+			}
+		}
+	}
+	return d
+}
+
+// Count returns the number of recorded samples.
+func (d Distribution) Count() uint64 { return d.count }
+
+// Sum returns the sum of all recorded samples.
+func (d Distribution) Sum() int64 { return d.sum }
+
+// Merge folds other into d (both must come from Snapshot).
+func (d *Distribution) Merge(other Distribution) {
+	if d.counts == nil {
+		d.counts = make([]uint64, histBuckets)
+	}
+	for b, c := range other.counts {
+		d.counts[b] += c
+	}
+	d.count += other.count
+	d.sum += other.sum
+}
+
+// Quantile returns the nearest-rank q-quantile (q in [0,1]) of the
+// recorded samples, as the upper bound of the bucket holding that rank:
+// exact for samples below 2^histSubBits, within 2^-histSubBits relative
+// error above. Returns 0 for an empty distribution.
+func (d Distribution) Quantile(q float64) int64 {
+	if d.count == 0 {
+		return 0
+	}
+	if math.IsNaN(q) {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(d.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > d.count {
+		rank = d.count
+	}
+	var cum uint64
+	for b, c := range d.counts {
+		cum += c
+		if cum >= rank {
+			return bucketMax(b)
+		}
+	}
+	// Unreachable: cum reaches d.count by construction.
+	return bucketMax(histBuckets - 1)
+}

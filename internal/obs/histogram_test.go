@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// refQuantile is the nearest-rank quantile over a sorted slice — the
+// exact reference the histogram is compared against.
+func refQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// checkQuantiles records samples into a fresh histogram and asserts
+// every extracted quantile brackets the sorted-slice reference within
+// the bucketing's guaranteed relative error (exact below 2^histSubBits,
+// <= 2^-histSubBits above).
+func checkQuantiles(t *testing.T, name string, samples []int64) {
+	t.Helper()
+	h := NewHistogram()
+	for _, v := range samples {
+		h.Record(v)
+	}
+	d := h.Snapshot()
+	if got, want := d.Count(), uint64(len(samples)); got != want {
+		t.Fatalf("%s: count = %d, want %d", name, got, want)
+	}
+	var sum int64
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, v := range sorted {
+		sum += v
+	}
+	if got := d.Sum(); got != sum {
+		t.Fatalf("%s: sum = %d, want %d", name, got, sum)
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		got := d.Quantile(q)
+		want := refQuantile(sorted, q)
+		if got < want {
+			t.Errorf("%s: q%.3f = %d undershoots reference %d", name, q, got, want)
+			continue
+		}
+		// Upper bound: bucket width at the reference value, plus one for
+		// integer rounding.
+		tol := want/histSubCount + 1
+		if got-want > tol {
+			t.Errorf("%s: q%.3f = %d exceeds reference %d by %d (tol %d)", name, q, got, want, got-want, tol)
+		}
+	}
+}
+
+func TestHistogramQuantileDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+
+	constant := make([]int64, 10000)
+	for i := range constant {
+		constant[i] = 1234567
+	}
+	checkQuantiles(t, "constant", constant)
+
+	// Bimodal: fast cache hits around 2us, slow disk reads around 8ms.
+	bimodal := make([]int64, 20000)
+	for i := range bimodal {
+		if i%10 == 0 {
+			bimodal[i] = 8_000_000 + rng.Int63n(2_000_000)
+		} else {
+			bimodal[i] = 2_000 + rng.Int63n(500)
+		}
+	}
+	checkQuantiles(t, "bimodal", bimodal)
+
+	// Heavy tail: Pareto-like, alpha ~1.2, spanning seven decades.
+	heavy := make([]int64, 50000)
+	for i := range heavy {
+		u := rng.Float64()
+		if u < 1e-9 {
+			u = 1e-9
+		}
+		v := 100 * math.Pow(u, -1/1.2)
+		if v > 1e15 {
+			v = 1e15
+		}
+		heavy[i] = int64(v)
+	}
+	checkQuantiles(t, "heavy-tail", heavy)
+
+	uniform := make([]int64, 30000)
+	for i := range uniform {
+		uniform[i] = rng.Int63n(1_000_000_000)
+	}
+	checkQuantiles(t, "uniform", uniform)
+
+	// Small values sit in exact unit buckets: quantiles must be exact.
+	small := make([]int64, 5000)
+	for i := range small {
+		small[i] = rng.Int63n(histSubCount)
+	}
+	h := NewHistogram()
+	sorted := append([]int64(nil), small...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, v := range small {
+		h.Record(v)
+	}
+	d := h.Snapshot()
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.999} {
+		if got, want := d.Quantile(q), refQuantile(sorted, q); got != want {
+			t.Errorf("small values: q%.3f = %d, want exact %d", q, got, want)
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	d := h.Snapshot()
+	if got := d.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+	h.Record(-5) // clamps to zero
+	h.Record(0)
+	h.Record(math.MaxInt64)
+	d = h.Snapshot()
+	if got := d.Count(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+	if got := d.Quantile(0); got != 0 {
+		t.Errorf("q0 = %d, want 0", got)
+	}
+	if got := d.Quantile(1); got < math.MaxInt64/2 {
+		t.Errorf("q1 = %d, want near MaxInt64", got)
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Every sample must land in a bucket whose [max-width+1, max] range
+	// contains it; spot-check across the whole dynamic range.
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 65, 1000, 1 << 20, 1<<40 + 12345, 1 << 62, math.MaxInt64} {
+		b := bucketOf(v)
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, b)
+		}
+		maxv := bucketMax(b)
+		if int64(v) > maxv {
+			t.Errorf("value %d above its bucket max %d", v, maxv)
+		}
+		if b > 0 && int64(v) <= bucketMax(b-1) {
+			t.Errorf("value %d not above previous bucket max %d", v, bucketMax(b-1))
+		}
+	}
+	// Bucket maxima must be strictly increasing.
+	prev := int64(-1)
+	for b := 0; b < histBuckets; b++ {
+		m := bucketMax(b)
+		if m <= prev {
+			t.Fatalf("bucketMax(%d) = %d not above bucketMax(%d) = %d", b, m, b-1, prev)
+		}
+		prev = m
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b := NewHistogram(), NewHistogram()
+	all := make([]int64, 0, 12000)
+	for i := 0; i < 8000; i++ {
+		v := rng.Int63n(10_000_000)
+		a.Record(v)
+		all = append(all, v)
+	}
+	for i := 0; i < 4000; i++ {
+		v := 50_000_000 + rng.Int63n(1_000_000)
+		b.Record(v)
+		all = append(all, v)
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	if got, want := merged.Count(), uint64(len(all)); got != want {
+		t.Fatalf("merged count = %d, want %d", got, want)
+	}
+	var sum int64
+	for _, v := range all {
+		sum += v
+	}
+	if got := merged.Sum(); got != sum {
+		t.Fatalf("merged sum = %d, want %d", got, sum)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got, want := merged.Quantile(q), refQuantile(all, q)
+		if got < want || got-want > want/histSubCount+1 {
+			t.Errorf("merged q%.3f = %d, reference %d", q, got, want)
+		}
+	}
+	// Merging into a zero Distribution works too.
+	var zero Distribution
+	zero.Merge(a.Snapshot())
+	if zero.Count() != 8000 {
+		t.Fatalf("merge into zero: count = %d, want 8000", zero.Count())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 20000
+	)
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.Record(rng.Int63n(1_000_000))
+			}
+		}(g)
+	}
+	wg.Wait()
+	d := h.Snapshot()
+	if got, want := d.Count(), uint64(goroutines*perG); got != want {
+		t.Fatalf("concurrent count = %d, want %d", got, want)
+	}
+	// Bucket totals and count must agree.
+	var total uint64
+	for _, c := range d.counts {
+		total += c
+	}
+	if total != d.Count() {
+		t.Fatalf("bucket total %d != count %d", total, d.Count())
+	}
+}
+
+// TestHistogramRecordAllocs pins the hot path at zero allocations.
+func TestHistogramRecordAllocs(t *testing.T) {
+	h := NewHistogram()
+	v := int64(123456)
+	if avg := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v += 917
+	}); avg != 0 {
+		t.Fatalf("Record allocates %v per op, want 0", avg)
+	}
+	start := time.Now()
+	if avg := testing.AllocsPerRun(1000, func() {
+		h.RecordSince(start)
+	}); avg != 0 {
+		t.Fatalf("RecordSince allocates %v per op, want 0", avg)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i)*31 + 1000)
+	}
+}
+
+func BenchmarkHistogramRecordParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Record(v*2654435761 + 1000)
+			v++
+		}
+	})
+}

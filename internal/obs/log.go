@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// SetupLogging installs the process-wide slog default handler writing
+// to w. format is "text" (the default, human-oriented key=value lines)
+// or "json" (one JSON object per line, for log shippers); level is
+// "debug", "info" (default), "warn" or "error". The -log-format and
+// -log-level flags on the binaries funnel here.
+func SetupLogging(format, level string, w io.Writer) error {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metricKind is the exposition type of a metric family.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		// Histograms expose extracted quantiles, which in the Prometheus
+		// text format is a summary.
+		return "summary"
+	}
+	return "untyped"
+}
+
+// series is one labeled instance within a family. Exactly one of the
+// value sources is set.
+type series struct {
+	labels string // rendered `k="v",k2="v2"` (no braces), sorted by key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	cf     func() int64
+	gf     func() float64
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name        string
+	help        string
+	kind        metricKind
+	series      map[string]*series
+	seriesOrder []*series
+}
+
+// Registry is a named collection of metrics with deterministic
+// (registration-ordered) Prometheus text exposition. The zero value is
+// not usable; use NewRegistry or the process-wide Default.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []*family
+}
+
+// Default is the process-wide registry the binaries expose on /metrics.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels canonicalizes labels: sorted by key, escaped, rendered
+// without the surrounding braces so exposition can splice in extra
+// labels (quantile). Panics on invalid keys — registration is wiring.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if !validLabelKey(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label key %q", l.Key))
+		}
+		if i > 0 {
+			if ls[i-1].Key == l.Key {
+				panic(fmt.Sprintf("obs: duplicate label key %q", l.Key))
+			}
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// familyLocked returns the family for name, creating it with the given
+// kind and help, and panics if it already exists with a different kind
+// (a programming error: one name, one type).
+func (r *Registry) familyLocked(name, help string, kind metricKind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, f)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s, requested %s", name, f.kind, kind))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	return f
+}
+
+// seriesLocked returns the series for key in f, creating it via mk.
+func (f *family) seriesLocked(key string, mk func() *series) *series {
+	s, ok := f.series[key]
+	if !ok {
+		s = mk()
+		s.labels = key
+		f.series[key] = s
+		f.seriesOrder = append(f.seriesOrder, s)
+	}
+	return s
+}
+
+// Counter returns the counter for name+labels, creating it on first
+// use. Repeated calls with the same name and labels return the same
+// counter. Panics if the name is taken by another kind or the series is
+// function-backed.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	mustValidName(name)
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, kindCounter)
+	s := f.seriesLocked(key, func() *series { return &series{c: new(Counter)} })
+	if s.c == nil {
+		panic(fmt.Sprintf("obs: metric %s{%s} is function-backed", name, key))
+	}
+	return s.c
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	mustValidName(name)
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, kindGauge)
+	s := f.seriesLocked(key, func() *series { return &series{g: new(Gauge)} })
+	if s.g == nil {
+		panic(fmt.Sprintf("obs: metric %s{%s} is function-backed", name, key))
+	}
+	return s.g
+}
+
+// Histogram returns the histogram for name+labels, creating it on first
+// use. Histograms record nanoseconds and are exposed in seconds as a
+// summary with p50/p99/p999 quantiles plus _sum and _count.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	mustValidName(name)
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, kindHistogram)
+	s := f.seriesLocked(key, func() *series { return &series{h: NewHistogram()} })
+	if s.h == nil {
+		panic(fmt.Sprintf("obs: metric %s{%s} has no histogram", name, key))
+	}
+	return s.h
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for components that already keep their own atomic
+// counters (the store's cache shards, the sparse engine). Re-registering
+// the same name+labels replaces the function (last writer wins), so a
+// component re-created within one process re-binds its metrics instead
+// of panicking.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	mustValidName(name)
+	if fn == nil {
+		panic(fmt.Sprintf("obs: CounterFunc(%q) with nil func", name))
+	}
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, kindCounter)
+	s := f.seriesLocked(key, func() *series { return &series{} })
+	if s.c != nil {
+		panic(fmt.Sprintf("obs: metric %s{%s} is counter-backed", name, key))
+	}
+	s.cf = fn
+}
+
+// GaugeFunc registers a gauge whose float64 value is read from fn at
+// scrape time. Same replacement semantics as CounterFunc.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	mustValidName(name)
+	if fn == nil {
+		panic(fmt.Sprintf("obs: GaugeFunc(%q) with nil func", name))
+	}
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, kindGauge)
+	s := f.seriesLocked(key, func() *series { return &series{} })
+	if s.g != nil {
+		panic(fmt.Sprintf("obs: metric %s{%s} is gauge-backed", name, key))
+	}
+	s.gf = fn
+}
+
+// RegisterHistogram exposes an externally owned histogram (e.g. one a
+// component records into directly) under name+labels. Re-registering
+// replaces the histogram, mirroring CounterFunc semantics.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	mustValidName(name)
+	if h == nil {
+		panic(fmt.Sprintf("obs: RegisterHistogram(%q) with nil histogram", name))
+	}
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, kindHistogram)
+	s := f.seriesLocked(key, func() *series { return &series{} })
+	s.h = h
+}

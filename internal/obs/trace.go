@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"log/slog"
+	"time"
+)
+
+// Tracer emits lightweight spans: a Debug-level begin/end log pair plus
+// a duration sample into the registry's apsp_span_seconds summary,
+// labeled by span kind and name. It is the common timeline shape for
+// solve stages — host-native panel solves and virtual-cluster rdd
+// stages emit through the same tracer, so both produce comparable
+// per-stage latency distributions. A nil *Tracer is a valid no-op.
+type Tracer struct {
+	reg *Registry
+	log *slog.Logger // nil means slog.Default() at emit time
+}
+
+// NewTracer returns a tracer recording into r and logging to log
+// (nil log follows the process default logger).
+func NewTracer(r *Registry, log *slog.Logger) *Tracer {
+	if r == nil {
+		r = Default
+	}
+	return &Tracer{reg: r, log: log}
+}
+
+var defaultTracer = NewTracer(Default, nil)
+
+// DefaultTracer returns the process-wide tracer bound to the Default
+// registry and the default slog logger.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+func (t *Tracer) logger() *slog.Logger {
+	if t.log != nil {
+		return t.log
+	}
+	return slog.Default()
+}
+
+// Span is one in-flight span; End records its duration. The zero Span
+// (from a nil tracer) is a no-op.
+type Span struct {
+	t     *Tracer
+	kind  string
+	name  string
+	start time.Time
+}
+
+// Start begins a span of the given kind (a bounded category such as
+// "solve", "stage", "panel") and name, logging the boundary at Debug.
+func (t *Tracer) Start(kind, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.logger().Debug("span begin", "kind", kind, "name", name)
+	return Span{t: t, kind: kind, name: name, start: time.Now()}
+}
+
+// End finishes the span, recording its duration.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.Observe(s.kind, s.name, time.Since(s.start))
+}
+
+// Observe records a completed span of known duration — for callers that
+// learn about a boundary only after the fact (progress callbacks).
+func (t *Tracer) Observe(kind, name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.reg.Histogram("apsp_span_seconds",
+		"Span durations by kind and name (solve stages, panels, requests).",
+		Label{Key: "kind", Value: kind}, Label{Key: "name", Value: name},
+	).Record(d.Nanoseconds())
+	t.logger().Debug("span end", "kind", kind, "name", name, "seconds", d.Seconds())
+}

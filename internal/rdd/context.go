@@ -19,6 +19,7 @@ import (
 	"apspark/internal/cluster"
 	"apspark/internal/costmodel"
 	"apspark/internal/matrix"
+	"apspark/internal/obs"
 	"apspark/internal/storage"
 )
 
@@ -172,6 +173,7 @@ type Context struct {
 	workers    int
 	jobCtx     context.Context
 	progress   func(StageEvent)
+	tracer     *obs.Tracer
 	unitsDone  int
 	unitsTotal int
 	lastClock  float64
@@ -236,6 +238,17 @@ func (c *Context) Err() error {
 func (c *Context) SetProgress(fn func(StageEvent)) {
 	c.mu.Lock()
 	c.progress = fn
+	c.mu.Unlock()
+}
+
+// SetTracer installs a span tracer: every stage boundary then emits a
+// span begin/end pair (Debug logs plus an apsp_span_seconds sample of
+// the stage's host wall time), giving virtual-cluster solves the same
+// timeline shape as host-native solves. Install it before the job
+// starts, alongside SetProgress; nil disables tracing.
+func (c *Context) SetTracer(t *obs.Tracer) {
+	c.mu.Lock()
+	c.tracer = t
 	c.mu.Unlock()
 }
 
@@ -386,7 +399,13 @@ func (c *Context) runStage(name string, n int, task func(tc *TaskContext, i int)
 	c.stageSeq++
 	stage := fmt.Sprintf("%s#%d", name, c.stageSeq)
 	hostWorkers := c.workers
+	tracer := c.tracer
 	c.mu.Unlock()
+	// Span over the stage's host execution (virtual time is accounted
+	// separately by the cluster clock); the label is the stage's base
+	// name, a bounded set, not the per-run #seq form.
+	span := tracer.Start("stage", name)
+	defer span.End()
 
 	p := c.Cluster.Cores()
 	coreTime := make([]float64, p)

@@ -30,6 +30,7 @@ import (
 
 	"apspark/internal/graph"
 	"apspark/internal/matrix"
+	"apspark/internal/obs"
 	"apspark/internal/sparse"
 	"apspark/internal/store"
 )
@@ -206,6 +207,19 @@ func (e *Engine) HasGraph() bool { return e.g != nil }
 // quarantined tiles and the engine is serving degraded (correct answers,
 // Dijkstra-speed instead of read-speed, for the affected row stripes).
 func (e *Engine) Recomputed() int64 { return e.recomputed.Load() }
+
+// RegisterMetrics exposes the engine's counters on r — the recompute
+// fallback counter here, plus the sparse recompute engine's solver
+// counters when a graph is attached. The store's own metrics are
+// registered by the caller (it owns the store handle).
+func (e *Engine) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("apsp_serve_recomputed_rows_total",
+		"Row queries answered by re-solving from the graph after a corrupt store read.",
+		func() int64 { return e.recomputed.Load() })
+	if e.sp != nil {
+		e.sp.RegisterMetrics(r)
+	}
+}
 
 // canRecompute reports whether err is a corrupt-tile store read the
 // engine can answer from the graph instead.

@@ -190,15 +190,20 @@ type Health struct {
 func Handler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// One snapshot call per source: each counter is loaded exactly
+		// once and the JSON is built from that single view, so the payload
+		// can no longer show a torn mix of loads taken at different
+		// instants (the old code read Quarantined, RetriedReads and the
+		// two cache stats through four separate accessors). The JSON field
+		// names are unchanged for compat.
 		h := Health{Status: "ok", N: e.N(), PathReady: e.HasGraph(), Recomputed: e.Recomputed()}
 		if st, ok := e.src.(*store.Store); ok {
-			stats := st.Stats()
-			h.Cache = &stats
-			rstats := st.RowStats()
-			h.RowCache = &rstats
-			h.Quarantined = int64(st.Quarantined())
-			h.RetriedReads = st.RetriedReads()
-			if h.Quarantined > 0 {
+			snap := st.Snapshot()
+			h.Cache = &snap.Tiles
+			h.RowCache = &snap.Rows
+			h.Quarantined = snap.Quarantined
+			h.RetriedReads = snap.RetriedReads
+			if snap.Quarantined > 0 {
 				h.Status = "degraded"
 			}
 		}

@@ -3,21 +3,25 @@ package serve
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"apspark/internal/obs"
 )
 
 // Serving hardening: the middleware stack that stands between the
 // listener and the query handlers. Harden wraps a handler with (outside
-// to inside) panic recovery, bounded in-flight admission, and a
-// per-request deadline; Gate fronts the whole stack while the store is
-// still opening, so the listener — and /healthz — are up from the first
-// millisecond of the process.
+// to inside) observation (metrics + access log + pprof labels), panic
+// recovery, bounded in-flight admission, and a per-request deadline;
+// Gate fronts the whole stack while the store is still opening, so the
+// listener — and /healthz — are up from the first millisecond of the
+// process.
 
 // HardenOptions configures Harden. The zero value disables every layer
 // except panic recovery, which is always on.
@@ -36,6 +40,27 @@ type HardenOptions struct {
 	// RetryAfter is the client back-off hint sent with 429 responses
 	// (rounded up to whole seconds, minimum 1). <= 0 picks 1s.
 	RetryAfter time.Duration
+	// Metrics, when set, records per-endpoint request counters
+	// (apsp_http_requests_total{endpoint,code}), latency summaries
+	// (apsp_http_request_seconds{endpoint}), response bytes, an in-flight
+	// gauge, and admission rejections into the registry. The observation
+	// wrapper sits outside recovery and admission, so every outcome —
+	// 429 sheds, 504 deadline expiries, panics recovered to 500 — is
+	// counted with its real status, latency and bytes written.
+	Metrics *obs.Registry
+	// AccessLog, when set, logs one structured line per request with
+	// method, path, status, bytes and latency — again for every outcome,
+	// not just handler successes.
+	AccessLog *slog.Logger
+	// PprofLabels tags each request's goroutine with runtime/pprof labels
+	// (endpoint, shard) so CPU and heap profiles attribute samples to the
+	// endpoint (and shard) that burned them. Off by default: it costs a
+	// small allocation per request.
+	PprofLabels bool
+	// Shard is the shard identity this process serves, attached to pprof
+	// labels and access-log lines; purely informational until the
+	// distributed serving tier lands.
+	Shard string
 }
 
 // Harden wraps h with the serving protection stack described by opts.
@@ -45,9 +70,13 @@ func Harden(h http.Handler, opts HardenOptions) http.Handler {
 		inner = withTimeout(inner, opts.Timeout)
 	}
 	if opts.MaxInFlight > 0 {
-		inner = withAdmission(inner, opts.MaxInFlight, opts.RetryAfter)
+		inner = withAdmission(inner, opts)
 	}
-	return withRecovery(inner)
+	inner = withRecovery(inner)
+	if opts.Metrics != nil || opts.AccessLog != nil || opts.PprofLabels {
+		inner = withObs(inner, opts)
+	}
+	return inner
 }
 
 // withRecovery converts a handler panic into a 500 instead of killing
@@ -64,7 +93,8 @@ func withRecovery(next http.Handler) http.Handler {
 			if p == http.ErrAbortHandler {
 				panic(p)
 			}
-			log.Printf("serve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			slog.Error("panic serving request",
+				"method", r.Method, "path", r.URL.Path, "panic", p, "stack", string(debug.Stack()))
 			// If the handler already wrote a partial body this write is
 			// moot (net/http discards the late header), but the client
 			// still sees a broken response instead of a hung one.
@@ -76,14 +106,22 @@ func withRecovery(next http.Handler) http.Handler {
 
 // withAdmission bounds concurrent requests with a semaphore, shedding
 // the excess as 429 + Retry-After.
-func withAdmission(next http.Handler, maxInFlight int, retryAfter time.Duration) http.Handler {
-	sem := make(chan struct{}, maxInFlight)
+func withAdmission(next http.Handler, opts HardenOptions) http.Handler {
+	sem := make(chan struct{}, opts.MaxInFlight)
+	retryAfter := opts.RetryAfter
 	if retryAfter <= 0 {
 		retryAfter = time.Second
 	}
 	hint := strconv.Itoa(int(math.Ceil(retryAfter.Seconds())))
+	var rejected *obs.Counter
+	if opts.Metrics != nil {
+		rejected = opts.Metrics.Counter("apsp_http_admission_rejected_total",
+			"Requests shed with 429 by the in-flight admission limit.")
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			// Probes and scrapes must see past the overload they exist to
+			// detect.
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -92,10 +130,173 @@ func withAdmission(next http.Handler, maxInFlight int, retryAfter time.Duration)
 			defer func() { <-sem }()
 			next.ServeHTTP(w, r)
 		default:
+			if rejected != nil {
+				rejected.Inc()
+			}
 			w.Header().Set("Retry-After", hint)
 			writeError(w, http.StatusTooManyRequests,
-				fmt.Errorf("serve: %d requests already in flight, try again in %ss", maxInFlight, hint))
+				fmt.Errorf("serve: %d requests already in flight, try again in %ss", opts.MaxInFlight, hint))
 		}
+	})
+}
+
+// endpointLabel maps a request path to a bounded metric label: the
+// known endpoints verbatim, everything else "other" so an attacker
+// cannot explode series cardinality with junk paths.
+func endpointLabel(path string) string {
+	switch path {
+	case "/dist", "/row", "/knn", "/path", "/batch", "/healthz", "/metrics":
+		return path
+	}
+	return "other"
+}
+
+// statusWriter captures the status code and body bytes a handler
+// writes, so the observation layer can report them for every outcome.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming still works
+// through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach interfaces the wrapper
+// doesn't re-implement.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// httpObs holds the pre-created metric handles of the observation
+// middleware: per-endpoint latency summaries and byte counters are
+// resolved once at wrap time, so the per-request hot path does at most
+// one registry lookup (the {endpoint,code} counter).
+type httpObs struct {
+	reg      *obs.Registry
+	inFlight *obs.Gauge
+	latency  map[string]*obs.Histogram
+	respSize map[string]*obs.Counter
+}
+
+func newHTTPObs(reg *obs.Registry) *httpObs {
+	o := &httpObs{
+		reg:      reg,
+		inFlight: reg.Gauge("apsp_http_in_flight", "Requests currently being served."),
+		latency:  make(map[string]*obs.Histogram),
+		respSize: make(map[string]*obs.Counter),
+	}
+	for _, ep := range []string{"/dist", "/row", "/knn", "/path", "/batch", "/healthz", "other"} {
+		l := obs.Label{Key: "endpoint", Value: ep}
+		o.latency[ep] = reg.Histogram("apsp_http_request_seconds",
+			"Request latency by endpoint (p50/p99/p999).", l)
+		o.respSize[ep] = reg.Counter("apsp_http_response_bytes_total",
+			"Response body bytes written by endpoint.", l)
+	}
+	return o
+}
+
+// observe records one finished (or aborted) request.
+func (o *httpObs) observe(ep string, status int, bytes int64, d time.Duration) {
+	if o == nil {
+		return
+	}
+	h, ok := o.latency[ep]
+	if !ok {
+		h, ok = o.latency["other"]
+		if !ok {
+			return
+		}
+	}
+	h.Record(d.Nanoseconds())
+	if c, ok := o.respSize[ep]; ok {
+		c.Add(bytes)
+	} else if c, ok := o.respSize["other"]; ok {
+		c.Add(bytes)
+	}
+	o.reg.Counter("apsp_http_requests_total", "Requests by endpoint and status code.",
+		obs.Label{Key: "endpoint", Value: ep},
+		obs.Label{Key: "code", Value: strconv.Itoa(status)},
+	).Inc()
+}
+
+// withObs is the outermost layer: it wraps the ResponseWriter to
+// capture status and bytes, then records metrics and the access log in
+// a defer — so the record runs for every outcome, including panics that
+// recovery converts to 500 and the ErrAbortHandler panic that passes
+// through (logged with status 0 replaced by 500). This is what fixes
+// the old gap where 429/504 responses written by the hardening layers
+// never appeared in any byte or status accounting.
+func withObs(next http.Handler, opts HardenOptions) http.Handler {
+	var metrics *httpObs
+	if opts.Metrics != nil {
+		metrics = newHTTPObs(opts.Metrics)
+	}
+	accessLog := opts.AccessLog
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ep := endpointLabel(r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		if metrics != nil {
+			metrics.inFlight.Add(1)
+		}
+		defer func() {
+			d := time.Since(start)
+			status := sw.status
+			if status == 0 {
+				// Nothing was written: the handler panicked (or aborted)
+				// before producing a response.
+				status = http.StatusInternalServerError
+			}
+			if metrics != nil {
+				metrics.inFlight.Add(-1)
+				metrics.observe(ep, status, sw.bytes, d)
+			}
+			if accessLog != nil {
+				attrs := []any{
+					"method", r.Method,
+					"path", r.URL.Path,
+					"status", status,
+					"bytes", sw.bytes,
+					"duration_ms", float64(d.Nanoseconds()) / 1e6,
+					"remote", r.RemoteAddr,
+				}
+				if opts.Shard != "" {
+					attrs = append(attrs, "shard", opts.Shard)
+				}
+				accessLog.Info("request", attrs...)
+			}
+		}()
+		if opts.PprofLabels {
+			shard := opts.Shard
+			if shard == "" {
+				shard = "0"
+			}
+			pprof.Do(r.Context(), pprof.Labels("endpoint", ep, "shard", shard), func(ctx context.Context) {
+				next.ServeHTTP(sw, r.WithContext(ctx))
+			})
+			return
+		}
+		next.ServeHTTP(sw, r)
 	})
 }
 

@@ -1,0 +1,66 @@
+package sparse
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"apspark/internal/graph"
+	"apspark/internal/matrix"
+	"apspark/internal/obs"
+)
+
+func TestEngineRegisterMetrics(t *testing.T) {
+	g, err := graph.ErdosRenyiPaper(64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(g)
+	r := obs.NewRegistry()
+	e.RegisterMetrics(r)
+
+	emits := 0
+	done, err := e.SolvePanels(context.Background(), 16, Options{Workers: 2}, func(bi int, p *matrix.Block) error {
+		emits++
+		return nil
+	})
+	if err != nil || done != 64 {
+		t.Fatalf("SolvePanels = %d, %v", done, err)
+	}
+	row := make([]float64, 64)
+	if err := e.SolveRowInto(5, row); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := e.srcSolved.Load(); got != 65 {
+		t.Errorf("sources solved = %d, want 65", got)
+	}
+	if e.settled.Load() < 65 {
+		t.Errorf("settled = %d, want >= sources", e.settled.Load())
+	}
+	if e.busyNs.Load() <= 0 || e.wallNs.Load() <= 0 {
+		t.Errorf("busy/wall not accounted: busy=%d wall=%d", e.busyNs.Load(), e.wallNs.Load())
+	}
+	if d := e.panelEmit.Snapshot(); d.Count() != uint64(emits) {
+		t.Errorf("panel emit count = %d, want %d", d.Count(), emits)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"apsp_sparse_sources_total 65",
+		"apsp_sparse_settled_vertices_total",
+		"apsp_sparse_worker_busy_seconds",
+		"apsp_sparse_solve_wall_seconds",
+		"apsp_sparse_worker_utilization",
+		"apsp_sparse_panel_emit_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}

@@ -30,9 +30,12 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"apspark/internal/graph"
 	"apspark/internal/matrix"
+	"apspark/internal/obs"
 )
 
 // Engine solves APSP on one graph. It keeps read-only views of the
@@ -45,16 +48,57 @@ type Engine struct {
 	weights []float64
 
 	scratch sync.Pool // *state
+
+	// Cumulative solve telemetry, exposed by RegisterMetrics. Workers
+	// accumulate locally and flush once per panel slice, so the hot
+	// per-source loop stays free of shared-counter traffic.
+	srcSolved   atomic.Int64 // source rows completed
+	settled     atomic.Int64 // vertices settled (heap pops) across all sources
+	busyNs      atomic.Int64 // summed worker wall time inside panels
+	wallNs      atomic.Int64 // summed panel wall time
+	lastWorkers atomic.Int64 // worker count of the most recent panel
+	panelEmit   *obs.Histogram
 }
 
 // New builds an engine over g's CSR arrays (shared, read-only; the graph
 // must not be mutated while the engine is in use — graphs in this
 // repository are immutable after construction).
 func New(g *graph.Graph) *Engine {
-	e := &Engine{n: g.N}
+	e := &Engine{n: g.N, panelEmit: obs.NewHistogram()}
 	e.rowPtr, e.colIdx, e.weights = g.CSR()
 	e.scratch.New = func() any { return newState(e.n) }
 	return e
+}
+
+// RegisterMetrics exposes the engine's solve telemetry on r:
+//
+//	apsp_sparse_sources_total          source rows solved
+//	apsp_sparse_settled_vertices_total vertices settled (sources/sec and
+//	                                   settle rate fall out of rate())
+//	apsp_sparse_worker_busy_seconds    summed worker time inside panels
+//	apsp_sparse_solve_wall_seconds     summed panel wall time
+//	apsp_sparse_worker_utilization     busy / (wall * workers) of the run
+//	apsp_sparse_panel_emit_seconds     panel emit (store write) latency
+func (e *Engine) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("apsp_sparse_sources_total", "Source rows solved by the sparse engine.",
+		func() int64 { return e.srcSolved.Load() })
+	r.CounterFunc("apsp_sparse_settled_vertices_total", "Vertices settled across all Dijkstra sources.",
+		func() int64 { return e.settled.Load() })
+	r.GaugeFunc("apsp_sparse_worker_busy_seconds", "Summed worker wall time spent solving panels.",
+		func() float64 { return float64(e.busyNs.Load()) / 1e9 })
+	r.GaugeFunc("apsp_sparse_solve_wall_seconds", "Summed panel wall time of the solve.",
+		func() float64 { return float64(e.wallNs.Load()) / 1e9 })
+	r.GaugeFunc("apsp_sparse_worker_utilization", "Worker busy time over panel wall time times workers (0..1).",
+		func() float64 {
+			wall, workers := e.wallNs.Load(), e.lastWorkers.Load()
+			if wall <= 0 || workers <= 0 {
+				return 0
+			}
+			u := float64(e.busyNs.Load()) / (float64(wall) * float64(workers))
+			return min(u, 1)
+		})
+	r.RegisterHistogram("apsp_sparse_panel_emit_seconds", "Latency of the per-panel emit callback (store panel write).",
+		e.panelEmit)
 }
 
 // N returns the number of vertices.
@@ -212,15 +256,18 @@ func (s *state) pop() ent {
 
 // dijkstra runs one source to completion and writes the full distance row
 // (matrix.Inf for unreachable vertices) into row, which must have length
-// n. Allocation-free after sc's slices have grown to steady state.
-func (e *Engine) dijkstra(sc *state, src int, row []float64) {
+// n. It returns the number of vertices settled (reached). Allocation-free
+// after sc's slices have grown to steady state.
+func (e *Engine) dijkstra(sc *state, src int, row []float64) int {
 	sc.next()
+	settled := 0
 	vs, epoch := sc.vs, sc.epoch
 	rowPtr, colIdx, weights := e.rowPtr, e.colIdx, e.weights
 	vs[src] = vstate{dist: 0, stamp: epoch}
 	sc.push(0, int32(src))
 	for sc.count > 0 {
 		top := sc.pop()
+		settled++
 		v := top.v
 		d := vs[v].dist
 		for p, hi := rowPtr[v], rowPtr[v+1]; p < hi; p++ {
@@ -246,6 +293,7 @@ func (e *Engine) dijkstra(sc *state, src int, row []float64) {
 			row[v] = matrix.Inf
 		}
 	}
+	return settled
 }
 
 // SolveRowInto computes single-source shortest-path distances from src
@@ -262,8 +310,10 @@ func (e *Engine) SolveRowInto(src int, row []float64) error {
 		return fmt.Errorf("sparse: row has length %d, want %d", len(row), e.n)
 	}
 	sc := e.scratch.Get().(*state)
-	e.dijkstra(sc, src, row)
+	settled := e.dijkstra(sc, src, row)
 	e.scratch.Put(sc)
+	e.srcSolved.Add(1)
+	e.settled.Add(int64(settled))
 	return nil
 }
 
@@ -339,7 +389,10 @@ func (e *Engine) SolvePanels(ctx context.Context, panelRows int, opts Options, e
 		if err := solve(panel); err != nil {
 			return err
 		}
-		return emit(bi, panel)
+		emitStart := time.Now()
+		err := emit(bi, panel)
+		e.panelEmit.RecordSince(emitStart)
+		return err
 	})
 }
 
@@ -399,16 +452,25 @@ func (e *Engine) solvePanel(ctx context.Context, base int, rows *matrix.Block, w
 	if workers > h {
 		workers = h
 	}
+	panelStart := time.Now()
+	defer func() {
+		e.wallNs.Add(time.Since(panelStart).Nanoseconds())
+		e.lastWorkers.Store(int64(workers))
+	}()
 	if workers <= 1 {
 		sc := e.scratch.Get().(*state)
 		defer e.scratch.Put(sc)
+		defer e.flushWorker(panelStart)
+		var sources, settled int64
+		defer func() { e.srcSolved.Add(sources); e.settled.Add(settled) }()
 		for r := 0; r < h; r++ {
 			if r%64 == 0 {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
 			}
-			e.dijkstra(sc, base+r, rows.Row(r))
+			settled += int64(e.dijkstra(sc, base+r, rows.Row(r)))
+			sources++
 		}
 		return nil
 	}
@@ -421,15 +483,31 @@ func (e *Engine) solvePanel(ctx context.Context, base int, rows *matrix.Block, w
 			defer wg.Done()
 			sc := e.scratch.Get().(*state)
 			defer e.scratch.Put(sc)
+			start := time.Now()
+			// Telemetry accumulates worker-locally and flushes once per
+			// panel slice, keeping the per-source loop free of shared
+			// counters.
+			var sources, settled int64
+			defer func() {
+				e.flushWorker(start)
+				e.srcSolved.Add(sources)
+				e.settled.Add(settled)
+			}()
 			for r := w; r < h; r += workers {
 				if err := ctx.Err(); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					return
 				}
-				e.dijkstra(sc, base+r, rows.Row(r))
+				settled += int64(e.dijkstra(sc, base+r, rows.Row(r)))
+				sources++
 			}
 		}(w)
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// flushWorker folds one worker's panel wall time into the busy counter.
+func (e *Engine) flushWorker(start time.Time) {
+	e.busyNs.Add(time.Since(start).Nanoseconds())
 }

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"apspark/internal/obs"
+)
+
+// This file bridges the store's counters into the obs metric registry.
+// The counters themselves live on the cache shards and the Store (they
+// predate the registry); RegisterMetrics exposes them as function-backed
+// registry metrics, and Stats/RowStats remain as thin compat shims over
+// the same atomics for callers that want a JSON-shaped snapshot.
+
+// Snapshot is a one-call view of every store health counter, each
+// underlying atomic loaded exactly once — the serving layer builds
+// /healthz from this so the JSON never mixes loads taken at different
+// times (the old torn-view bug read Quarantined, RetriedReads and the
+// cache stats through separate accessors). The values are the same ones
+// RegisterMetrics exposes on /metrics.
+type Snapshot struct {
+	Tiles        CacheStats
+	Rows         RowCacheStats
+	Quarantined  int64
+	RetriedReads int64
+}
+
+// Snapshot gathers all store counters in one pass.
+func (s *Store) Snapshot() Snapshot {
+	return Snapshot{
+		Tiles:        s.Stats(),
+		Rows:         s.RowStats(),
+		Quarantined:  s.quarCount.Load(),
+		RetriedReads: s.retriedReads.Load(),
+	}
+}
+
+// sumShards folds one per-shard atomic counter across a cache's shards
+// without taking any locks.
+func sumShards(shards []*shard, get func(*shard) int64) int64 {
+	var t int64
+	for _, sh := range shards {
+		t += get(sh)
+	}
+	return t
+}
+
+// lockedShardGauge reads a mutex-guarded per-shard field (bytes in use,
+// item count) across shards; scrape-time only, never on the hot path.
+func lockedShardGauge(shards []*shard, get func(*shard) float64) float64 {
+	var t float64
+	for _, sh := range shards {
+		sh.mu.Lock()
+		t += get(sh)
+		sh.mu.Unlock()
+	}
+	return t
+}
+
+// RegisterMetrics exposes the store's cache and integrity counters on r:
+//
+//	apsp_store_cache_hits_total{cache="tile"|"row"}
+//	apsp_store_cache_misses_total{cache}
+//	apsp_store_cache_coalesced_total{cache}
+//	apsp_store_cache_evictions_total{cache}
+//	apsp_store_cache_bytes{cache} / apsp_store_cache_items{cache}
+//	apsp_store_cache_budget_bytes{cache}
+//	apsp_store_span_reads_total
+//	apsp_store_quarantined_tiles
+//	apsp_store_retried_reads_total
+//
+// The metrics are function-backed reads of the store's own atomics, so
+// registration costs nothing on the serving path. Registering a second
+// store against the same registry rebinds the series to it (function
+// metrics replace); give each store its own registry — or accept
+// last-store-wins — when a process opens several.
+func (s *Store) RegisterMetrics(r *obs.Registry) {
+	caches := []struct {
+		label  obs.Label
+		shards []*shard
+		budget int64
+	}{
+		{obs.Label{Key: "cache", Value: "tile"}, s.tileShards, s.tileBudget},
+		{obs.Label{Key: "cache", Value: "row"}, s.rowShards, s.rowBudget},
+	}
+	for _, c := range caches {
+		shards, budget := c.shards, c.budget
+		r.CounterFunc("apsp_store_cache_hits_total", "Cache hits by cache (tile, row).",
+			func() int64 { return sumShards(shards, func(sh *shard) int64 { return sh.hits.Load() }) }, c.label)
+		r.CounterFunc("apsp_store_cache_misses_total", "Cache misses by cache.",
+			func() int64 { return sumShards(shards, func(sh *shard) int64 { return sh.misses.Load() }) }, c.label)
+		r.CounterFunc("apsp_store_cache_coalesced_total", "Concurrent misses coalesced onto one disk read.",
+			func() int64 { return sumShards(shards, func(sh *shard) int64 { return sh.coalesced.Load() }) }, c.label)
+		r.CounterFunc("apsp_store_cache_evictions_total", "LRU evictions by cache.",
+			func() int64 { return sumShards(shards, func(sh *shard) int64 { return sh.evictions.Load() }) }, c.label)
+		r.GaugeFunc("apsp_store_cache_bytes", "Decoded bytes currently cached.",
+			func() float64 { return lockedShardGauge(shards, func(sh *shard) float64 { return float64(sh.inUse) }) }, c.label)
+		r.GaugeFunc("apsp_store_cache_items", "Entries currently cached.",
+			func() float64 {
+				return lockedShardGauge(shards, func(sh *shard) float64 { return float64(sh.lru.Len()) })
+			}, c.label)
+		r.GaugeFunc("apsp_store_cache_budget_bytes", "Configured cache byte budget.",
+			func() float64 { return float64(budget) }, c.label)
+	}
+	r.CounterFunc("apsp_store_span_reads_total", "Direct row-span disk reads (bypass the tile cache).",
+		func() int64 { return s.spanReads.Load() })
+	r.GaugeFunc("apsp_store_quarantined_tiles", "Tiles quarantined for failing integrity checks.",
+		func() float64 { return float64(s.quarCount.Load()) })
+	r.CounterFunc("apsp_store_retried_reads_total", "Disk-read retries consumed by the transient-fault budget.",
+		func() int64 { return s.retriedReads.Load() })
+}

@@ -648,6 +648,9 @@ func (s *Store) quarantine(id, bi, bj int, detail error) error {
 }
 
 // Stats snapshots the tile-cache counters, aggregated across shards.
+// It is the JSON-shaped compat shim over the counters RegisterMetrics
+// exposes on a metric registry; serving layers wanting a coherent
+// multi-counter view should use Snapshot instead.
 func (s *Store) Stats() CacheStats {
 	out := CacheStats{BytesBudget: s.tileBudget}
 	if len(s.tileShards) > 1 {

@@ -8,6 +8,7 @@ import (
 	"apspark/internal/core"
 	"apspark/internal/costmodel"
 	"apspark/internal/graph"
+	"apspark/internal/obs"
 	"apspark/internal/seq"
 )
 
@@ -145,6 +146,12 @@ func (s *Session) run(ctx context.Context, g *Graph, n int, job jobSettings) (*R
 	if job.progress != nil {
 		rc.SetProgress(job.progress)
 	}
+	// Root span over the whole job; rdd stage boundaries nest under it,
+	// so a virtual solve shows the same timeline shape as a host solve.
+	tr := obs.DefaultTracer()
+	rc.SetTracer(tr)
+	span := tr.Start("solve", string(job.solver))
+	defer span.End()
 
 	var in core.Input
 	if g != nil {

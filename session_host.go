@@ -3,8 +3,10 @@ package apspark
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"apspark/internal/graph"
+	"apspark/internal/obs"
 	"apspark/internal/seq"
 	"apspark/internal/sparse"
 	"apspark/internal/store"
@@ -117,6 +119,14 @@ func (s *Session) runHost(ctx context.Context, g *Graph, job jobSettings, storeP
 	res := &Result{Solver: hostSolverName(job.solver), BlockSize: b, UnitsTotal: n}
 
 	eng := sparse.New(g)
+	// Host solves trace like cluster solves: one root span for the job,
+	// and the engine's telemetry (sources/sec, settled vertices, panel
+	// emit latency) registered process-wide so an end-of-run metric dump
+	// sees it. Registration replaces any prior engine's bindings.
+	eng.RegisterMetrics(obs.Default)
+	tr := obs.DefaultTracer()
+	span := tr.Start("solve", string(job.solver))
+	defer span.End()
 	evSeq := 0
 	sopts := sparse.Options{}
 	if job.progress != nil {
@@ -184,8 +194,14 @@ func (s *Session) runHost(ctx context.Context, g *Graph, job jobSettings, storeP
 		res.UnitsSkipped = skipped
 		sopts.FirstPanel = pw.Resumed()
 	}
+	// Each panel's solve+write interval is observed as a "panel" span, so a
+	// multi-hour streamed solve has a timeline finer than the root span.
+	lastPanel := time.Now()
 	done, err := eng.SolvePanels(ctx, b, sopts, func(_ int, panel *Matrix) error {
-		return pw.WritePanel(panel)
+		werr := pw.WritePanel(panel)
+		tr.Observe("panel", "stream", time.Since(lastPanel))
+		lastPanel = time.Now()
+		return werr
 	})
 	if err != nil {
 		return finish(done, err)
