@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"apspark/internal/costmodel"
+	"apspark/internal/graph"
+	"apspark/internal/hierarchy"
+	"apspark/internal/obs"
+	"apspark/internal/sparse"
+)
+
+// hierarchyResult is one partition+shortcut hierarchy measurement in
+// BENCH.json: a "build" entry (construction cost, partition shape,
+// overlay size, heap after build, exactness check) and per-query entries
+// ("dist", "row") with latency percentiles.
+type hierarchyResult struct {
+	Name      string  `json:"name"` // "build", "dist" or "row"
+	N         int     `json:"n"`
+	AvgDegree float64 `json:"avg_degree"`
+	Edges     int     `json:"edges"`
+	Quick     bool    `json:"quick,omitempty"`
+	// Build-entry fields.
+	Parts          int    `json:"parts,omitempty"`
+	PartSize       int    `json:"part_size,omitempty"`
+	BoundaryVerts  int    `json:"boundary_verts,omitempty"`
+	OverlayEdges   int64  `json:"overlay_edges,omitempty"`
+	ShortcutEdges  int64  `json:"shortcut_edges,omitempty"`
+	BuildNs        int64  `json:"build_ns,omitempty"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes,omitempty"`
+	ExactMatch     bool   `json:"exact_match,omitempty"`
+	// Query-entry fields.
+	Queries int     `json:"queries,omitempty"`
+	P50Ns   int64   `json:"p50_ns,omitempty"`
+	P99Ns   int64   `json:"p99_ns,omitempty"`
+	QPS     float64 `json:"queries_per_sec,omitempty"`
+}
+
+// hierarchySolve benchmarks the compute-on-demand hierarchy at the
+// paper's largest scale (n=262144, average degree 16): build the
+// partition+shortcut overlay — never materializing anything n x n — then
+// measure on-demand Dist and Row latency and pin sampled oracle rows
+// bit-identically against the flat sparse engine (integer weights, so
+// exact agreement is required, not approximate).
+func hierarchySolve(_ costmodel.KernelModel, quick bool, rep *report) error {
+	n, deg, distQ, rowQ := 262144, 16.0, 200, 8
+	if quick {
+		n, distQ, rowQ = 4096, 100, 4
+	}
+	g, err := graph.ErdosRenyiConnected(n, graph.AvgDegreeProb(n, deg), graph.IntegerWeights(100), 42)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hierarchy (n=%d avg-degree %.0f, %d edges, integer weights):\n", n, deg, g.NumEdges())
+
+	ctx := context.Background()
+	buildStart := time.Now()
+	o, err := hierarchy.Build(ctx, g, hierarchy.BuildOptions{})
+	if err != nil {
+		return err
+	}
+	buildNs := time.Since(buildStart).Nanoseconds()
+	st := o.Stats()
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	fmt.Printf("  build: %.2fs  %d parts (target %d)  %d boundary verts  %d overlay edges (%d shortcuts)  heap %.1f MiB\n",
+		float64(buildNs)/1e9, st.Parts, st.TargetSize, st.BoundaryVerts, st.OverlayEdges, st.ShortcutEdges,
+		float64(mem.HeapAlloc)/(1<<20))
+
+	// Exactness: sampled oracle rows must equal flat sparse rows bit for
+	// bit — the differential the whole subsystem is pinned on.
+	eng := sparse.New(g)
+	want := make([]float64, n)
+	var row []float64
+	exact := true
+	for _, u := range []int{0, n / 3, n - 1} {
+		if err := eng.SolveRowInto(u, want); err != nil {
+			return err
+		}
+		if row, err = o.RowInto(ctx, u, row); err != nil {
+			return err
+		}
+		for v := range want {
+			if row[v] != want[v] {
+				exact = false
+				return fmt.Errorf("oracle row %d diverges from sparse at %d: %v vs %v", u, v, row[v], want[v])
+			}
+		}
+	}
+	fmt.Printf("  sampled rows exact vs sparse: %v\n", exact)
+
+	rng := rand.New(rand.NewSource(7))
+	measure := func(name string, count int, query func() error) error {
+		h := obs.NewHistogram()
+		total := time.Now()
+		for i := 0; i < count; i++ {
+			start := time.Now()
+			if err := query(); err != nil {
+				return err
+			}
+			h.RecordSince(start)
+		}
+		wall := time.Since(total)
+		d := h.Snapshot()
+		p50, p99 := d.Quantile(0.5), d.Quantile(0.99)
+		qps := float64(count) / wall.Seconds()
+		rep.Hierarchy = append(rep.Hierarchy, hierarchyResult{
+			Name: name, N: n, AvgDegree: deg, Edges: g.NumEdges(),
+			Queries: count, P50Ns: p50, P99Ns: p99, QPS: qps,
+		})
+		fmt.Printf("  %-5s %6d queries  p50 %12d ns  p99 %12d ns  %8.1f queries/sec\n", name, count, p50, p99, qps)
+		return nil
+	}
+	if err := measure("dist", distQ, func() error {
+		_, err := o.Dist(ctx, rng.Intn(n), rng.Intn(n))
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := measure("row", rowQ, func() error {
+		row, err = o.RowInto(ctx, rng.Intn(n), row)
+		return err
+	}); err != nil {
+		return err
+	}
+
+	rep.Hierarchy = append(rep.Hierarchy, hierarchyResult{
+		Name: "build", N: n, AvgDegree: deg, Edges: g.NumEdges(),
+		Parts: st.Parts, PartSize: st.TargetSize, BoundaryVerts: st.BoundaryVerts,
+		OverlayEdges: int64(st.OverlayEdges), ShortcutEdges: int64(st.ShortcutEdges),
+		BuildNs: buildNs, HeapAllocBytes: mem.HeapAlloc, ExactMatch: exact,
+	})
+	return nil
+}

@@ -11,6 +11,7 @@
 //	apsp-bench store             # tiled-store query throughput (dist/row/knn/path)
 //	apsp-bench serve             # serving-engine throughput (single, hot, concurrent, batch)
 //	apsp-bench sparse            # host-native CSR Dijkstra vs dense Blocked-CB
+//	apsp-bench hierarchy         # partition+shortcut hierarchy: build cost + on-demand query latency
 //	apsp-bench all               # everything
 //
 // Flags scale the experiments down for quick runs (-quick) or swap in a
@@ -110,6 +111,7 @@ type report struct {
 	StoreQuery  []storeQueryResult  `json:"store_query,omitempty"`
 	ServeQuery  []serveQueryResult  `json:"serve_query,omitempty"`
 	SparseSolve []sparseSolveResult `json:"sparse_solve,omitempty"`
+	Hierarchy   []hierarchyResult   `json:"hierarchy,omitempty"`
 }
 
 func main() {
@@ -148,10 +150,11 @@ func main() {
 	run("store", storeQueries)
 	run("serve", serveQueries)
 	run("sparse", sparseSolve)
+	run("hierarchy", hierarchySolve)
 	switch what {
-	case "all", "fig2", "fig3", "table2", "table3", "kernels", "store", "serve", "sparse":
+	case "all", "fig2", "fig3", "table2", "table3", "kernels", "store", "serve", "sparse", "hierarchy":
 	default:
-		fmt.Fprintf(os.Stderr, "apsp-bench: unknown target %q (want fig2|fig3|table2|table3|kernels|store|serve|sparse|all)\n", what)
+		fmt.Fprintf(os.Stderr, "apsp-bench: unknown target %q (want fig2|fig3|table2|table3|kernels|store|serve|sparse|hierarchy|all)\n", what)
 		os.Exit(2)
 	}
 
@@ -173,7 +176,10 @@ func main() {
 	for i := range rep.SparseSolve {
 		rep.SparseSolve[i].Quick = rep.Quick
 	}
-	if *jsonPath != "" && (len(rep.Kernels) > 0 || len(rep.Experiments) > 0 || len(rep.StoreQuery) > 0 || len(rep.ServeQuery) > 0 || len(rep.SparseSolve) > 0) {
+	for i := range rep.Hierarchy {
+		rep.Hierarchy[i].Quick = rep.Quick
+	}
+	if *jsonPath != "" && (len(rep.Kernels) > 0 || len(rep.Experiments) > 0 || len(rep.StoreQuery) > 0 || len(rep.ServeQuery) > 0 || len(rep.SparseSolve) > 0 || len(rep.Hierarchy) > 0) {
 		if err := writeReport(*jsonPath, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "apsp-bench: %v\n", err)
 			os.Exit(1)
@@ -229,6 +235,11 @@ func writeReport(path string, rep *report) error {
 	}
 	if len(rep.SparseSolve) > 0 {
 		if err := put("sparse_solve", rep.SparseSolve); err != nil {
+			return err
+		}
+	}
+	if len(rep.Hierarchy) > 0 {
+		if err := put("hierarchy", rep.Hierarchy); err != nil {
 			return err
 		}
 	}

@@ -24,6 +24,19 @@
 // the affected rows are re-solved from the graph on demand, so a
 // bit-flipped file degrades to compute-speed answers instead of errors.
 //
+// -hier serves from a partition+shortcut hierarchy (apsp -solver hier
+// -hier g.hier) instead of — or beside — a tiled store: queries are
+// computed on demand through the hierarchy's overlay, so graphs whose
+// n x n matrix was never solved are servable. It always needs -graph
+// (the hierarchy stores only the partition and overlay; local rows are
+// re-solved over the graph). With both -store and -hier, the store
+// answers and the hierarchy is the corrupt-tile fallback — fresher than
+// a flat re-solve. /healthz reports which source kind is live (store,
+// oracle or store+fallback).
+//
+//	apsp -solver hier -input g.txt -hier g.hier
+//	apsp-serve -hier g.hier -graph g.txt -addr :8080
+//
 // The serving read path is two-level: -row-cache-mb budgets the
 // assembled-row cache (whole distance rows; Row/KNN/Path/Dist all consume
 // rows, so this is the cache that matters for query throughput) and
@@ -79,6 +92,7 @@ import (
 	"time"
 
 	"apspark/internal/graph"
+	"apspark/internal/hierarchy"
 	"apspark/internal/obs"
 	"apspark/internal/serve"
 	"apspark/internal/store"
@@ -86,8 +100,10 @@ import (
 
 func main() {
 	var (
-		storePath = flag.String("store", "", "tiled distance store written by apsp -store (required)")
-		graphPath = flag.String("graph", "", "edge-list file of the solved graph; enables /path and corrupt-tile recompute")
+		storePath = flag.String("store", "", "tiled distance store written by apsp -store")
+		graphPath = flag.String("graph", "", "edge-list file of the solved graph; enables /path and corrupt-tile recompute (required with -hier)")
+		hierPath  = flag.String("hier", "", "partition+shortcut hierarchy written by apsp -solver hier -hier; serves compute-on-demand (alone) or as the store's corrupt-tile fallback (with -store)")
+		hierMB    = flag.Int64("hier-cache-mb", 64, "hierarchy local-row cache budget in MiB")
 		addr      = flag.String("addr", ":8080", "listen address")
 		cacheMB   = flag.Int64("cache-mb", 64, "decoded-tile cache budget in MiB (0 disables tile caching)")
 		rowMB     = flag.Int64("row-cache-mb", 16, "assembled-row cache budget in MiB (0 disables row caching)")
@@ -111,11 +127,18 @@ func main() {
 	if err := obs.SetupLogging(*logFormat, *logLevel, os.Stderr); err != nil {
 		fatal(err)
 	}
-	if *storePath == "" {
-		fatal(fmt.Errorf("missing -store (write one with: apsp -n ... -store dist.apsp)"))
+	if *storePath == "" && *hierPath == "" {
+		fatal(fmt.Errorf("missing -store or -hier (write one with: apsp -n ... -store dist.apsp, or apsp -solver hier -hier g.hier)"))
+	}
+	if *hierPath != "" && *graphPath == "" {
+		fatal(fmt.Errorf("-hier needs -graph: the hierarchy stores only the partition and overlay; local rows are re-solved over the graph"))
 	}
 	if *shard == "" {
-		*shard = filepath.Base(*storePath)
+		if *storePath != "" {
+			*shard = filepath.Base(*storePath)
+		} else {
+			*shard = filepath.Base(*hierPath)
+		}
 	}
 
 	// A pprof listener that cannot bind must fail the start, not log a
@@ -173,17 +196,7 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	slog.Info("listening, loading store", "addr", *addr, "store", *storePath)
-
-	st, err := store.OpenWithOptions(*storePath, store.Options{
-		TileCacheBytes: *cacheMB << 20,
-		RowCacheBytes:  *rowMB << 20,
-		ReadRetries:    *readRetries,
-		RetryBackoff:   *retryWait,
-	})
-	if err != nil {
-		fatal(err)
-	}
+	slog.Info("listening, loading sources", "addr", *addr, "store", *storePath, "hier", *hierPath)
 
 	var g *graph.Graph
 	if *graphPath != "" {
@@ -198,22 +211,75 @@ func main() {
 		}
 	}
 
-	eng, err := serve.New(st, g)
+	var st *store.Store
+	if *storePath != "" {
+		s, err := store.OpenWithOptions(*storePath, store.Options{
+			TileCacheBytes: *cacheMB << 20,
+			RowCacheBytes:  *rowMB << 20,
+			ReadRetries:    *readRetries,
+			RetryBackoff:   *retryWait,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		st = s
+	}
+
+	var oracle *hierarchy.Oracle
+	if *hierPath != "" {
+		o, err := hierarchy.Load(*hierPath, g, *hierMB<<20)
+		if err != nil {
+			fatal(err)
+		}
+		oracle = o
+	}
+
+	// Source selection: the store answers when present (tile reads beat
+	// on-demand solves), with the oracle as its corrupt-tile fallback;
+	// alone, the oracle is the source itself.
+	var src serve.Source
+	var eopts serve.EngineOptions
+	switch {
+	case st != nil && oracle != nil:
+		src, eopts.Fallback = st, oracle
+	case st != nil:
+		src = st
+	default:
+		src = oracle
+	}
+	eng, err := serve.NewWithOptions(src, g, eopts)
 	if err != nil {
 		fatal(err)
 	}
 	if *metricsOn {
-		st.RegisterMetrics(obs.Default)
+		if st != nil {
+			st.RegisterMetrics(obs.Default)
+		}
+		if oracle != nil {
+			oracle.RegisterMetrics(obs.Default)
+		}
 		eng.RegisterMetrics(obs.Default)
 	}
 	gate.Ready(serve.Handler(eng))
 
-	slog.Info("ready",
-		"n", st.N(), "block", st.BlockSize(), "tiles_per_side", st.TilesPerSide(),
-		"file_mib", fmt.Sprintf("%.1f", float64(st.FileBytes())/(1<<20)),
-		"tile_cache_mib", *cacheMB, "row_cache_mib", *rowMB,
+	ready := []any{
+		"source", eng.SourceKind(), "n", eng.N(),
 		"path_enabled", g != nil, "max_inflight", *maxInFlight, "req_timeout", *reqTimeout,
-		"metrics", *metricsOn, "shard", *shard, "addr", *addr)
+		"metrics", *metricsOn, "shard", *shard, "addr", *addr,
+	}
+	if st != nil {
+		ready = append(ready,
+			"block", st.BlockSize(), "tiles_per_side", st.TilesPerSide(),
+			"file_mib", fmt.Sprintf("%.1f", float64(st.FileBytes())/(1<<20)),
+			"tile_cache_mib", *cacheMB, "row_cache_mib", *rowMB)
+	}
+	if oracle != nil {
+		hs := oracle.Stats()
+		ready = append(ready,
+			"hier_parts", hs.Parts, "hier_boundary", hs.BoundaryVerts,
+			"hier_overlay_edges", hs.OverlayEdges, "hier_cache_mib", *hierMB)
+	}
+	slog.Info("ready", ready...)
 
 	// Serve until the listener fails or a shutdown signal arrives.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -221,7 +287,9 @@ func main() {
 
 	select {
 	case err := <-errCh:
-		st.Close()
+		if st != nil {
+			st.Close()
+		}
 		fatal(err)
 	case <-ctx.Done():
 		stop() // restore default signal behavior: a second ^C kills immediately
@@ -235,8 +303,10 @@ func main() {
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			slog.Error("listener failed", "err", err)
 		}
-		if err := st.Close(); err != nil {
-			fatal(fmt.Errorf("closing store: %w", err))
+		if st != nil {
+			if err := st.Close(); err != nil {
+				fatal(fmt.Errorf("closing store: %w", err))
+			}
 		}
 		slog.Info("bye")
 	}

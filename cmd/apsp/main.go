@@ -12,6 +12,9 @@
 //	apsp -n 8192 -phantom -progress               # watch units stream by
 //	apsp -solver dij -input sparse.txt -store d.apsp  # host-native sparse solve,
 //	                                                  # rows streamed to the store
+//	apsp -solver hier -input g.txt -hier g.hier   # build the partition+shortcut
+//	                                              # hierarchy; serve it with
+//	                                              # apsp-serve -hier g.hier -graph g.txt
 //	apsp -solver help                             # list host-native vs cluster solvers
 package main
 
@@ -54,6 +57,10 @@ func main() {
 		storeOut  = flag.String("store", "", "persist the solved distances as a tiled store file (real runs only; serve it with apsp-serve)")
 		resume    = flag.Bool("resume", false, "resume a killed/cancelled -store solve from its checkpoint (host-native solvers only)")
 
+		hierOut  = flag.String("hier", "", "-solver hier: persist the built hierarchy to this file (serve it with apsp-serve -hier)")
+		partSize = flag.Int("part-size", 0, "-solver hier: target partition size (0 = auto: max(64, 2*sqrt(n)))")
+		partSeed = flag.Int64("part-seed", 0, "-solver hier: partitioner ordering seed (answers are exact under every seed)")
+
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
 		logLevel    = flag.String("log-level", "warn", "log level: debug, info, warn or error (debug shows solve/stage/panel spans)")
 		dumpMetrics = flag.Bool("dump-metrics", false, "print the process metric registry (Prometheus text format) to stderr after the run")
@@ -68,9 +75,15 @@ func main() {
 		printSolverHelp()
 		return
 	}
+	hier := *solver == "hier"
 	host := apspark.IsHostSolver(apspark.SolverKind(*solver))
-	if host {
+	if host || hier {
 		if err := rejectClusterFlags(*solver); err != nil {
+			fatal(err)
+		}
+	}
+	if !hier {
+		if err := rejectHierFlags(*solver); err != nil {
 			fatal(err)
 		}
 	}
@@ -79,6 +92,14 @@ func main() {
 	// partial result is reported below instead of being thrown away.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if hier {
+		if *storeOut != "" || *resume {
+			fatal(fmt.Errorf("-solver hier builds a compute-on-demand hierarchy, not a tiled store; use -hier to persist it (no -store/-resume)"))
+		}
+		runHier(ctx, *n, *seed, *input, *hierOut, *partSize, *partSeed, *verify, *progress, *dumpMetrics)
+		return
+	}
 
 	sessOpts := []apspark.Option{apspark.WithClusterCores(*cores)}
 	if *calibrate {
@@ -136,16 +157,7 @@ func main() {
 		res, err = sess.Project(ctx, *n, jobOpts...)
 	} else {
 		var g *apspark.Graph
-		if *input != "" {
-			f, ferr := os.Open(*input)
-			if ferr != nil {
-				fatal(ferr)
-			}
-			g, err = graph.ReadEdgeList(f)
-			f.Close()
-		} else {
-			g, err = apspark.NewErdosRenyiGraph(*n, apspark.PaperEdgeProb(*n), *seed)
-		}
+		g, err = loadGraph(*input, *n, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -262,6 +274,104 @@ func main() {
 	}
 }
 
+// loadGraph reads an edge-list file when input is set, otherwise samples
+// the paper's G(n, p) family.
+func loadGraph(input string, n int, seed int64) (*apspark.Graph, error) {
+	if input == "" {
+		return apspark.NewErdosRenyiGraph(n, apspark.PaperEdgeProb(n), seed)
+	}
+	f, err := os.Open(input)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadEdgeList(f)
+}
+
+// runHier is the -solver hier mode: partition the graph, solve
+// boundary-to-boundary shortcuts, and report (optionally persist) the
+// resulting compute-on-demand hierarchy instead of a distance matrix.
+func runHier(ctx context.Context, n int, seed int64, input, out string, partSize int, partSeed int64, verify, progress, dumpMetrics bool) {
+	g, err := loadGraph(input, n, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: n=%d edges=%d\n", g.N, g.NumEdges())
+	sess, err := apspark.New()
+	if err != nil {
+		fatal(err)
+	}
+	jobOpts := []apspark.SolveOption{
+		apspark.WithPartSize(partSize),
+		apspark.WithPartSeed(partSeed),
+		apspark.WithVerify(verify),
+	}
+	if progress {
+		jobOpts = append(jobOpts, apspark.WithProgress(func(ev apspark.StageEvent) {
+			if ev.Name == "unit" {
+				fmt.Fprintf(os.Stderr, "apsp: partitions %5d/%d solved\n", ev.UnitsDone, ev.UnitsTotal)
+			}
+		}))
+	}
+	start := time.Now()
+	o, err := sess.BuildHierarchy(ctx, g, jobOpts...)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// A cancelled build keeps no partial state; there is nothing to
+			// report beyond the fact.
+			fmt.Fprintln(os.Stderr, "apsp: hierarchy build cancelled; nothing persisted")
+			os.Exit(130)
+		}
+		fatal(err)
+	}
+	wall := time.Since(start)
+	st := o.Stats()
+	fmt.Printf("solver:            partition+shortcut hierarchy (host-native)\n")
+	fmt.Printf("partitions:        %d (target size %d, max %d)\n", st.Parts, st.TargetSize, st.MaxPartSize)
+	fmt.Printf("boundary vertices: %d of %d\n", st.BoundaryVerts, g.N)
+	fmt.Printf("cut edges:         %d of %d\n", st.CutEdges, g.NumEdges())
+	fmt.Printf("overlay edges:     %d (%d shortcut + %d cut)\n", st.OverlayEdges, st.ShortcutEdges, st.OverlayEdges-st.ShortcutEdges)
+	fmt.Printf("build wall time:   %s\n", wall.Round(time.Millisecond))
+	if verify {
+		fmt.Println("verification:      OK (matches sequential Floyd-Warshall)")
+	}
+	if out != "" {
+		if err := o.Save(out); err != nil {
+			fatal(err)
+		}
+		fi, err := os.Stat(out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hierarchy:         %s (%s; serve with apsp-serve -hier %s -graph <edge list>)\n",
+			out, fmtBytes(fi.Size()), out)
+	}
+	if dumpMetrics {
+		obs.RegisterProcessMetrics(obs.Default)
+		fmt.Fprintln(os.Stderr, "# apsp: end-of-run metrics")
+		if err := obs.Default.WritePrometheus(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// rejectHierFlags fails a non-hierarchy run that sets hierarchy-only
+// flags, mirroring rejectClusterFlags.
+func rejectHierFlags(solver string) error {
+	hierOnly := map[string]bool{"hier": true, "part-size": true, "part-seed": true}
+	var offending []string
+	flag.Visit(func(f *flag.Flag) {
+		if hierOnly[f.Name] {
+			offending = append(offending, "-"+f.Name)
+		}
+	})
+	if len(offending) > 0 {
+		return fmt.Errorf("-solver %s solves flat: %s only apply to -solver hier",
+			solver, strings.Join(offending, ", "))
+	}
+	return nil
+}
+
 func fmtBytes(b int64) string {
 	const unit = 1024
 	if b < unit {
@@ -281,6 +391,7 @@ func solverFlagNames() string {
 	for _, h := range apspark.HostSolvers() {
 		names = append(names, string(h.Name))
 	}
+	names = append(names, "hier")
 	names = append(names, core.RegisteredSolvers()...)
 	return strings.Join(names, " | ")
 }
@@ -293,6 +404,8 @@ func printSolverHelp() {
 	for _, h := range apspark.HostSolvers() {
 		fmt.Printf("  %-5s %s\n", h.Name, h.Description)
 	}
+	fmt.Printf("  %-5s %s\n", "hier",
+		"partition+shortcut hierarchy: no matrix is solved; queries are answered on demand (persist with -hier, serve with apsp-serve -hier)")
 	fmt.Println("virtual-cluster solvers (paper §4; real solves and -phantom projections):")
 	for _, name := range core.RegisteredSolvers() {
 		s, err := core.SolverByName(name)

@@ -29,6 +29,17 @@
 // Edge placement depends only on -n, the edge probability and -seed, so
 // changing -weights re-weights the exact same topology, and adding
 // -connect only adds the backbone — the random edges stay identical.
+//
+// -model planted switches from G(n, p) to a planted-partition graph: n
+// vertices split into -communities near-equal groups, intra-community
+// edges sampled at -intra-p and inter-community edges at -inter-p.
+// Leaving the probabilities negative derives them from -avg-degree
+// (default 16): ~90% of each vertex's expected edges stay inside its
+// community. Planted graphs are the natural stress test for
+// apsp -solver hier — community boundaries are exactly the small
+// separators the hierarchy partitioner wants to find:
+//
+//	graphgen -model planted -n 65536 -communities 64 -connect -o g.txt
 package main
 
 import (
@@ -51,24 +62,61 @@ func main() {
 		weights = flag.String("weights", "uniform", "weight distribution: uniform | unit | int")
 		seed    = flag.Int64("seed", 42, "random seed")
 		out     = flag.String("o", "", "output file (default stdout)")
+
+		model  = flag.String("model", "er", "random-graph model: er | planted")
+		comms  = flag.Int("communities", 16, "planted model: number of communities")
+		intraP = flag.Float64("intra-p", -1, "planted model: intra-community edge probability (default: derived from -avg-degree)")
+		interP = flag.Float64("inter-p", -1, "planted model: inter-community edge probability (default: derived from -avg-degree)")
 	)
 	flag.Parse()
 
-	prob := *p
-	if *avgDeg > 0 {
-		prob = graph.AvgDegreeProb(*n, *avgDeg)
-	} else if prob < 0 {
-		prob = graph.ErdosRenyiPaperProb(*n)
-	}
 	wf, err := graph.WeightsByName(*weights, *maxW)
 	if err != nil {
 		fatal(err)
 	}
-	gen := graph.ErdosRenyiWeighted
-	if *connect {
-		gen = graph.ErdosRenyiConnected
+
+	var g *graph.Graph
+	var detail string
+	switch *model {
+	case "er":
+		prob := *p
+		if *avgDeg > 0 {
+			prob = graph.AvgDegreeProb(*n, *avgDeg)
+		} else if prob < 0 {
+			prob = graph.ErdosRenyiPaperProb(*n)
+		}
+		gen := graph.ErdosRenyiWeighted
+		if *connect {
+			gen = graph.ErdosRenyiConnected
+		}
+		g, err = gen(*n, prob, wf, *seed)
+		detail = fmt.Sprintf("p=%.6f", prob)
+	case "planted":
+		pin, pout := *intraP, *interP
+		if pin < 0 || pout < 0 {
+			// Derive from the degree target: ~90% of a vertex's expected
+			// edges stay inside its community, the rest cross.
+			deg := *avgDeg
+			if deg <= 0 {
+				deg = 16
+			}
+			dIn, dOut := plantedProbs(*n, *comms, deg)
+			if pin < 0 {
+				pin = dIn
+			}
+			if pout < 0 {
+				pout = dOut
+			}
+		}
+		gen := graph.PlantedPartition
+		if *connect {
+			gen = graph.PlantedPartitionConnected
+		}
+		g, err = gen(*n, *comms, pin, pout, wf, *seed)
+		detail = fmt.Sprintf("communities=%d intra-p=%.6f inter-p=%.6f", *comms, pin, pout)
+	default:
+		fatal(fmt.Errorf("unknown -model %q (want er or planted)", *model))
 	}
-	g, err := gen(*n, prob, wf, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -80,8 +128,24 @@ func main() {
 	} else if err := writeAtomic(*out, g.WriteEdgeList); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "graphgen: n=%d m=%d p=%.6f weights=%s connected=%v\n",
-		g.N, g.NumEdges(), prob, *weights, g.Connected())
+	fmt.Fprintf(os.Stderr, "graphgen: model=%s n=%d m=%d %s weights=%s connected=%v\n",
+		*model, g.N, g.NumEdges(), detail, *weights, g.Connected())
+}
+
+// plantedProbs converts a target average degree into (intra, inter) edge
+// probabilities with a 90/10 intra/inter split, clamped to [0, 1].
+func plantedProbs(n, k int, deg float64) (pin, pout float64) {
+	if k <= 0 || n <= 1 {
+		return 0, 0
+	}
+	size := float64(n) / float64(k)
+	if size > 1 {
+		pin = 0.9 * deg / (size - 1)
+	}
+	if float64(n) > size {
+		pout = 0.1 * deg / (float64(n) - size)
+	}
+	return min(pin, 1), min(pout, 1)
 }
 
 // writeAtomic streams write's output into a temp file next to path, fsyncs

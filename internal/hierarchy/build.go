@@ -1,0 +1,293 @@
+package hierarchy
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apspark/internal/graph"
+	"apspark/internal/sparse"
+)
+
+// BuildOptions tunes a hierarchy build.
+type BuildOptions struct {
+	// PartSize is the target partition size (<= 0: DefaultPartSize).
+	PartSize int
+	// Seed drives the partitioner's BFS seed order; the whole build is
+	// deterministic in (graph, PartSize, Seed).
+	Seed int64
+	// Workers bounds the goroutines running boundary solves across
+	// partitions (<= 0: GOMAXPROCS).
+	Workers int
+	// CacheBytes budgets the oracle's partition-local row cache
+	// (<= 0: DefaultCacheBytes).
+	CacheBytes int64
+	// Progress, when non-nil, is called after each partition's shortcut
+	// solves complete, serialized across workers.
+	Progress func(partsDone, partsTotal int)
+}
+
+// BuildStats summarizes a finished build.
+type BuildStats struct {
+	Parts         int     `json:"parts"`
+	TargetSize    int     `json:"target_part_size"`
+	MaxPartSize   int     `json:"max_part_size"`
+	BoundaryVerts int     `json:"boundary_vertices"`
+	CutEdges      int     `json:"cut_edges"`
+	ShortcutEdges int     `json:"shortcut_edges"` // undirected boundary→boundary shortcuts
+	OverlayEdges  int     `json:"overlay_edges"`  // undirected: shortcuts + cut edges
+	BuildSeconds  float64 `json:"build_seconds"`
+}
+
+// ovlEdge is one undirected overlay edge between overlay vertex ids.
+type ovlEdge struct {
+	u, v int32
+	w    float64
+}
+
+// Build partitions g, runs a frontier-stopped Dijkstra from every
+// boundary vertex (parallel across partitions, pooled scratch), and
+// lifts the resulting boundary→boundary shortcuts plus the original
+// cross-partition edges into a compact overlay CSR served by its own
+// sparse engine. A cancelled ctx stops between boundary solves with
+// ctx.Err(); nothing partial escapes (persistence is a separate,
+// atomic Save on the finished oracle).
+//
+// Exactness: a shortest path between boundary vertices of one
+// partition, restricted to that partition, decomposes at its
+// intermediate boundary vertices into boundary-free segments; each
+// segment is found by the frontier-stopped solve from its endpoint
+// (interior vertices expand, boundaries settle but stop). The overlay
+// closure over those shortcuts therefore reproduces every restricted
+// distance, and with the cross-partition edges added, every true
+// boundary-to-boundary distance — no O(B³) pruning pass and no n²
+// anything.
+func Build(ctx context.Context, g *graph.Graph, opts BuildOptions) (*Oracle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	pt, err := NewPartition(g, opts.PartSize, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	eng := sparse.New(g)
+	o, err := assemble(ctx, g, eng, pt, opts)
+	if err != nil {
+		return nil, err
+	}
+	o.stats.BuildSeconds = time.Since(start).Seconds()
+	return o, nil
+}
+
+// assemble runs the shortcut solves and overlay construction for an
+// already-partitioned graph — shared between Build and Load (which
+// skips the solves by reading the overlay back instead).
+func assemble(ctx context.Context, g *graph.Graph, eng *sparse.Engine, pt *Partition, opts BuildOptions) (*Oracle, error) {
+	shortcuts, err := solveShortcuts(ctx, eng, pt, opts)
+	if err != nil {
+		return nil, err
+	}
+	numShortcuts := len(shortcuts)
+	edges := appendCrossEdges(shortcuts, g, pt)
+	ovlG, err := overlayCSR(pt, edges)
+	if err != nil {
+		return nil, err
+	}
+	return newOracle(g, eng, pt, ovlG, numShortcuts, opts.CacheBytes)
+}
+
+// solveShortcuts runs the per-partition boundary solves, partitions
+// sharded across workers, and returns the deduplicated (u < v by
+// overlay id) shortcut edge list in deterministic order.
+func solveShortcuts(ctx context.Context, eng *sparse.Engine, pt *Partition, opts BuildOptions) ([]ovlEdge, error) {
+	v2b := overlayIDs(pt)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > pt.Parts {
+		workers = pt.Parts
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	perPart := make([][]ovlEdge, pt.Parts)
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		mu       sync.Mutex // serializes Progress
+		done     int
+		firstErr error
+		errOnce  sync.Once
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var edges []ovlEdge
+			for {
+				p := int(next.Add(1) - 1)
+				if p >= pt.Parts {
+					return
+				}
+				edges = edges[:0]
+				if err := solvePartShortcuts(ctx, eng, pt, v2b, p, &edges); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				perPart[p] = append([]ovlEdge(nil), edges...)
+				if opts.Progress != nil {
+					mu.Lock()
+					done++
+					opts.Progress(done, pt.Parts)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	total := 0
+	for _, e := range perPart {
+		total += len(e)
+	}
+	out := make([]ovlEdge, 0, total)
+	for _, e := range perPart {
+		out = append(out, e...)
+	}
+	return out, nil
+}
+
+// solvePartShortcuts runs the frontier-stopped solve from each boundary
+// vertex of partition p: the expand set is the source plus p's interior
+// vertices, so other boundaries settle with their boundary-free
+// distance but are never crossed. Emitting only u < v (by overlay id)
+// halves the edges without losing anything — boundary-free distances
+// are symmetric on an undirected graph.
+func solvePartShortcuts(ctx context.Context, eng *sparse.Engine, pt *Partition, v2b []int32, p int, edges *[]ovlEdge) error {
+	p32 := int32(p)
+	lo := pt.Off[p]
+	nb := pt.NB[p]
+	for i := int32(0); i < nb; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b := pt.Verts[lo+i]
+		myID := v2b[b]
+		expand := func(v int32) bool {
+			return v == b || (pt.Part[v] == p32 && !pt.Boundary[v])
+		}
+		onSettle := func(v int32, d float64) {
+			if v != b && pt.Part[v] == p32 && pt.Boundary[v] {
+				if other := v2b[v]; other > myID {
+					*edges = append(*edges, ovlEdge{u: myID, v: other, w: d})
+				}
+			}
+		}
+		if _, err := eng.SolveRowBoundedInto(int(b), nil, sparse.Bound{Expand: expand, OnSettle: onSettle}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// overlayIDs numbers the boundary vertices 0..B-1 in Verts order, so a
+// partition's overlay ids are the contiguous range starting at the
+// prefix sum of NB — the property the oracle's target lists rely on.
+func overlayIDs(pt *Partition) (v2b []int32) {
+	v2b = make([]int32, len(pt.Part))
+	for i := range v2b {
+		v2b[i] = -1
+	}
+	id := int32(0)
+	for p := 0; p < pt.Parts; p++ {
+		lo := pt.Off[p]
+		for i := int32(0); i < pt.NB[p]; i++ {
+			v2b[pt.Verts[lo+i]] = id
+			id++
+		}
+	}
+	return v2b
+}
+
+// appendCrossEdges adds every original cross-partition edge (both
+// endpoints are boundary vertices by definition) to the overlay edge
+// list, u < v by overlay id.
+func appendCrossEdges(edges []ovlEdge, g *graph.Graph, pt *Partition) []ovlEdge {
+	v2b := overlayIDs(pt)
+	rowPtr, colIdx, weights := g.CSR()
+	for u := 0; u < g.N; u++ {
+		if !pt.Boundary[u] {
+			continue
+		}
+		for p, hi := rowPtr[u], rowPtr[u+1]; p < hi; p++ {
+			v := colIdx[p]
+			if int32(u) < v && pt.Part[v] != pt.Part[u] {
+				bu, bv := v2b[u], v2b[v]
+				if bu > bv {
+					bu, bv = bv, bu
+				}
+				edges = append(edges, ovlEdge{u: bu, v: bv, w: weights[p]})
+			}
+		}
+	}
+	return edges
+}
+
+// overlayCSR lays the undirected overlay edge list out as a CSR graph
+// over the B overlay vertices: positional fill from counted degrees,
+// then a per-row sort — no dedup map, because shortcut pairs are
+// emitted once and cross-partition pairs come deduplicated from the
+// original graph (and the two sets are disjoint: shortcuts are
+// intra-partition pairs, cross edges inter-partition).
+func overlayCSR(pt *Partition, edges []ovlEdge) (*graph.Graph, error) {
+	b := pt.BoundaryVerts()
+	deg := make([]int32, b)
+	for _, e := range edges {
+		deg[e.u]++
+		deg[e.v]++
+	}
+	rowPtr := make([]int32, b+1)
+	for i := 0; i < b; i++ {
+		rowPtr[i+1] = rowPtr[i] + deg[i]
+	}
+	m := int(rowPtr[b])
+	colIdx := make([]int32, m)
+	weights := make([]float64, m)
+	cur := make([]int32, b)
+	put := func(u, v int32, w float64) {
+		at := rowPtr[u] + cur[u]
+		colIdx[at] = v
+		weights[at] = w
+		cur[u]++
+	}
+	for _, e := range edges {
+		put(e.u, e.v, e.w)
+		put(e.v, e.u, e.w)
+	}
+	s := &rowSorter{}
+	for u := 0; u < b; u++ {
+		lo, hi := rowPtr[u], rowPtr[u+1]
+		s.idx, s.ws = colIdx[lo:hi], weights[lo:hi]
+		sort.Sort(s)
+	}
+	return graph.FromCSR(b, rowPtr, colIdx, weights)
+}
+
+type rowSorter struct {
+	idx []int32
+	ws  []float64
+}
+
+func (s *rowSorter) Len() int           { return len(s.idx) }
+func (s *rowSorter) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.ws[i], s.ws[j] = s.ws[j], s.ws[i]
+}

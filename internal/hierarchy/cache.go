@@ -1,0 +1,149 @@
+package hierarchy
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCacheBytes is the local-row cache budget when the caller does
+// not pick one.
+const DefaultCacheBytes = 64 << 20
+
+// rowCache is the byte-budgeted LRU over partition-local rows, the
+// same sharded shape as the store's tile cache: the budget splits
+// across shards, each shard owning its own lock, LRU list and byte
+// account, so concurrent queries on different vertices rarely contend.
+// Values are immutable once inserted (readers share the slice), so a
+// hit is a map lookup plus a list bump under one shard lock.
+type rowCache struct {
+	shards []*rowShard
+	mask   uint32
+}
+
+type rowShard struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+
+	mu     sync.Mutex
+	budget int64
+	inUse  int64
+	items  map[int32]*list.Element
+	lru    *list.List // front = most recent; values are *rowEntry
+}
+
+type rowEntry struct {
+	key  int32
+	row  []float64
+	size int64
+}
+
+// newRowCache sizes the shard set like the store does: enough shards
+// to spread CPUs, never so many that a shard's budget falls below one
+// plausible row.
+func newRowCache(budget int64, maxRowBytes int64, shards int) *rowCache {
+	if budget <= 0 {
+		budget = DefaultCacheBytes
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	// Power of two for mask indexing, and no shard smaller than the
+	// largest row it might hold.
+	for shards > 1 && budget/int64(shards) < maxRowBytes {
+		shards /= 2
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &rowCache{shards: make([]*rowShard, n), mask: uint32(n - 1)}
+	per := budget / int64(n)
+	for i := range c.shards {
+		c.shards[i] = &rowShard{
+			budget: per,
+			items:  make(map[int32]*list.Element),
+			lru:    list.New(),
+		}
+	}
+	return c
+}
+
+func (c *rowCache) shard(key int32) *rowShard {
+	// Fibonacci hash spreads sequential vertex ids across shards.
+	return c.shards[(uint32(key)*2654435769)>>16&c.mask]
+}
+
+// get returns the cached row for key, or nil on a miss.
+func (c *rowCache) get(key int32) []float64 {
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return nil
+	}
+	s.lru.MoveToFront(el)
+	row := el.Value.(*rowEntry).row
+	s.mu.Unlock()
+	s.hits.Add(1)
+	return row
+}
+
+// put inserts a freshly computed row. Rows larger than the shard budget
+// are served uncached, like oversized tiles in the store. Racing
+// inserts of the same key keep the incumbent.
+func (c *rowCache) put(key int32, row []float64) {
+	s := c.shard(key)
+	size := int64(len(row)) * 8
+	if size > s.budget {
+		return
+	}
+	s.mu.Lock()
+	if _, ok := s.items[key]; ok {
+		s.mu.Unlock()
+		return
+	}
+	for s.inUse+size > s.budget {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*rowEntry)
+		s.lru.Remove(back)
+		delete(s.items, ev.key)
+		s.inUse -= ev.size
+		s.evictions.Add(1)
+	}
+	s.items[key] = s.lru.PushFront(&rowEntry{key: key, row: row, size: size})
+	s.inUse += size
+	s.mu.Unlock()
+}
+
+// CacheStats is a point-in-time snapshot of the local-row cache.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	BytesUsed int64 `json:"bytes_used"`
+	BytesMax  int64 `json:"bytes_max"`
+	Shards    int   `json:"shards"`
+}
+
+func (c *rowCache) stats() CacheStats {
+	st := CacheStats{Shards: len(c.shards)}
+	for _, s := range c.shards {
+		st.Hits += s.hits.Load()
+		st.Misses += s.misses.Load()
+		st.Evictions += s.evictions.Load()
+		s.mu.Lock()
+		st.Entries += len(s.items)
+		st.BytesUsed += s.inUse
+		st.BytesMax += s.budget
+		s.mu.Unlock()
+	}
+	return st
+}

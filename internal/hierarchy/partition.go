@@ -1,0 +1,191 @@
+// Package hierarchy is the scale unlock past the n² output wall: a
+// partition-and-shortcut APSP oracle in the spirit of customizable
+// route planning and the "disassembly and assembly" line of work. The
+// graph is split into parts of bounded size; per part, frontier-stopped
+// Dijkstra runs from every boundary vertex emit boundary→boundary
+// shortcut edges whose closure — together with the original cross-part
+// edges — forms a small overlay graph that preserves all inter-part
+// distances exactly. Any-pair queries then combine a partition-local
+// row at each end with a multi-seed overlay search in the middle,
+// never materializing n² distances: O(m + overlay) state answers what
+// a 32 GiB store would otherwise be needed for.
+package hierarchy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"apspark/internal/graph"
+)
+
+// Partition is a deterministic vertex partition of one graph, with the
+// boundary structure the overlay build and the oracle both navigate.
+type Partition struct {
+	// Parts is the number of partitions; Part maps vertex -> partition.
+	Parts int
+	Part  []int32
+	// Verts lists every partition's vertices back to back: partition p
+	// owns Verts[Off[p]:Off[p+1]], boundary vertices first, each group in
+	// ascending vertex order. LocalIdx inverts it: LocalIdx[v] is v's
+	// index within its partition's segment. Partition-local rows use this
+	// compact layout, so a cached row costs |part| floats, and its first
+	// NB[p] entries are exactly the boundary distances.
+	Verts    []int32
+	Off      []int32
+	NB       []int32
+	LocalIdx []int32
+	// Boundary flags vertices with at least one neighbour in another
+	// partition.
+	Boundary []bool
+	// CutEdges counts undirected edges crossing partitions.
+	CutEdges int
+	// TargetSize and Seed record the inputs that produced the partition.
+	TargetSize int
+	Seed       int64
+}
+
+// DefaultPartSize is the target partition size used when the caller
+// does not pick one: ~2√n balances the cost of a partition-local row
+// (O(part) memory, one bounded solve) against overlay size, and is
+// clamped so tiny graphs still form a real partition.
+func DefaultPartSize(n int) int {
+	s := 2 * int(math.Sqrt(float64(n)))
+	if s < 64 {
+		s = 64
+	}
+	return s
+}
+
+// NewPartition grows BFS clusters over g's CSR arrays: seeds are tried
+// in a seed-shuffled vertex order, each growing breadth-first over
+// unassigned vertices until targetSize. The result depends only on
+// (graph, targetSize, seed) — no map iteration, no goroutines — so two
+// builds of the same graph agree bit for bit, which is what lets the
+// overlay be persisted as just the Part array plus the overlay CSR.
+func NewPartition(g *graph.Graph, targetSize int, seed int64) (*Partition, error) {
+	n := g.N
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("hierarchy: n=%d exceeds int32 vertex ids", n)
+	}
+	if targetSize <= 0 {
+		targetSize = DefaultPartSize(n)
+	}
+	rowPtr, colIdx, _ := g.CSR()
+	part := make([]int32, n)
+	for i := range part {
+		part[i] = -1
+	}
+	order := rand.New(rand.NewSource(seed)).Perm(n)
+	queue := make([]int32, 0, targetSize)
+	parts := 0
+	for _, s := range order {
+		if part[s] >= 0 {
+			continue
+		}
+		pid := int32(parts)
+		parts++
+		part[s] = pid
+		size := 1
+		queue = append(queue[:0], int32(s))
+		for qi := 0; qi < len(queue) && size < targetSize; qi++ {
+			u := queue[qi]
+			for p, hi := rowPtr[u], rowPtr[u+1]; p < hi; p++ {
+				v := colIdx[p]
+				if part[v] >= 0 {
+					continue
+				}
+				part[v] = pid
+				queue = append(queue, v)
+				if size++; size >= targetSize {
+					break
+				}
+			}
+		}
+	}
+	pt := &Partition{
+		Parts:      parts,
+		Part:       part,
+		TargetSize: targetSize,
+		Seed:       seed,
+	}
+	pt.index(g)
+	return pt, nil
+}
+
+// index derives the boundary flags and the boundary-first vertex layout
+// from Part — shared by NewPartition and Load, so a loaded partition
+// reproduces the exact in-memory layout of the build that saved it.
+func (pt *Partition) index(g *graph.Graph) {
+	n := g.N
+	rowPtr, colIdx, _ := g.CSR()
+	pt.Boundary = make([]bool, n)
+	cut := 0
+	for u := 0; u < n; u++ {
+		pu := pt.Part[u]
+		for p, hi := rowPtr[u], rowPtr[u+1]; p < hi; p++ {
+			v := colIdx[p]
+			if pt.Part[v] != pu {
+				pt.Boundary[u] = true
+				if int32(u) < v {
+					cut++
+				}
+			}
+		}
+	}
+	pt.CutEdges = cut
+	size := make([]int32, pt.Parts)
+	pt.NB = make([]int32, pt.Parts)
+	for v := 0; v < n; v++ {
+		size[pt.Part[v]]++
+		if pt.Boundary[v] {
+			pt.NB[pt.Part[v]]++
+		}
+	}
+	pt.Off = make([]int32, pt.Parts+1)
+	for p := 0; p < pt.Parts; p++ {
+		pt.Off[p+1] = pt.Off[p] + size[p]
+	}
+	pt.Verts = make([]int32, n)
+	pt.LocalIdx = make([]int32, n)
+	bCur := make([]int32, pt.Parts)
+	iCur := make([]int32, pt.Parts)
+	copy(iCur, pt.NB)
+	// Ascending vertex order within each group falls out of the v scan.
+	for v := 0; v < n; v++ {
+		p := pt.Part[v]
+		var at int32
+		if pt.Boundary[v] {
+			at = pt.Off[p] + bCur[p]
+			bCur[p]++
+		} else {
+			at = pt.Off[p] + iCur[p]
+			iCur[p]++
+		}
+		pt.Verts[at] = int32(v)
+		pt.LocalIdx[v] = at - pt.Off[p]
+	}
+}
+
+// Size returns partition p's vertex count.
+func (pt *Partition) Size(p int) int { return int(pt.Off[p+1] - pt.Off[p]) }
+
+// BoundaryVerts returns the total boundary vertex count.
+func (pt *Partition) BoundaryVerts() int {
+	total := 0
+	for _, b := range pt.NB {
+		total += int(b)
+	}
+	return total
+}
+
+// MaxPartSize returns the largest partition's vertex count.
+func (pt *Partition) MaxPartSize() int {
+	m := 0
+	for p := 0; p < pt.Parts; p++ {
+		if s := pt.Size(p); s > m {
+			m = s
+		}
+	}
+	return m
+}

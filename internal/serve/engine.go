@@ -168,32 +168,91 @@ type Engine struct {
 	rowScratch  sync.Pool // *[]float64, for sources without RowView
 	pathScratch sync.Pool // *pathVisit
 
-	// sp re-derives any single distance row from the graph (Dijkstra over
-	// the CSR arrays) when a store read comes back corrupt: a quarantined
-	// tile degrades that row-stripe to compute-on-demand instead of
-	// failing it. nil without a graph — then corruption surfaces as the
-	// store's typed error.
+	// fb is an optional second source (typically a hierarchy oracle)
+	// that answers row queries the primary source fails with a
+	// corrupt-store read; fbRC is its RowCopier upgrade. sp re-derives
+	// any single distance row from the graph (Dijkstra over the CSR
+	// arrays) for the same situation — the fallback of last resort when
+	// no fb is wired. nil both ways, corruption surfaces as the store's
+	// typed error.
+	fb         Source
+	fbRC       RowCopier
 	sp         *sparse.Engine
 	recomputed atomic.Int64
+}
+
+// EngineOptions tunes New beyond the positional essentials.
+type EngineOptions struct {
+	// Fallback, when non-nil, answers row queries that the primary
+	// source fails with a corrupt-tile read — a hierarchy oracle kept
+	// warm beside a precomputed store. It must serve the same vertex
+	// count as the primary source. Recomputed() counts these answers
+	// too, so the degraded-serving signal stays coherent no matter which
+	// fallback produced the row.
+	Fallback Source
 }
 
 // New builds an engine. g may be nil, disabling Path queries; when
 // present its vertex count must match the source.
 func New(src Source, g *graph.Graph) (*Engine, error) {
+	return NewWithOptions(src, g, EngineOptions{})
+}
+
+// NewWithOptions is New with a second, fallback source (see
+// EngineOptions).
+func NewWithOptions(src Source, g *graph.Graph, opts EngineOptions) (*Engine, error) {
 	if src == nil {
 		return nil, fmt.Errorf("serve: nil source")
 	}
 	if g != nil && g.N != src.N() {
 		return nil, fmt.Errorf("serve: graph has %d vertices, distance source has %d", g.N, src.N())
 	}
-	e := &Engine{src: src, g: g}
+	if opts.Fallback != nil && opts.Fallback.N() != src.N() {
+		return nil, fmt.Errorf("serve: fallback source has %d vertices, primary has %d", opts.Fallback.N(), src.N())
+	}
+	e := &Engine{src: src, g: g, fb: opts.Fallback}
 	e.rv, _ = src.(RowViewer)
 	e.rc, _ = src.(RowCopier)
+	if e.fb != nil {
+		e.fbRC, _ = e.fb.(RowCopier)
+	}
 	if g != nil {
 		e.adjPtr, e.adjTo, e.adjW = g.CSR()
 		e.sp = sparse.New(g)
 	}
 	return e, nil
+}
+
+// KindedSource is an optional Source upgrade: SourceKind labels the
+// source for serving-mode reporting ("oracle" for the hierarchy
+// oracle; stores and matrices are recognized directly).
+type KindedSource interface {
+	SourceKind() string
+}
+
+func sourceKind(src Source) string {
+	switch s := src.(type) {
+	case KindedSource:
+		return s.SourceKind()
+	case *store.Store:
+		return "store"
+	case *matrixSource:
+		return "matrix"
+	default:
+		return "custom"
+	}
+}
+
+// SourceKind labels the live serving mode: the primary source's kind
+// ("store", "oracle", "matrix"), with "+fallback" appended when a
+// second source is wired behind it — the operator-facing distinction
+// between store-only, compute-on-demand and store-plus-oracle serving.
+func (e *Engine) SourceKind() string {
+	k := sourceKind(e.src)
+	if e.fb != nil {
+		k += "+fallback"
+	}
+	return k
 }
 
 // N returns the number of vertices served.
@@ -213,8 +272,11 @@ func (e *Engine) Recomputed() int64 { return e.recomputed.Load() }
 // counters when a graph is attached. The store's own metrics are
 // registered by the caller (it owns the store handle).
 func (e *Engine) RegisterMetrics(r *obs.Registry) {
+	r.Gauge("apsp_serve_source_info",
+		"Which source kind is live (constant 1; the kind label carries the mode).",
+		obs.Label{Key: "kind", Value: e.SourceKind()}).Set(1)
 	r.CounterFunc("apsp_serve_recomputed_rows_total",
-		"Row queries answered by re-solving from the graph after a corrupt store read.",
+		"Row queries answered by the fallback source or a graph re-solve after a corrupt store read.",
 		func() int64 { return e.recomputed.Load() })
 	if e.sp != nil {
 		e.sp.RegisterMetrics(r)
@@ -222,14 +284,32 @@ func (e *Engine) RegisterMetrics(r *obs.Registry) {
 }
 
 // canRecompute reports whether err is a corrupt-tile store read the
-// engine can answer from the graph instead.
+// engine can answer from the fallback source or the graph instead.
 func (e *Engine) canRecompute(err error) bool {
-	return e.sp != nil && errors.Is(err, store.ErrCorruptTile)
+	return (e.fb != nil || e.sp != nil) && errors.Is(err, store.ErrCorruptTile)
 }
 
-// recomputeRowInto re-derives from's full distance row from the graph,
-// reusing dst's backing array when large enough.
-func (e *Engine) recomputeRowInto(from int, dst []float64) ([]float64, error) {
+// recomputeRowInto re-derives from's full distance row, reusing dst's
+// backing array when large enough: from the fallback source when one is
+// wired (a hierarchy oracle answers in overlay time), else by a full
+// Dijkstra over the graph. Either way the row counts as recomputed.
+func (e *Engine) recomputeRowInto(ctx context.Context, from int, dst []float64) ([]float64, error) {
+	if e.fb != nil {
+		var row []float64
+		var err error
+		if e.fbRC != nil {
+			row, err = e.fbRC.RowInto(ctx, from, dst)
+		} else {
+			row, err = e.fb.Row(ctx, from)
+		}
+		if err == nil {
+			e.recomputed.Add(1)
+			return row, nil
+		}
+		if e.sp == nil {
+			return nil, err
+		}
+	}
 	n := e.src.N()
 	if cap(dst) >= n {
 		dst = dst[:n]
@@ -255,7 +335,7 @@ func (e *Engine) Dist(ctx context.Context, from, to int) (float64, error) {
 	if bp == nil {
 		bp = new([]float64)
 	}
-	row, rerr := e.recomputeRowInto(from, *bp)
+	row, rerr := e.recomputeRowInto(ctx, from, *bp)
 	if rerr != nil {
 		e.rowScratch.Put(bp)
 		return 0, err
@@ -270,7 +350,7 @@ func (e *Engine) Dist(ctx context.Context, from, to int) (float64, error) {
 func (e *Engine) Row(ctx context.Context, from int) ([]float64, error) {
 	row, err := e.src.Row(ctx, from)
 	if err != nil && e.canRecompute(err) {
-		return e.recomputeRowInto(from, nil)
+		return e.recomputeRowInto(ctx, from, nil)
 	}
 	return row, err
 }
@@ -281,14 +361,14 @@ func (e *Engine) RowInto(ctx context.Context, from int, dst []float64) ([]float6
 	if e.rc != nil {
 		out, err := e.rc.RowInto(ctx, from, dst)
 		if err != nil && e.canRecompute(err) {
-			return e.recomputeRowInto(from, dst)
+			return e.recomputeRowInto(ctx, from, dst)
 		}
 		return out, err
 	}
 	row, err := e.src.Row(ctx, from)
 	if err != nil {
 		if e.canRecompute(err) {
-			return e.recomputeRowInto(from, dst)
+			return e.recomputeRowInto(ctx, from, dst)
 		}
 		return nil, err
 	}
@@ -312,7 +392,7 @@ func (e *Engine) acquireRow(ctx context.Context, from int) (row []float64, relea
 	if bp == nil {
 		bp = new([]float64)
 	}
-	nrow, nerr := e.recomputeRowInto(from, *bp)
+	nrow, nerr := e.recomputeRowInto(ctx, from, *bp)
 	if nerr != nil {
 		e.rowScratch.Put(bp)
 		return nil, nil, err

@@ -168,6 +168,10 @@ type Health struct {
 	Status    string `json:"status"`
 	N         int    `json:"n"`
 	PathReady bool   `json:"path_ready"`
+	// Source labels the live serving mode: "store", "oracle", "matrix",
+	// with "+fallback" appended when a second source is wired behind the
+	// primary (see Engine.SourceKind).
+	Source string `json:"source"`
 	// Quarantined counts store tiles sidelined after failing checksum
 	// verification; any nonzero value flips Status to "degraded".
 	Quarantined int64 `json:"quarantined,omitempty"`
@@ -196,7 +200,7 @@ func Handler(e *Engine) http.Handler {
 		// instants (the old code read Quarantined, RetriedReads and the
 		// two cache stats through four separate accessors). The JSON field
 		// names are unchanged for compat.
-		h := Health{Status: "ok", N: e.N(), PathReady: e.HasGraph(), Recomputed: e.Recomputed()}
+		h := Health{Status: "ok", N: e.N(), PathReady: e.HasGraph(), Source: e.SourceKind(), Recomputed: e.Recomputed()}
 		if st, ok := e.src.(*store.Store); ok {
 			snap := st.Snapshot()
 			h.Cache = &snap.Tiles

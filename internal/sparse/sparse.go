@@ -52,12 +52,13 @@ type Engine struct {
 	// Cumulative solve telemetry, exposed by RegisterMetrics. Workers
 	// accumulate locally and flush once per panel slice, so the hot
 	// per-source loop stays free of shared-counter traffic.
-	srcSolved   atomic.Int64 // source rows completed
-	settled     atomic.Int64 // vertices settled (heap pops) across all sources
-	busyNs      atomic.Int64 // summed worker wall time inside panels
-	wallNs      atomic.Int64 // summed panel wall time
-	lastWorkers atomic.Int64 // worker count of the most recent panel
-	panelEmit   *obs.Histogram
+	srcSolved     atomic.Int64 // source rows completed
+	settled       atomic.Int64 // vertices settled (heap pops) across all sources
+	boundedSolves atomic.Int64 // bounded/multi-seed solves completed
+	busyNs        atomic.Int64 // summed worker wall time inside panels
+	wallNs        atomic.Int64 // summed panel wall time
+	lastWorkers   atomic.Int64 // worker count of the most recent panel
+	panelEmit     *obs.Histogram
 }
 
 // New builds an engine over g's CSR arrays (shared, read-only; the graph
@@ -84,6 +85,8 @@ func (e *Engine) RegisterMetrics(r *obs.Registry) {
 		func() int64 { return e.srcSolved.Load() })
 	r.CounterFunc("apsp_sparse_settled_vertices_total", "Vertices settled across all Dijkstra sources.",
 		func() int64 { return e.settled.Load() })
+	r.CounterFunc("apsp_sparse_bounded_solves_total", "Bounded (frontier-stopped or multi-seed) solves completed.",
+		func() int64 { return e.boundedSolves.Load() })
 	r.GaugeFunc("apsp_sparse_worker_busy_seconds", "Summed worker wall time spent solving panels.",
 		func() float64 { return float64(e.busyNs.Load()) / 1e9 })
 	r.GaugeFunc("apsp_sparse_solve_wall_seconds", "Summed panel wall time of the solve.",
@@ -150,6 +153,10 @@ type state struct {
 	lastMin uint64
 	count   int
 	buckets [numBuckets][]ent
+	// Target marks for bounded solves, epoch-stamped like vs and
+	// allocated only when a solve first passes Bound.Targets.
+	tmark  []uint32
+	tepoch uint32
 }
 
 func newState(n int) *state {

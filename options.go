@@ -47,6 +47,8 @@ type jobSettings struct {
 	verify       bool
 	trace        bool
 	resume       bool
+	partSize     int   // hierarchy builds only; 0 = auto
+	partSeed     int64 // hierarchy builds only; 0 = default ordering
 	progress     func(StageEvent)
 }
 
@@ -223,6 +225,32 @@ func WithTrace(on bool) SharedOption {
 func WithResume(on bool) SharedOption {
 	return settingsOption(func(j *jobSettings) error {
 		j.resume = on
+		return nil
+	})
+}
+
+// WithPartSize sets the target partition size of a hierarchy build
+// (Session.BuildHierarchy); 0 restores the automatic default
+// (max(64, 2·sqrt(n))). Solve/Project/SolveToStore reject it: flat
+// solves have no partitions to size.
+func WithPartSize(sz int) SharedOption {
+	return settingsOption(func(j *jobSettings) error {
+		if sz < 0 {
+			return fmt.Errorf("apspark: WithPartSize(%d) must be >= 0", sz)
+		}
+		j.partSize = sz
+		return nil
+	})
+}
+
+// WithPartSeed seeds the hierarchy partitioner's vertex ordering
+// (Session.BuildHierarchy): the same seed over the same graph always
+// yields the same partition, overlay and oracle answers. Distances are
+// exact under every seed; only partition shape (and thus build/query
+// cost) varies. Flat solves reject a non-zero seed.
+func WithPartSeed(seed int64) SharedOption {
+	return settingsOption(func(j *jobSettings) error {
+		j.partSeed = seed
 		return nil
 	})
 }

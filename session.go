@@ -119,6 +119,9 @@ func (s *Session) run(ctx context.Context, g *Graph, n int, job jobSettings) (*R
 	if job.resume {
 		return nil, fmt.Errorf("apspark: WithResume needs the streamed store checkpoint of a host-native solver; %q has no durable partial state", job.solver)
 	}
+	if job.partSize != 0 || job.partSeed != 0 {
+		return nil, fmt.Errorf("apspark: WithPartSize/WithPartSeed configure BuildHierarchy; flat solver %q has no partitions", job.solver)
+	}
 	solver, err := core.SolverByName(string(job.solver))
 	if err != nil {
 		return nil, err

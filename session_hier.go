@@ -1,0 +1,132 @@
+package apspark
+
+import (
+	"context"
+	"fmt"
+
+	"apspark/internal/hierarchy"
+	"apspark/internal/matrix"
+	"apspark/internal/obs"
+	"apspark/internal/seq"
+)
+
+// Oracle is a compute-on-demand distance oracle built by
+// Session.BuildHierarchy: instead of materializing (or storing) the n x n
+// matrix, it keeps a graph partition plus a boundary-to-boundary shortcut
+// overlay and answers Dist/Row/Batch queries exactly by stitching
+// partition-local Dijkstra rows through the overlay. It implements the
+// serving Source contract, so apsp-serve can put it directly behind
+// /dist, /row and /batch.
+type Oracle = hierarchy.Oracle
+
+// HierarchyStats summarizes a hierarchy build: partition shape, overlay
+// size and build time.
+type HierarchyStats = hierarchy.BuildStats
+
+// OraclePair is one (from, to) query of an Oracle.Batch call.
+type OraclePair = hierarchy.Pair
+
+// BuildHierarchy partitions g, solves boundary-to-boundary shortcuts per
+// partition in parallel, and returns the distance oracle over the
+// resulting overlay. Unlike Solve, nothing n x n is ever materialized:
+// build cost scales with partitions and boundary vertices, and queries
+// are answered on demand (see Oracle). The oracle is exact — equal to
+// the flat solvers bit for bit on integer weights.
+//
+// WithPartSize / WithPartSeed shape the partition, WithProgress streams
+// one "unit" event per completed partition plus a final "done" event, and
+// cancelling ctx stops the build between partition solves (no partial
+// state survives; re-build from scratch). WithVerify cross-checks every
+// oracle row against sequential Floyd-Warshall — O(n²) memory, so verify
+// only small graphs. Cluster-only knobs (WithMaxUnits, WithTrace,
+// WithResume) are rejected.
+func (s *Session) BuildHierarchy(ctx context.Context, g *Graph, opts ...SolveOption) (*Oracle, error) {
+	if g == nil {
+		return nil, fmt.Errorf("apspark: BuildHierarchy with nil graph")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	job, err := s.job(opts)
+	if err != nil {
+		return nil, err
+	}
+	if job.maxUnits != 0 {
+		return nil, fmt.Errorf("apspark: WithMaxUnits is a virtual-cluster projection knob; a hierarchy build runs to completion")
+	}
+	if job.trace {
+		return nil, fmt.Errorf("apspark: WithTrace records the virtual stage timeline; a hierarchy build has no stages (use WithProgress)")
+	}
+	if job.resume {
+		return nil, fmt.Errorf("apspark: a cancelled hierarchy build keeps no durable partial state; WithResume does not apply")
+	}
+	if job.blockSize != 0 {
+		return nil, fmt.Errorf("apspark: WithBlockSize tiles dense matrices; a hierarchy build has none")
+	}
+	bo := hierarchy.BuildOptions{PartSize: job.partSize, Seed: job.partSeed}
+	evSeq := 0
+	if job.progress != nil {
+		bo.Progress = func(done, total int) {
+			evSeq++
+			job.progress(StageEvent{Seq: evSeq, Name: "unit", UnitsDone: done, UnitsTotal: total})
+		}
+	}
+	tr := obs.DefaultTracer()
+	span := tr.Start("hierarchy", "build")
+	defer span.End()
+	o, err := hierarchy.Build(ctx, g, bo)
+	if err != nil {
+		return nil, err
+	}
+	o.RegisterMetrics(obs.Default)
+	if job.progress != nil {
+		evSeq++
+		parts := o.Stats().Parts
+		job.progress(StageEvent{Seq: evSeq, Name: "done", UnitsDone: parts, UnitsTotal: parts, Done: true})
+	}
+	if job.verify {
+		if err := verifyOracle(ctx, g, o); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+// verifyOracle cross-checks every oracle row against sequential
+// Floyd-Warshall, mirroring the flat solvers' WithVerify contract.
+func verifyOracle(ctx context.Context, g *Graph, o *Oracle) error {
+	want, err := seq.FloydWarshall(g)
+	if err != nil {
+		return fmt.Errorf("apspark: verify reference: %w", err)
+	}
+	got := matrix.New(g.N, g.N)
+	var row []float64
+	for u := 0; u < g.N; u++ {
+		if row, err = o.RowInto(ctx, u, row); err != nil {
+			return fmt.Errorf("apspark: verify row %d: %w", u, err)
+		}
+		copy(got.Data[u*g.N:(u+1)*g.N], row)
+	}
+	if !got.AllClose(want, 1e-9) {
+		return fmt.Errorf("apspark: hierarchy oracle diverges from sequential Floyd-Warshall")
+	}
+	return nil
+}
+
+// OpenHierarchy reopens a hierarchy saved with Oracle.Save over the same
+// graph it was built from, skipping every boundary solve — the piece
+// that lets a serving restart come back without re-building. cacheBytes
+// budgets the oracle's partition-local row cache (<= 0 picks the 64 MiB
+// default). Loading over a different graph fails checksum or structural
+// validation.
+func OpenHierarchy(path string, g *Graph, cacheBytes int64) (*Oracle, error) {
+	if g == nil {
+		return nil, fmt.Errorf("apspark: OpenHierarchy with nil graph")
+	}
+	o, err := hierarchy.Load(path, g, cacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	o.RegisterMetrics(obs.Default)
+	return o, nil
+}

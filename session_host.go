@@ -112,6 +112,9 @@ func (s *Session) runHost(ctx context.Context, g *Graph, job jobSettings, storeP
 	if job.trace {
 		return nil, fmt.Errorf("apspark: WithTrace records the virtual stage timeline; host-native solver %q has no stages (use WithProgress)", job.solver)
 	}
+	if job.partSize != 0 || job.partSeed != 0 {
+		return nil, fmt.Errorf("apspark: WithPartSize/WithPartSeed configure BuildHierarchy; flat solver %q has no partitions", job.solver)
+	}
 	n := g.N
 	// Host solves tile by store panels, not by cluster decomposition, so
 	// the automatic block size follows WriteStore's preference (256).
