@@ -1,0 +1,247 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apspark/internal/costmodel"
+	"apspark/internal/generation"
+	"apspark/internal/graph"
+	"apspark/internal/seq"
+	"apspark/internal/serve"
+	"apspark/internal/store"
+)
+
+// churnResult is one live-update serving measurement in BENCH.json:
+// sustained query throughput and latency while edge deltas stream through
+// the generation lifecycle (build -> validate -> promote -> swap).
+type churnResult struct {
+	N               int     `json:"n"`
+	BlockSize       int     `json:"block_size"`
+	Quick           bool    `json:"quick,omitempty"`
+	Clients         int     `json:"clients"`
+	DurationSec     float64 `json:"duration_sec"`
+	Updates         int     `json:"updates"`
+	EdgesPerSec     float64 `json:"edge_mutations_per_sec"`
+	DirtyRowsMean   float64 `json:"dirty_rows_mean"`
+	DirtyPanelsMean float64 `json:"dirty_panels_mean"`
+	// StalenessMs is the served-distance staleness: mean/max wall time
+	// from a delta batch's submission until the swapped-in generation is
+	// answering queries. Until that moment readers see the parent
+	// generation's (consistent, but stale) distances.
+	StalenessMeanMs float64 `json:"staleness_mean_ms"`
+	StalenessMaxMs  float64 `json:"staleness_max_ms"`
+	QPS             float64 `json:"queries_per_sec"`
+	P50Ns           int64   `json:"p50_ns"`
+	P99Ns           int64   `json:"p99_ns"`
+}
+
+// churnBench measures serving under churn: a reader fleet issues point
+// queries through the swapper's HTTP handler while a mutator streams
+// delta batches through the generation manager and swaps each promotion
+// in, exactly the apsp-serve admin-listener topology.
+func churnBench(_ costmodel.KernelModel, quick bool, rep *report) error {
+	n, bs, clients := 2048, 256, 4
+	dur, batch := 6*time.Second, 8
+	if quick {
+		n, bs = 512, 64
+		dur = 1500 * time.Millisecond
+	}
+
+	g, err := graph.ErdosRenyiPaper(n, 42)
+	if err != nil {
+		return err
+	}
+	dist, err := seq.FloydWarshall(g)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "apsp-bench-churn-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	seedPath := dir + "/seed.apsp"
+	if err := store.Write(seedPath, dist, bs); err != nil {
+		return err
+	}
+	gensDir := dir + "/gens"
+	if _, err := generation.Import(gensDir, seedPath, g); err != nil {
+		return err
+	}
+	mgr, err := generation.Open(gensDir, generation.Options{
+		Store: store.Options{
+			TileCacheBytes: int64(n) * int64(n),
+			RowCacheBytes:  int64(n) * int64(n),
+		},
+		// A 200ms update cadence would flood the terminal with per-promotion
+		// log lines; the result block below is the interesting output.
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		return err
+	}
+
+	newEpoch := func() (*serve.Epoch, error) {
+		st, eg, id, err := mgr.OpenCurrent()
+		if err != nil {
+			return nil, err
+		}
+		eng, err := serve.NewWithOptions(st, eg, serve.EngineOptions{Generation: id})
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		return serve.NewEpoch(id, eng, st), nil
+	}
+	first, err := newEpoch()
+	if err != nil {
+		return err
+	}
+	swapper := serve.NewSwapper(first)
+	defer swapper.Close()
+	srv := httptest.NewServer(swapper.Handler())
+	defer srv.Close()
+
+	// Reader fleet: point queries, latencies recorded per client.
+	var (
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		readErr atomic.Pointer[error]
+	)
+	lats := make([][]int64, clients)
+	client := srv.Client()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + c)))
+			buf := make([]byte, 512)
+			for !stop.Load() {
+				t0 := time.Now()
+				resp, err := client.Get(fmt.Sprintf("%s/dist?from=%d&to=%d",
+					srv.URL, rng.Intn(n), rng.Intn(n)))
+				if err == nil {
+					_, _ = io.CopyBuffer(io.Discard, resp.Body, buf)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("GET /dist: status %d", resp.StatusCode)
+					}
+				}
+				if err != nil {
+					readErr.CompareAndSwap(nil, &err)
+					return
+				}
+				lats[c] = append(lats[c], time.Since(t0).Nanoseconds())
+			}
+		}(c)
+	}
+
+	// Mutator: stream delta batches, swap each promotion in. Staleness is
+	// measured submission-to-serving — the full freshness lag a client
+	// observes, not just the pointer flip.
+	rng := rand.New(rand.NewSource(7))
+	edgeList := g.Edges()
+	var (
+		updates     int
+		edges       int
+		dirtyRows   int
+		dirtyPanels int
+		stalenesses []time.Duration
+	)
+	start := time.Now()
+	for time.Since(start) < dur {
+		// Realistic churn: mostly re-weightings of existing edges (small
+		// perturbations, so the dirty set stays partial and the
+		// incremental rebuild has something to skip), plus the occasional
+		// brand-new link.
+		deltas := make([]generation.Delta, batch)
+		for i := range deltas {
+			if rng.Intn(4) > 0 && len(edgeList) > 0 {
+				e := edgeList[rng.Intn(len(edgeList))]
+				deltas[i] = generation.Delta{U: e.U, V: e.V, W: e.W * (0.9 + 0.2*rng.Float64())}
+			} else {
+				u := rng.Intn(n)
+				v := rng.Intn(n)
+				for v == u {
+					v = rng.Intn(n)
+				}
+				deltas[i] = generation.Delta{U: u, V: v, W: 0.5 + 3*rng.Float64()}
+			}
+		}
+		t0 := time.Now()
+		res, err := mgr.ApplyDeltas(context.Background(), deltas)
+		if err != nil {
+			// A randomly degenerate (all-no-op) batch is not a failure of
+			// the lifecycle; everything else is.
+			continue
+		}
+		ep, err := newEpoch()
+		if err != nil {
+			return err
+		}
+		swapper.Swap(ep)
+		stalenesses = append(stalenesses, time.Since(t0))
+		updates++
+		edges += res.Deltas
+		dirtyRows += res.DirtyRows
+		dirtyPanels += res.DirtyPanels
+	}
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	if ep := readErr.Load(); ep != nil {
+		return fmt.Errorf("churn reader failed: %w", *ep)
+	}
+
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 || updates == 0 {
+		return fmt.Errorf("churn produced no measurements (%d queries, %d updates)", len(all), updates)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) int64 { return all[int(p*float64(len(all)-1))] }
+	var stMean, stMax time.Duration
+	for _, s := range stalenesses {
+		stMean += s
+		if s > stMax {
+			stMax = s
+		}
+	}
+	stMean /= time.Duration(len(stalenesses))
+
+	cr := churnResult{
+		N: n, BlockSize: bs, Clients: clients,
+		DurationSec:     elapsed.Seconds(),
+		Updates:         updates,
+		EdgesPerSec:     float64(edges) / elapsed.Seconds(),
+		DirtyRowsMean:   float64(dirtyRows) / float64(updates),
+		DirtyPanelsMean: float64(dirtyPanels) / float64(updates),
+		StalenessMeanMs: float64(stMean.Nanoseconds()) / 1e6,
+		StalenessMaxMs:  float64(stMax.Nanoseconds()) / 1e6,
+		QPS:             float64(len(all)) / elapsed.Seconds(),
+		P50Ns:           pct(0.50),
+		P99Ns:           pct(0.99),
+	}
+	rep.Churn = append(rep.Churn, cr)
+	fmt.Printf("serving under churn (n=%d b=%d, %d clients, %.1fs):\n", n, bs, clients, cr.DurationSec)
+	fmt.Printf("  %d updates promoted, %.1f edge mutations/sec, %.1f dirty rows (%.1f dirty panels) per update\n",
+		cr.Updates, cr.EdgesPerSec, cr.DirtyRowsMean, cr.DirtyPanelsMean)
+	fmt.Printf("  staleness %s mean, %s max (delta accepted -> new generation serving)\n",
+		time.Duration(cr.StalenessMeanMs*1e6), time.Duration(cr.StalenessMaxMs*1e6))
+	fmt.Printf("  %.0f queries/sec sustained, p50 %s, p99 %s\n",
+		cr.QPS, time.Duration(cr.P50Ns), time.Duration(cr.P99Ns))
+	return nil
+}

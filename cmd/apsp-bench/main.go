@@ -12,6 +12,7 @@
 //	apsp-bench serve             # serving-engine throughput (single, hot, concurrent, batch)
 //	apsp-bench sparse            # host-native CSR Dijkstra vs dense Blocked-CB
 //	apsp-bench hierarchy         # partition+shortcut hierarchy: build cost + on-demand query latency
+//	apsp-bench churn             # serving QPS + p99 + staleness under live delta ingestion
 //	apsp-bench all               # everything
 //
 // Flags scale the experiments down for quick runs (-quick) or swap in a
@@ -112,6 +113,7 @@ type report struct {
 	ServeQuery  []serveQueryResult  `json:"serve_query,omitempty"`
 	SparseSolve []sparseSolveResult `json:"sparse_solve,omitempty"`
 	Hierarchy   []hierarchyResult   `json:"hierarchy,omitempty"`
+	Churn       []churnResult       `json:"churn,omitempty"`
 }
 
 func main() {
@@ -151,10 +153,11 @@ func main() {
 	run("serve", serveQueries)
 	run("sparse", sparseSolve)
 	run("hierarchy", hierarchySolve)
+	run("churn", churnBench)
 	switch what {
-	case "all", "fig2", "fig3", "table2", "table3", "kernels", "store", "serve", "sparse", "hierarchy":
+	case "all", "fig2", "fig3", "table2", "table3", "kernels", "store", "serve", "sparse", "hierarchy", "churn":
 	default:
-		fmt.Fprintf(os.Stderr, "apsp-bench: unknown target %q (want fig2|fig3|table2|table3|kernels|store|serve|sparse|hierarchy|all)\n", what)
+		fmt.Fprintf(os.Stderr, "apsp-bench: unknown target %q (want fig2|fig3|table2|table3|kernels|store|serve|sparse|hierarchy|churn|all)\n", what)
 		os.Exit(2)
 	}
 
@@ -179,7 +182,10 @@ func main() {
 	for i := range rep.Hierarchy {
 		rep.Hierarchy[i].Quick = rep.Quick
 	}
-	if *jsonPath != "" && (len(rep.Kernels) > 0 || len(rep.Experiments) > 0 || len(rep.StoreQuery) > 0 || len(rep.ServeQuery) > 0 || len(rep.SparseSolve) > 0 || len(rep.Hierarchy) > 0) {
+	for i := range rep.Churn {
+		rep.Churn[i].Quick = rep.Quick
+	}
+	if *jsonPath != "" && (len(rep.Kernels) > 0 || len(rep.Experiments) > 0 || len(rep.StoreQuery) > 0 || len(rep.ServeQuery) > 0 || len(rep.SparseSolve) > 0 || len(rep.Hierarchy) > 0 || len(rep.Churn) > 0) {
 		if err := writeReport(*jsonPath, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "apsp-bench: %v\n", err)
 			os.Exit(1)
@@ -240,6 +246,11 @@ func writeReport(path string, rep *report) error {
 	}
 	if len(rep.Hierarchy) > 0 {
 		if err := put("hierarchy", rep.Hierarchy); err != nil {
+			return err
+		}
+	}
+	if len(rep.Churn) > 0 {
+		if err := put("churn", rep.Churn); err != nil {
 			return err
 		}
 	}

@@ -49,6 +49,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"apspark/internal/fsx"
 	"apspark/internal/graph"
 )
 
@@ -171,7 +172,10 @@ func writeAtomic(path string, write func(io.Writer) error) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	// Rename plus parent-directory fsync: without the latter a crash can
+	// roll the directory back to before the rename, losing the edge list
+	// the solve pipeline believes is committed.
+	return fsx.RenameDurable(tmp, path)
 }
 
 func fatal(err error) {

@@ -1,0 +1,63 @@
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileDurableReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "CURRENT")
+	if err := WriteFileDurable(path, []byte("gen-0001\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileDurable(path, []byte("gen-0002\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "gen-0002\n" {
+		t.Fatalf("CURRENT = %q, want gen-0002", got)
+	}
+	// No temp litter left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries after two durable writes, want 1", len(ents))
+	}
+}
+
+func TestCopyFileDurable(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.bin")
+	dst := filepath.Join(dir, "sub", "dst.bin")
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("payload bytes")
+	if err := os.WriteFile(src, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CopyFileDurable(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("copied %q, want %q", got, want)
+	}
+}
+
+func TestRenameDurableMissingSource(t *testing.T) {
+	dir := t.TempDir()
+	if err := RenameDurable(filepath.Join(dir, "nope"), filepath.Join(dir, "dst")); err == nil {
+		t.Fatal("rename of a missing file succeeded")
+	}
+}

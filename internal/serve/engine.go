@@ -179,6 +179,11 @@ type Engine struct {
 	fbRC       RowCopier
 	sp         *sparse.Engine
 	recomputed atomic.Int64
+
+	// gen labels the store generation this engine serves ("" for static
+	// sources); surfaced in /healthz so operators and the churn harness
+	// can tell which generation answered.
+	gen string
 }
 
 // EngineOptions tunes New beyond the positional essentials.
@@ -190,6 +195,9 @@ type EngineOptions struct {
 	// too, so the degraded-serving signal stays coherent no matter which
 	// fallback produced the row.
 	Fallback Source
+	// Generation labels the store generation served, for /healthz and
+	// swap logging. Leave empty for static (non-generational) sources.
+	Generation string
 }
 
 // New builds an engine. g may be nil, disabling Path queries; when
@@ -210,7 +218,7 @@ func NewWithOptions(src Source, g *graph.Graph, opts EngineOptions) (*Engine, er
 	if opts.Fallback != nil && opts.Fallback.N() != src.N() {
 		return nil, fmt.Errorf("serve: fallback source has %d vertices, primary has %d", opts.Fallback.N(), src.N())
 	}
-	e := &Engine{src: src, g: g, fb: opts.Fallback}
+	e := &Engine{src: src, g: g, fb: opts.Fallback, gen: opts.Generation}
 	e.rv, _ = src.(RowViewer)
 	e.rc, _ = src.(RowCopier)
 	if e.fb != nil {
@@ -257,6 +265,10 @@ func (e *Engine) SourceKind() string {
 
 // N returns the number of vertices served.
 func (e *Engine) N() int { return e.src.N() }
+
+// Generation returns the store generation label this engine serves, ""
+// for static sources.
+func (e *Engine) Generation() string { return e.gen }
 
 // HasGraph reports whether Path queries are available.
 func (e *Engine) HasGraph() bool { return e.g != nil }

@@ -100,7 +100,11 @@ type distResponse struct {
 type rowResponse struct {
 	From int     `json:"from"`
 	N    int     `json:"n"`
-	Dist jsonRow `json:"dist"`
+	Dist jsonRow `json:"dist,omitempty"`
+	// Error carries a typed per-item failure inside /batch ("corrupt_tile"
+	// when the store copy of the row is quarantined and no recompute path
+	// is wired); Dist is absent then. Standalone /row still fails whole.
+	Error string `json:"error,omitempty"`
 }
 
 type knnTarget struct {
@@ -172,6 +176,9 @@ type Health struct {
 	// with "+fallback" appended when a second source is wired behind the
 	// primary (see Engine.SourceKind).
 	Source string `json:"source"`
+	// Generation labels the store generation being served, when the
+	// server runs in generation-directory mode (see internal/generation).
+	Generation string `json:"generation,omitempty"`
 	// Quarantined counts store tiles sidelined after failing checksum
 	// verification; any nonzero value flips Status to "degraded".
 	Quarantined int64 `json:"quarantined,omitempty"`
@@ -200,7 +207,7 @@ func Handler(e *Engine) http.Handler {
 		// instants (the old code read Quarantined, RetriedReads and the
 		// two cache stats through four separate accessors). The JSON field
 		// names are unchanged for compat.
-		h := Health{Status: "ok", N: e.N(), PathReady: e.HasGraph(), Source: e.SourceKind(), Recomputed: e.Recomputed()}
+		h := Health{Status: "ok", N: e.N(), PathReady: e.HasGraph(), Source: e.SourceKind(), Generation: e.Generation(), Recomputed: e.Recomputed()}
 		if st, ok := e.src.(*store.Store); ok {
 			snap := st.Snapshot()
 			h.Cache = &snap.Tiles
@@ -409,6 +416,14 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for i, from := range req.Row {
 			row, release, err := e.acquireRow(ctx, from)
 			if err != nil {
+				// A quarantined tile with no recompute path fails only its
+				// own item: the store's good row-bands keep answering, and
+				// the client sees exactly which rows are degraded instead of
+				// losing the whole batch to one bad stripe.
+				if errors.Is(err, store.ErrCorruptTile) {
+					resp.Row[i] = rowResponse{From: from, Error: "corrupt_tile"}
+					continue
+				}
 				writeError(w, errStatus(err), fmt.Errorf("batch: row[%d]: %w", i, err))
 				return
 			}

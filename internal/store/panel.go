@@ -20,6 +20,7 @@ import (
 	"hash/crc32"
 	"os"
 
+	"apspark/internal/fsx"
 	"apspark/internal/matrix"
 )
 
@@ -269,7 +270,7 @@ func (w *PanelWriter) checkpointPanel() error {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmpName, w.manifestPath)
+		err = fsx.RenameDurable(tmpName, w.manifestPath)
 	}
 	if err != nil {
 		os.Remove(tmpName)
@@ -417,7 +418,7 @@ func (w *PanelWriter) Close() error {
 		os.Remove(name)
 		return err
 	}
-	if err := os.Rename(name, w.path); err != nil {
+	if err := fsx.RenameDurable(name, w.path); err != nil {
 		os.Remove(name)
 		return err
 	}

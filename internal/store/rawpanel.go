@@ -1,0 +1,129 @@
+// Raw row-panel transfer between stores: the generation updater copies
+// the panels an edge-delta batch did not dirty straight from the parent
+// store's file into the candidate store, byte-for-byte, without decoding
+// a single tile. Because tile offsets are fully determined by (n, b),
+// panel bi occupies the identical byte range in every store of the same
+// geometry, so a verified raw copy is both the fastest and the safest
+// way to carry clean rows across generations: every tile's CRC32C is
+// checked on the way out of the parent and again on the way into the
+// candidate, so a torn copy can never be published.
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// PanelBytes returns the marshalled size of row panel bi — the bytes
+// ReadPanelRaw will produce for it.
+func (s *Store) PanelBytes(bi int) (int64, error) {
+	if bi < 0 || bi >= s.q {
+		return 0, fmt.Errorf("store: panel %d outside [0,%d)", bi, s.q)
+	}
+	var total int64
+	for bj := 0; bj < s.q; bj++ {
+		total += s.index[bi*s.q+bj].length
+	}
+	return total, nil
+}
+
+// ReadPanelRaw reads row panel bi (all q tiles of tile-row bi) as one
+// contiguous marshalled byte span, reusing buf's backing array when it
+// is large enough, and returns the per-tile CRC32C values alongside.
+// Every tile is verified against its index checksum before the bytes
+// are handed out (v2 stores); a mismatch quarantines the tile and
+// returns ErrCorruptTile, so corruption in the parent store surfaces
+// here instead of being propagated into a copy. Version-1 stores carry
+// no checksums: their CRCs are computed fresh from the bytes read.
+func (s *Store) ReadPanelRaw(bi int, buf []byte) ([]byte, []uint32, error) {
+	if bi < 0 || bi >= s.q {
+		return nil, nil, fmt.Errorf("store: panel %d outside [0,%d)", bi, s.q)
+	}
+	first := s.index[bi*s.q]
+	last := s.index[bi*s.q+s.q-1]
+	span := last.off + last.length - first.off
+	if span <= 0 {
+		return nil, nil, fmt.Errorf("%w: panel %d spans %d bytes", ErrMalformed, bi, span)
+	}
+	if int64(cap(buf)) >= span {
+		buf = buf[:span]
+	} else {
+		buf = make([]byte, span)
+	}
+	if err := s.readAt(buf, first.off); err != nil {
+		return nil, nil, fmt.Errorf("store: panel %d read: %w", bi, err)
+	}
+	crcs := make([]uint32, s.q)
+	for bj := 0; bj < s.q; bj++ {
+		id := bi*s.q + bj
+		ref := s.index[id]
+		lo := ref.off - first.off
+		if lo < 0 || lo+ref.length > span {
+			return nil, nil, fmt.Errorf("%w: panel %d tile %d outside its panel span", ErrMalformed, bi, bj)
+		}
+		got := crc32.Checksum(buf[lo:lo+ref.length], castagnoli)
+		if s.ver >= version && got != ref.crc {
+			return nil, nil, s.quarantine(id, bi, bj, fmt.Errorf("crc %08x, index says %08x", got, ref.crc))
+		}
+		crcs[bj] = got
+	}
+	return buf, crcs, nil
+}
+
+// WriteRawPanel appends the next row panel from its marshalled bytes, as
+// produced by ReadPanelRaw on a store of identical geometry. The span
+// length must match the panel's computed size exactly and every tile's
+// bytes must hash to the caller-supplied CRC32C — the copy-integrity
+// gate that keeps a bit flipped in transit out of the new store. In
+// checkpoint mode the panel is made durable before returning, exactly
+// like WritePanel.
+func (w *PanelWriter) WriteRawPanel(raw []byte, crcs []uint32) error {
+	if w.closed {
+		return fmt.Errorf("store: WriteRawPanel on closed writer")
+	}
+	if w.failed {
+		return fmt.Errorf("store: writer failed on an earlier panel; the partial file cannot be completed")
+	}
+	if w.nextPanel >= w.q {
+		return fmt.Errorf("store: all %d panels already written", w.q)
+	}
+	if len(crcs) != w.q {
+		return fmt.Errorf("store: panel %d raw write carries %d checksums, want %d", w.nextPanel, len(crcs), w.q)
+	}
+	bi := w.nextPanel
+	var want int64
+	for bj := 0; bj < w.q; bj++ {
+		want += w.index[bi*w.q+bj].length
+	}
+	if int64(len(raw)) != want {
+		return fmt.Errorf("store: panel %d raw span is %d bytes, geometry implies %d", bi, len(raw), want)
+	}
+	var off int64
+	for bj := 0; bj < w.q; bj++ {
+		length := w.index[bi*w.q+bj].length
+		if got := crc32.Checksum(raw[off:off+length], castagnoli); got != crcs[bj] {
+			return fmt.Errorf("store: panel %d tile %d bytes hash to %08x, caller says %08x (torn copy?)", bi, bj, got, crcs[bj])
+		}
+		w.index[bi*w.q+bj].crc = crcs[bj]
+		off += length
+	}
+	if _, err := w.tmp.Write(raw); err != nil {
+		w.failed = true
+		return err
+	}
+	w.nextPanel++
+	if w.checkpoint {
+		if err := w.checkpointPanel(); err != nil {
+			w.failed = true
+			return err
+		}
+	}
+	return nil
+}
+
+// PanelRows returns the first matrix row and the height of row panel bi
+// for an n x b geometry — the generation updater uses it to map dirty
+// rows onto the panels it must recompute.
+func PanelRows(n, b, bi int) (base, h int) {
+	return bi * b, tileEdge(n, b, bi)
+}

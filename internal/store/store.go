@@ -69,6 +69,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"apspark/internal/fsx"
 	"apspark/internal/matrix"
 )
 
@@ -196,7 +197,9 @@ func Write(path string, dist *matrix.Block, blockSize int) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	// Durable publish: the rename plus the parent-directory fsync, so a
+	// crash that outruns the metadata journal cannot forget the store.
+	return fsx.RenameDurable(tmp.Name(), path)
 }
 
 func dirOf(path string) string {
