@@ -1,0 +1,57 @@
+package fsx
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ErrLocked reports that another process already holds a directory's
+// advisory lock.
+var ErrLocked = errors.New("fsx: directory locked by another process")
+
+// lockName is the hidden lockfile a DirLock flocks inside the directory.
+const lockName = ".lock"
+
+// DirLock is a held exclusive advisory lock on a directory, taken via
+// flock(2) on a lockfile inside it. It serializes mutating operations on
+// the directory across processes — within one process the caller's own
+// mutex already does that job. The kernel drops the lock when the holder
+// exits (cleanly or by kill -9), so a crash mid-operation can never
+// wedge the directory.
+type DirLock struct{ f *os.File }
+
+// LockDir takes an exclusive, non-blocking advisory lock on dir's
+// lockfile (created as needed). When another process holds the lock the
+// returned error wraps ErrLocked and nothing was acquired. On platforms
+// without flock the lock degrades to a no-op and only the in-process
+// mutex protects the directory.
+func LockDir(dir string) (*DirLock, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := flockExclusive(f); err != nil {
+		f.Close()
+		if errors.Is(err, errWouldBlock) {
+			return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+		}
+		return nil, fmt.Errorf("fsx: locking %s: %w", dir, err)
+	}
+	return &DirLock{f: f}, nil
+}
+
+// Unlock releases the lock. Calling it more than once is safe.
+func (l *DirLock) Unlock() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	err := funlock(l.f)
+	cerr := l.f.Close()
+	l.f = nil
+	if err != nil {
+		return err
+	}
+	return cerr
+}

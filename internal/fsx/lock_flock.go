@@ -1,0 +1,23 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package fsx
+
+import (
+	"os"
+	"syscall"
+)
+
+var errWouldBlock error = syscall.EWOULDBLOCK
+
+func flockExclusive(f *os.File) error {
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}
+
+func funlock(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

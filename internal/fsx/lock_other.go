@@ -1,0 +1,16 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package fsx
+
+import (
+	"errors"
+	"os"
+)
+
+var errWouldBlock = errors.New("fsx: lock would block")
+
+// Without flock(2) the lockfile still exists but confers no exclusion;
+// callers fall back to their in-process serialization alone.
+func flockExclusive(f *os.File) error { return nil }
+
+func funlock(f *os.File) error { return nil }

@@ -1,0 +1,43 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package fsx
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDirLockExcludesSecondHolder(t *testing.T) {
+	dir := t.TempDir()
+	l1, err := LockDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// flock ownership is per open-file-description, so a second handle —
+	// from this process or any other — must bounce while l1 is held.
+	if _, err := LockDir(dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second LockDir err = %v, want ErrLocked", err)
+	}
+	if err := l1.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := LockDir(dir)
+	if err != nil {
+		t.Fatalf("LockDir after Unlock: %v", err)
+	}
+	// Unlock is idempotent.
+	if err := l2.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirLockMissingDirectory(t *testing.T) {
+	if _, err := LockDir(t.TempDir() + "/nope"); err == nil {
+		t.Fatal("LockDir on a missing directory succeeded")
+	} else if errors.Is(err, ErrLocked) {
+		t.Fatalf("missing directory reported as locked: %v", err)
+	}
+}

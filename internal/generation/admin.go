@@ -8,7 +8,9 @@
 //
 // /update answers with the UpdateResult of the promoted generation, 422
 // with the quarantine error when validation rejects the candidate (the
-// old generation keeps serving), and 400 for malformed batches. After a
+// old generation keeps serving), 400 for malformed batches, 409 when
+// another process holds the generation directory's lock, and 500 for
+// internal build/IO failures (disk, parent store, timeouts). After a
 // successful promotion or rollback the OnSwap callback runs — the hook
 // the serving layer uses to open the new generation and atomically swap
 // live traffic onto it.
@@ -42,7 +44,7 @@ type updateRequest struct {
 type adminError struct {
 	Error string `json:"error"`
 	// Kind is machine-readable: "validation_failed" when a candidate was
-	// quarantined, "bad_request", "no_older", or "internal".
+	// quarantined, "bad_request", "no_older", "locked", or "internal".
 	Kind string `json:"kind"`
 }
 
@@ -85,8 +87,16 @@ func (a *AdminServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		// produced was not.
 		writeAdminJSON(w, http.StatusUnprocessableEntity, adminError{Error: err.Error(), Kind: "validation_failed"})
 		return
-	case err != nil:
+	case errors.Is(err, ErrBadDelta):
 		writeAdminJSON(w, http.StatusBadRequest, adminError{Error: err.Error(), Kind: "bad_request"})
+		return
+	case errors.Is(err, ErrBusy):
+		writeAdminJSON(w, http.StatusConflict, adminError{Error: err.Error(), Kind: "locked"})
+		return
+	case err != nil:
+		// Build/IO failures (disk, parent store, context timeouts) are
+		// the server's problem, not the client's.
+		writeAdminJSON(w, http.StatusInternalServerError, adminError{Error: err.Error(), Kind: "internal"})
 		return
 	}
 	if a.OnSwap != nil {
@@ -106,6 +116,9 @@ func (a *AdminServer) handleRollback(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrNoOlder):
 		writeAdminJSON(w, http.StatusConflict, adminError{Error: err.Error(), Kind: "no_older"})
+		return
+	case errors.Is(err, ErrBusy):
+		writeAdminJSON(w, http.StatusConflict, adminError{Error: err.Error(), Kind: "locked"})
 		return
 	case err != nil:
 		writeAdminJSON(w, http.StatusInternalServerError, adminError{Error: err.Error(), Kind: "internal"})

@@ -1,0 +1,72 @@
+package generation
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"apspark/internal/fsx"
+)
+
+// TestAdminUpdateStatusMapping pins the /update error contract: client
+// faults answer 400, a foreign directory lock answers 409, and internal
+// build failures answer 500 — never 400 (review: a disk failure is not
+// the caller's fault).
+func TestAdminUpdateStatusMapping(t *testing.T) {
+	g := twoComponentGraph(t, 16)
+	dir := seedDir(t, g, 8)
+	m, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer((&AdminServer{M: m}).Handler())
+	defer srv.Close()
+
+	post := func(t *testing.T, body string) (int, adminError) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/update", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ae adminError
+		if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, ae
+	}
+
+	// Malformed batch: the client's fault.
+	if code, ae := post(t, `{"deltas":[{"u":0,"v":99,"w":1}]}`); code != http.StatusBadRequest || ae.Kind != "bad_request" {
+		t.Fatalf("bad delta -> %d %q, want 400 bad_request", code, ae.Kind)
+	}
+	if code, ae := post(t, `{"deltas":[{"u":0,"v":1,"w":1}]}`); code != http.StatusBadRequest || ae.Kind != "bad_request" {
+		t.Fatalf("no-op batch -> %d %q, want 400 bad_request", code, ae.Kind)
+	}
+
+	// Foreign lock holder: busy, try again.
+	lock, err := fsx.LockDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, ae := post(t, `{"deltas":[{"u":0,"v":1,"w":4}]}`)
+	if uerr := lock.Unlock(); uerr != nil {
+		t.Fatal(uerr)
+	}
+	if code != http.StatusConflict || ae.Kind != "locked" {
+		t.Fatalf("locked dir -> %d %q, want 409 locked", code, ae.Kind)
+	}
+
+	// Internal failure (parent store gone): the server's fault. Last —
+	// it leaves the directory unusable.
+	if err := os.Remove(filepath.Join(dir, "gen-0001", storeName)); err != nil {
+		t.Fatal(err)
+	}
+	if code, ae := post(t, `{"deltas":[{"u":0,"v":1,"w":4}]}`); code != http.StatusInternalServerError || ae.Kind != "internal" {
+		t.Fatalf("internal failure -> %d %q, want 500 internal", code, ae.Kind)
+	}
+}

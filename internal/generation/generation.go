@@ -10,6 +10,7 @@
 //
 //	dir/
 //	  CURRENT              # "gen-0007\n", written temp+fsync+rename+dirsync
+//	  .lock                # flock'd for the duration of every mutation
 //	  gen-0006/            # a full generation: store + the graph it solves
 //	    dist.apsp
 //	    graph.txt
@@ -27,6 +28,12 @@
 // stray .building/.quarantined directory beside an untouched CURRENT —
 // and Open handles all three, falling back to the newest openable
 // generation when CURRENT itself is torn or points at garbage.
+//
+// Cross-process safety comes from an exclusive advisory flock on
+// dir/.lock held for the duration of every mutating operation (update,
+// rollback, import, leftover cleanup at Open): a second process
+// attempting one gets ErrBusy instead of racing the first's build or
+// CURRENT rewrite, and the kernel releases the lock if its holder dies.
 //
 // Every generation carries its own graph.txt, so distances and the
 // adjacency that explains them (path reconstruction, corrupt-tile
@@ -73,6 +80,15 @@ var (
 	// ErrNoOlder means Rollback found no older generation to re-point
 	// CURRENT at.
 	ErrNoOlder = errors.New("generation: no older generation to roll back to")
+	// ErrBadDelta means a delta batch was rejected before any build work
+	// started: a malformed edge, an invalid weight, or a batch that is a
+	// no-op against the current graph. Any other non-validation error out
+	// of ApplyDeltas is an internal build/IO failure.
+	ErrBadDelta = errors.New("generation: invalid delta batch")
+	// ErrBusy means another process holds the generation directory's
+	// advisory lock (an update, rollback or import is running there); the
+	// operation was not started and can simply be retried.
+	ErrBusy = fsx.ErrLocked
 )
 
 // crashHook, when non-nil, is called at the named lifecycle points
@@ -204,6 +220,11 @@ func Import(dir, storePath string, g *graph.Graph) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
+	lock, err := fsx.LockDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("generation: import: %w", err)
+	}
+	defer lock.Unlock()
 	if _, err := os.Stat(filepath.Join(dir, currentName)); err == nil {
 		return "", fmt.Errorf("generation: %s already has a CURRENT pointer; refusing to import over it", dir)
 	}
@@ -394,20 +415,32 @@ func (m *Manager) Reload() (string, error) {
 }
 
 // reloadLocked resolves the current generation. clean also removes
-// .building leftovers (done once, at Open).
+// .building leftovers (done once, at Open) — but only under the
+// cross-process lock: a .building directory is a crash leftover only
+// when no live updater in another process owns it, so when the lock is
+// busy the leftovers are left to their owner.
 func (m *Manager) reloadLocked(clean bool) error {
 	if clean {
-		ents, err := os.ReadDir(m.dir)
-		if err != nil {
+		switch lock, err := fsx.LockDir(m.dir); {
+		case err == nil:
+			ents, rerr := os.ReadDir(m.dir)
+			if rerr != nil {
+				lock.Unlock()
+				return rerr
+			}
+			for _, e := range ents {
+				if strings.HasSuffix(e.Name(), buildingSuffix) {
+					m.opts.logger().Info("generation: removing crash leftover", "dir", e.Name())
+					os.RemoveAll(filepath.Join(m.dir, e.Name()))
+				}
+			}
+			fsx.FsyncDir(m.dir)
+			lock.Unlock()
+		case errors.Is(err, ErrBusy):
+			m.opts.logger().Info("generation: directory locked by another process, skipping leftover cleanup", "dir", m.dir)
+		default:
 			return err
 		}
-		for _, e := range ents {
-			if strings.HasSuffix(e.Name(), buildingSuffix) {
-				m.opts.logger().Info("generation: removing crash leftover", "dir", e.Name())
-				os.RemoveAll(filepath.Join(m.dir, e.Name()))
-			}
-		}
-		fsx.FsyncDir(m.dir)
 	}
 	id, ok := readCurrent(m.dir)
 	if !ok || !openable(m.dir, id) {
@@ -509,10 +542,17 @@ func (m *Manager) OpenCurrent() (*store.Store, *graph.Graph, string, error) {
 // Rollback durably re-points CURRENT at the newest generation older than
 // the current one and makes it the manager's current state. The
 // rolled-back-from generation stays on disk (GC will reap it once it
-// ages out), so rolling forward again is just another promotion.
+// ages out), so rolling forward again is just another promotion. Like
+// ApplyDeltas it runs under the directory's cross-process lock and
+// reports ErrBusy when another process holds it.
 func (m *Manager) Rollback() (string, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	lock, err := fsx.LockDir(m.dir)
+	if err != nil {
+		return "", fmt.Errorf("generation: rollback: %w", err)
+	}
+	defer lock.Unlock()
 	cur := m.cur.Load()
 	target := ""
 	for _, info := range m.listLocked(cur.id) {

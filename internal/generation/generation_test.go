@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"apspark/internal/fsx"
 	"apspark/internal/graph"
 	"apspark/internal/matrix"
 	"apspark/internal/seq"
@@ -207,6 +208,105 @@ func TestApplyDeltasMixedBatchMatchesResolve(t *testing.T) {
 	checkStoreMatches(t, m2, fwRef(t, newG))
 }
 
+// TestApplyDeltasBridgesComponents: an edge add that connects the two
+// components flips cross-component distances from Inf to finite for
+// EVERY source, so the classifier's Inf-aware relaxation path must mark
+// every row dirty — naive tolerance arithmetic computes Inf-Inf = NaN,
+// marks nothing, and either wedges promotion behind the validation gate
+// or serves stale +Inf distances. The promoted generation must carry the
+// new finite distances everywhere.
+func TestApplyDeltasBridgesComponents(t *testing.T) {
+	const n, b = 32, 8
+	g := twoComponentGraph(t, n)
+	dir := seedDir(t, g, b)
+	m, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := []Delta{{U: n/2 - 1, V: n / 2, W: 2}} // the bridge
+	res, err := m.ApplyDeltas(context.Background(), deltas)
+	if err != nil {
+		t.Fatalf("bridging delta rejected: %v", err)
+	}
+	if res.DirtyRows != n {
+		t.Fatalf("dirty rows = %d, want %d (reachability changed for every source)", res.DirtyRows, n)
+	}
+	checkStoreMatches(t, m, fwRef(t, applyToGraph(t, g, deltas)))
+
+	// Cutting the bridge again restores the two-component distances; the
+	// worsening side is the tightness test's job and must flag every row
+	// whose shortest paths crossed the bridge.
+	cut := []Delta{{U: n/2 - 1, V: n / 2, Remove: true}}
+	if _, err := m.ApplyDeltas(context.Background(), cut); err != nil {
+		t.Fatalf("bridge removal rejected: %v", err)
+	}
+	checkStoreMatches(t, m, fwRef(t, g))
+}
+
+// TestApplyDeltasConnectsIsolatedVertex: the smallest bridge — a vertex
+// with no edges at all gains its first one, and its row (plus everyone
+// else's distance to it) goes from all-Inf to finite.
+func TestApplyDeltasConnectsIsolatedVertex(t *testing.T) {
+	const n, b = 24, 8
+	var edges []graph.Edge
+	for i := 0; i < n-2; i++ { // vertex n-1 has no edges
+		edges = append(edges, graph.Edge{U: i, V: i + 1, W: float64(1 + i%3)})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := seedDir(t, g, b)
+	m, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := []Delta{{U: 0, V: n - 1, W: 3}}
+	res, err := m.ApplyDeltas(context.Background(), deltas)
+	if err != nil {
+		t.Fatalf("isolated-vertex delta rejected: %v", err)
+	}
+	if res.DirtyRows != n {
+		t.Fatalf("dirty rows = %d, want %d", res.DirtyRows, n)
+	}
+	checkStoreMatches(t, m, fwRef(t, applyToGraph(t, g, deltas)))
+}
+
+// TestMutationsBounceWhileDirectoryLocked: while another holder (another
+// process in production; a bare fsx.LockDir here — flock ownership is
+// per open-file-description) owns the directory lock, mutating
+// operations report ErrBusy instead of racing the owner's build, and
+// work again once the lock is released.
+func TestMutationsBounceWhileDirectoryLocked(t *testing.T) {
+	g := twoComponentGraph(t, 16)
+	dir := seedDir(t, g, 8)
+	m, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, err := fsx.LockDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lock.Unlock()
+	ctx := context.Background()
+	if _, err := m.ApplyDeltas(ctx, []Delta{{U: 0, V: 1, W: 4}}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("ApplyDeltas under foreign lock: err = %v, want ErrBusy", err)
+	}
+	if _, err := m.Rollback(); !errors.Is(err, ErrBusy) {
+		t.Fatalf("Rollback under foreign lock: err = %v, want ErrBusy", err)
+	}
+	if err := lock.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ApplyDeltas(ctx, []Delta{{U: 0, V: 1, W: 4}}); err != nil {
+		t.Fatalf("ApplyDeltas after unlock: %v", err)
+	}
+	if m.Current() != "gen-0002" {
+		t.Fatalf("current = %q, want gen-0002", m.Current())
+	}
+}
+
 func TestApplyDeltasRejectsNoopsAndGarbage(t *testing.T) {
 	g := twoComponentGraph(t, 16)
 	m, err := Open(seedDir(t, g, 8), Options{})
@@ -215,9 +315,11 @@ func TestApplyDeltasRejectsNoopsAndGarbage(t *testing.T) {
 	}
 	ctx := context.Background()
 	// Same weight the edge already has, and removal of an absent edge:
-	// an all-no-op batch must not mint a new generation.
-	if _, err := m.ApplyDeltas(ctx, []Delta{{U: 0, V: 1, W: 1}, {U: 0, V: 9, Remove: true}}); err == nil {
-		t.Fatal("no-op batch was accepted")
+	// an all-no-op batch must not mint a new generation. Every rejection
+	// here is the client's fault and must carry ErrBadDelta (the admin
+	// layer maps it to 400; anything untyped becomes a 500).
+	if _, err := m.ApplyDeltas(ctx, []Delta{{U: 0, V: 1, W: 1}, {U: 0, V: 9, Remove: true}}); !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("no-op batch: err = %v, want ErrBadDelta", err)
 	}
 	for _, bad := range [][]Delta{
 		{{U: 0, V: 99, W: 1}},          // out of range
@@ -226,8 +328,8 @@ func TestApplyDeltasRejectsNoopsAndGarbage(t *testing.T) {
 		{{U: 0, V: 1, W: math.Inf(1)}}, // infinite
 		{{U: 0, V: 1, W: math.NaN()}},  // NaN
 	} {
-		if _, err := m.ApplyDeltas(ctx, bad); err == nil {
-			t.Fatalf("invalid batch %+v was accepted", bad)
+		if _, err := m.ApplyDeltas(ctx, bad); !errors.Is(err, ErrBadDelta) {
+			t.Fatalf("invalid batch %+v: err = %v, want ErrBadDelta", bad, err)
 		}
 	}
 	if m.Current() != "gen-0001" {

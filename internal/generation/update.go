@@ -9,9 +9,14 @@
 //
 //   - relaxation test (new weight w'): if d(s,u)+w' < d(s,v) or
 //     d(s,v)+w' < d(s,u), a path through the cheapened edge can improve
-//     row s. Any improved target t implies the last changed edge on its
-//     new shortest path fires this test, so the union over changed edges
-//     is a superset of every improved row.
+//     row s. Reachability is checked before the arithmetic: when exactly
+//     one of d(s,u), d(s,v) is +Inf the edge bridges s's component to
+//     the other endpoint (distances flip Inf -> finite), which the
+//     tolerance math cannot see (Inf-Inf is NaN), so the row is dirty
+//     outright. Any improved target t implies the first changed edge on
+//     its new shortest path — whose near endpoint is always reachable
+//     from s over unchanged edges — fires one of these cases, so the
+//     union over changed edges is a superset of every improved row.
 //   - tightness test (old weight w): if d(s,u)+w == d(s,v) or
 //     d(s,v)+w == d(s,u) (within float tolerance), some old shortest
 //     path from s may have crossed the edge, so raising or removing it
@@ -90,8 +95,10 @@ func dirtyTol(d float64) float64 { return 1e-9 * (1 + math.Abs(d)) }
 // current one plus a batch of edge deltas. On validation failure the
 // candidate is quarantined on disk, CURRENT stays untouched, and the
 // returned error wraps ErrValidation. An empty effective batch (every
-// delta a no-op) returns an error rather than minting an identical
-// generation.
+// delta a no-op) returns an error wrapping ErrBadDelta rather than
+// minting an identical generation. The whole operation runs under the
+// directory's cross-process advisory lock; when another process holds it
+// the error wraps ErrBusy and nothing was started.
 func (m *Manager) ApplyDeltas(ctx context.Context, deltas []Delta) (*UpdateResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -99,6 +106,12 @@ func (m *Manager) ApplyDeltas(ctx context.Context, deltas []Delta) (*UpdateResul
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.updates.Add(1)
+	lock, err := fsx.LockDir(m.dir)
+	if err != nil {
+		m.updateFailures.Add(1)
+		return nil, fmt.Errorf("generation: update: %w", err)
+	}
+	defer lock.Unlock()
 	res, err := m.applyLocked(ctx, deltas)
 	if err != nil {
 		m.updateFailures.Add(1)
@@ -133,7 +146,7 @@ func (m *Manager) applyLocked(ctx context.Context, deltas []Delta) (*UpdateResul
 			u, v = v, u
 		}
 		if u < 0 || v >= n || u == v {
-			return nil, fmt.Errorf("generation: delta[%d]: edge (%d,%d) invalid for n=%d", i, d.U, d.V, n)
+			return nil, fmt.Errorf("%w: delta[%d]: edge (%d,%d) invalid for n=%d", ErrBadDelta, i, d.U, d.V, n)
 		}
 		wOld, exists := weight[ekey{u, v}]
 		if !exists {
@@ -143,7 +156,7 @@ func (m *Manager) applyLocked(ctx context.Context, deltas []Delta) (*UpdateResul
 		if !d.Remove {
 			wNew = d.W
 			if math.IsNaN(wNew) || math.IsInf(wNew, 0) || wNew < 0 {
-				return nil, fmt.Errorf("generation: delta[%d]: weight %v on edge (%d,%d) must be finite and >= 0", i, d.W, d.U, d.V)
+				return nil, fmt.Errorf("%w: delta[%d]: weight %v on edge (%d,%d) must be finite and >= 0", ErrBadDelta, i, d.W, d.U, d.V)
 			}
 		}
 		if wOld == wNew || (d.Remove && !exists) {
@@ -157,7 +170,7 @@ func (m *Manager) applyLocked(ctx context.Context, deltas []Delta) (*UpdateResul
 		}
 	}
 	if len(changes) == 0 {
-		return nil, fmt.Errorf("generation: delta batch is a no-op against %s", cur.id)
+		return nil, fmt.Errorf("%w: batch is a no-op against %s", ErrBadDelta, cur.id)
 	}
 	newEdges := make([]graph.Edge, 0, len(weight))
 	for k, w := range weight {
@@ -287,9 +300,21 @@ func classifyDirty(ctx context.Context, parent *store.Store, changes []changedEd
 			}
 			du, dv := rowU[s], rowV[s]
 			// Relaxation with the new weight: can the changed edge build
-			// a strictly better path for source s?
+			// a strictly better path for source s? Reachability first —
+			// the tolerance arithmetic is blind to Inf (Inf-Inf is NaN,
+			// every comparison false): an edge whose endpoints straddle
+			// s's component is exactly the bridge case, d(s,·) flipping
+			// from Inf to finite, so the row is dirty by definition. Both
+			// endpoints unreachable means this edge alone cannot shorten
+			// any path from s; in a batch, the first changed edge along an
+			// improved path has a reachable near endpoint and flags s.
 			if ch.wNew < matrix.Inf {
-				if du+ch.wNew < dv-dirtyTol(dv) || dv+ch.wNew < du-dirtyTol(du) {
+				uInf, vInf := math.IsInf(du, 1), math.IsInf(dv, 1)
+				if uInf != vInf {
+					dirty[s] = true
+					continue
+				}
+				if !uInf && (du+ch.wNew < dv-dirtyTol(dv) || dv+ch.wNew < du-dirtyTol(du)) {
 					dirty[s] = true
 					continue
 				}

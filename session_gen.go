@@ -25,6 +25,11 @@ type GenerationInfo = generation.Info
 // quarantined; the previous generation is untouched and keeps serving.
 var ErrGenerationValidation = generation.ErrValidation
 
+// ErrGenerationBusy reports that another process held the generation
+// directory's advisory lock (a concurrent update, rollback or import);
+// nothing was started and the operation can simply be retried.
+var ErrGenerationBusy = generation.ErrBusy
+
 // InitGenerations publishes an already-solved store (and the graph it
 // solves) as the first generation of dir — the bridge from the solve-once
 // workflow to live-update serving. It refuses to run on a directory that
@@ -51,6 +56,10 @@ func InitGenerations(dir, storePath string, g *Graph) (string, error) {
 // A serving apsp-serve process on the same directory picks the promotion
 // up on SIGHUP (or performs it itself via its -admin listener — prefer
 // that when the server is running, so updates serialize in one place).
+// Concurrent mutators are safe either way: every update, rollback and
+// import holds an exclusive advisory flock on the directory, and a call
+// that loses the race fails fast with an error matching
+// ErrGenerationBusy instead of corrupting the winner's build.
 func (s *Session) ApplyDeltas(ctx context.Context, dir string, deltas []EdgeDelta) (*UpdateResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
