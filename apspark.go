@@ -242,10 +242,21 @@ type StoreOptions struct {
 // from far less memory than the dense matrix. Phantom and truncated runs
 // carry no distances and return an error.
 func (r *Result) WriteStore(path string, blockSize int) error {
+	return r.WriteStoreWithCodec(path, blockSize, "")
+}
+
+// WriteStoreWithCodec is WriteStore with a tile codec name ("", "raw",
+// "ivarint" or "f32" — see WithCodec). Tiles the codec declines or fails
+// to shrink are stored raw, so any codec is safe on any matrix.
+func (r *Result) WriteStoreWithCodec(path string, blockSize int, codec string) error {
 	if r.Dist == nil {
 		return fmt.Errorf("apspark: result has no distance matrix (phantom or truncated run)")
 	}
-	return store.Write(path, r.Dist, graph.DefaultBlockSize(blockSize, r.Dist.R, 256))
+	c, err := store.CodecByName(codec)
+	if err != nil {
+		return err
+	}
+	return store.WriteWithCodec(path, r.Dist, graph.DefaultBlockSize(blockSize, r.Dist.R, 256), c)
 }
 
 // OpenStore opens a tiled distance store for querying with a tile cache

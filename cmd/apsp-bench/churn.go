@@ -29,6 +29,8 @@ type churnResult struct {
 	N               int     `json:"n"`
 	BlockSize       int     `json:"block_size"`
 	Quick           bool    `json:"quick,omitempty"`
+	GoMaxProcs      int     `json:"gomaxprocs,omitempty"`
+	CPUs            int     `json:"cpus,omitempty"`
 	Clients         int     `json:"clients"`
 	DurationSec     float64 `json:"duration_sec"`
 	Updates         int     `json:"updates"`

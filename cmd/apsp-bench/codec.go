@@ -1,0 +1,219 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"apspark/internal/costmodel"
+	"apspark/internal/graph"
+	"apspark/internal/matrix"
+	"apspark/internal/obs"
+	"apspark/internal/store"
+)
+
+// codecResult is one store-density measurement in BENCH.json: the same
+// integer-weight distance matrix persisted through one codec, with the
+// on-disk footprint and the cold-read latency cost of decoding.
+type codecResult struct {
+	Codec      string `json:"codec"`
+	N          int    `json:"n"`
+	Quick      bool   `json:"quick,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	CPUs       int    `json:"cpus,omitempty"`
+	BlockSize  int    `json:"block_size"`
+	FileBytes  int64  `json:"file_bytes"`
+	// BytesPerTile is the mean encoded payload size (index + header
+	// excluded); for raw it equals the marshalled tile size.
+	BytesPerTile int64 `json:"bytes_per_tile"`
+	// DensityRatio is raw payload bytes / encoded payload bytes for this
+	// file — the store's own census, 1.0 for raw.
+	DensityRatio float64 `json:"density_ratio"`
+	// RowsPerMB is how many full distance rows one MiB of store file
+	// carries — the rows-cached-per-MB figure for any fixed page-cache or
+	// replication budget.
+	RowsPerMB float64 `json:"rows_per_mb"`
+	// Cold row reads (tile cache one tile, every read decodes from disk)
+	// and batched row reads (64 rows per op, reported per row).
+	ColdRowP50Ns  int64 `json:"cold_row_p50_ns"`
+	ColdRowP99Ns  int64 `json:"cold_row_p99_ns"`
+	BatchRowP50Ns int64 `json:"batch_row_p50_ns"`
+	BatchRowP99Ns int64 `json:"batch_row_p99_ns"`
+	// DifferentialRows counts rows verified bit-identical against the raw
+	// store (ivarint) or within the recorded error bound (f32).
+	DifferentialRows int `json:"differential_rows,omitempty"`
+}
+
+// codecBench measures what the compressed tile codecs buy and cost on
+// the ISSUE's reference workload: an Erdős–Rényi graph at average degree
+// 16 with integer weights, solved once, persisted through every codec.
+// Density (file bytes, rows per MiB) and cold-read latency (p50/p99 for
+// single rows and 64-row batches) land in BENCH.json as codec entries;
+// the ivarint store is differentially verified bit-exact against the
+// raw store over every row before any number is reported.
+func codecBench(_ costmodel.KernelModel, quick bool, rep *report) error {
+	n, bs := 8192, 256
+	if quick {
+		n, bs = 1024, 128
+	}
+	g, err := graph.ErdosRenyiWeighted(n, graph.AvgDegreeProb(n, 16), graph.IntegerWeights(1000), 42)
+	if err != nil {
+		return err
+	}
+	dist := g.Dense()
+	if err := matrix.FloydWarshallBlockedSize(dist, 256, runtime.GOMAXPROCS(0)); err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "apsp-bench-codec-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Printf("store codecs (ER n=%d deg=16 integer weights, b=%d):\n", n, bs)
+	paths := map[string]string{}
+	for _, name := range []string{"raw", "ivarint", "f32"} {
+		c, err := store.CodecByName(name)
+		if err != nil {
+			return err
+		}
+		p := filepath.Join(dir, name+".apsp")
+		if err := store.WriteWithCodec(p, dist, bs, c); err != nil {
+			return err
+		}
+		paths[name] = p
+	}
+
+	rawInfo, err := os.Stat(paths["raw"])
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{"raw", "ivarint", "f32"} {
+		res, err := codecMeasure(name, paths[name], dist, n, bs)
+		if err != nil {
+			return err
+		}
+		rep.Codec = append(rep.Codec, *res)
+		info, _ := os.Stat(paths[name])
+		fmt.Printf("  %-8s %8.1f MiB (%.2fx density, %.1f rows/MiB) cold row p50 %d p99 %d ns, batch row p50 %d p99 %d ns\n",
+			name, float64(info.Size())/(1<<20), res.DensityRatio, res.RowsPerMB,
+			res.ColdRowP50Ns, res.ColdRowP99Ns, res.BatchRowP50Ns, res.BatchRowP99Ns)
+		if name != "raw" && info.Size() >= rawInfo.Size() {
+			return fmt.Errorf("codec %s produced %d bytes, raw is %d — no density win", name, info.Size(), rawInfo.Size())
+		}
+	}
+	return nil
+}
+
+// codecMeasure opens one persisted store, differentially verifies every
+// row against the in-memory solution, and measures cold row reads.
+func codecMeasure(name, path string, ref *matrix.Block, n, bs int) (*codecResult, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+
+	// Differential pass first — a wrong store must never produce a
+	// benchmark number. Generously cached: correctness, not latency.
+	s, err := store.Open(path, 64<<20)
+	if err != nil {
+		return nil, err
+	}
+	checked := 0
+	var row []float64
+	for i := 0; i < n; i++ {
+		row, err = s.RowInto(context.Background(), i, row)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("codec %s row %d: %w", name, i, err)
+		}
+		for j, got := range row {
+			want := ref.At(i, j)
+			switch name {
+			case "f32":
+				if math.IsInf(want, 1) {
+					if !math.IsInf(got, 1) {
+						s.Close()
+						return nil, fmt.Errorf("codec f32 d(%d,%d) = %v, want +Inf", i, j, got)
+					}
+				} else if rel := math.Abs(got-want) / math.Max(math.Abs(want), 1); rel > store.F32DefaultMaxRelErr {
+					s.Close()
+					return nil, fmt.Errorf("codec f32 d(%d,%d) rel err %v past bound", i, j, rel)
+				}
+			default:
+				if math.Float64bits(got) != math.Float64bits(want) {
+					s.Close()
+					return nil, fmt.Errorf("codec %s d(%d,%d) = %v, want bit-identical %v", name, i, j, got, want)
+				}
+			}
+		}
+		checked++
+	}
+	q := s.TilesPerSide()
+	ratio := s.CodecRatio()
+	s.Close()
+
+	// Cold reads: a tile cache that holds roughly one tile forces every
+	// row assembly back to disk (and through the decoder for compressed
+	// tiles) — the latency price of density, measured not guessed.
+	oneTile := int64(bs) * int64(bs) * 8
+	cold, err := store.OpenWithOptions(path, store.Options{TileCacheBytes: oneTile})
+	if err != nil {
+		return nil, err
+	}
+	defer cold.Close()
+	rng := rand.New(rand.NewSource(7))
+	singleP50, singleP99, err := coldRowPercentiles(cold, n, 1, rng, row)
+	if err != nil {
+		return nil, err
+	}
+	batchP50, batchP99, err := coldRowPercentiles(cold, n, 64, rng, row)
+	if err != nil {
+		return nil, err
+	}
+
+	payload := info.Size() - 24 - int64(q)*int64(q)*24 // header + index excluded
+	return &codecResult{
+		Codec: name, N: n, BlockSize: bs,
+		FileBytes:    info.Size(),
+		BytesPerTile: payload / (int64(q) * int64(q)),
+		DensityRatio: ratio,
+		RowsPerMB:    float64(n) / (float64(info.Size()) / (1 << 20)),
+		ColdRowP50Ns: singleP50, ColdRowP99Ns: singleP99,
+		BatchRowP50Ns: batchP50, BatchRowP99Ns: batchP99,
+		DifferentialRows: checked,
+	}, nil
+}
+
+// coldRowPercentiles measures RowInto latency on a nearly-uncached store
+// (batch > 1 reads that many rows per op and reports per-row figures).
+func coldRowPercentiles(s *store.Store, n, batch int, rng *rand.Rand, row []float64) (p50, p99 int64, err error) {
+	var failed error
+	var lat obs.Distribution
+	testing.Benchmark(func(b *testing.B) {
+		h := obs.NewHistogram()
+		for i := 0; i < b.N; i++ {
+			opStart := time.Now()
+			for k := 0; k < batch; k++ {
+				if row, err = s.RowInto(context.Background(), rng.Intn(n), row); err != nil {
+					failed = err
+					b.FailNow()
+				}
+			}
+			h.RecordSince(opStart)
+		}
+		b.StopTimer()
+		lat = h.Snapshot()
+	})
+	if failed != nil {
+		return 0, 0, failed
+	}
+	return lat.Quantile(0.5) / int64(batch), lat.Quantile(0.99) / int64(batch), nil
+}

@@ -19,11 +19,13 @@ import (
 // overlay size, heap after build, exactness check) and per-query entries
 // ("dist", "row") with latency percentiles.
 type hierarchyResult struct {
-	Name      string  `json:"name"` // "build", "dist" or "row"
-	N         int     `json:"n"`
-	AvgDegree float64 `json:"avg_degree"`
-	Edges     int     `json:"edges"`
-	Quick     bool    `json:"quick,omitempty"`
+	Name       string  `json:"name"` // "build", "dist" or "row"
+	N          int     `json:"n"`
+	AvgDegree  float64 `json:"avg_degree"`
+	Edges      int     `json:"edges"`
+	Quick      bool    `json:"quick,omitempty"`
+	GoMaxProcs int     `json:"gomaxprocs,omitempty"`
+	CPUs       int     `json:"cpus,omitempty"`
 	// Build-entry fields.
 	Parts          int    `json:"parts,omitempty"`
 	PartSize       int    `json:"part_size,omitempty"`

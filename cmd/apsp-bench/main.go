@@ -13,6 +13,7 @@
 //	apsp-bench sparse            # host-native CSR Dijkstra vs dense Blocked-CB
 //	apsp-bench hierarchy         # partition+shortcut hierarchy: build cost + on-demand query latency
 //	apsp-bench churn             # serving QPS + p99 + staleness under live delta ingestion
+//	apsp-bench codec             # store tile codecs: on-disk density vs cold-read latency
 //	apsp-bench all               # everything
 //
 // Flags scale the experiments down for quick runs (-quick) or swap in a
@@ -52,6 +53,8 @@ type kernelResult struct {
 	Name        string `json:"name"`
 	BlockSize   int    `json:"block_size"`
 	Quick       bool   `json:"quick,omitempty"`
+	GoMaxProcs  int    `json:"gomaxprocs,omitempty"`
+	CPUs        int    `json:"cpus,omitempty"`
 	Workers     int    `json:"workers,omitempty"`
 	NsPerOp     int64  `json:"wall_ns_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
@@ -63,6 +66,8 @@ type experimentResult struct {
 	Experiment string  `json:"experiment"`
 	Label      string  `json:"label"`
 	Quick      bool    `json:"quick,omitempty"`
+	GoMaxProcs int     `json:"gomaxprocs,omitempty"`
+	CPUs       int     `json:"cpus,omitempty"`
 	VirtualSec float64 `json:"virtual_sec"`
 }
 
@@ -72,6 +77,8 @@ type storeQueryResult struct {
 	Query      string  `json:"query"`
 	N          int     `json:"n"`
 	Quick      bool    `json:"quick,omitempty"`
+	GoMaxProcs int     `json:"gomaxprocs,omitempty"`
+	CPUs       int     `json:"cpus,omitempty"`
 	BlockSize  int     `json:"block_size"`
 	CacheBytes int64   `json:"cache_bytes"`
 	NsPerOp    int64   `json:"wall_ns_per_op"`
@@ -85,6 +92,8 @@ type serveQueryResult struct {
 	Query          string  `json:"query"`
 	N              int     `json:"n"`
 	Quick          bool    `json:"quick,omitempty"`
+	GoMaxProcs     int     `json:"gomaxprocs,omitempty"`
+	CPUs           int     `json:"cpus,omitempty"`
 	BlockSize      int     `json:"block_size"`
 	TileCacheBytes int64   `json:"tile_cache_bytes"`
 	RowCacheBytes  int64   `json:"row_cache_bytes"`
@@ -114,6 +123,7 @@ type report struct {
 	SparseSolve []sparseSolveResult `json:"sparse_solve,omitempty"`
 	Hierarchy   []hierarchyResult   `json:"hierarchy,omitempty"`
 	Churn       []churnResult       `json:"churn,omitempty"`
+	Codec       []codecResult       `json:"codec,omitempty"`
 }
 
 func main() {
@@ -154,38 +164,52 @@ func main() {
 	run("sparse", sparseSolve)
 	run("hierarchy", hierarchySolve)
 	run("churn", churnBench)
+	run("codec", codecBench)
 	switch what {
-	case "all", "fig2", "fig3", "table2", "table3", "kernels", "store", "serve", "sparse", "hierarchy", "churn":
+	case "all", "fig2", "fig3", "table2", "table3", "kernels", "store", "serve", "sparse", "hierarchy", "churn", "codec":
 	default:
-		fmt.Fprintf(os.Stderr, "apsp-bench: unknown target %q (want fig2|fig3|table2|table3|kernels|store|serve|sparse|hierarchy|churn|all)\n", what)
+		fmt.Fprintf(os.Stderr, "apsp-bench: unknown target %q (want fig2|fig3|table2|table3|kernels|store|serve|sparse|hierarchy|churn|codec|all)\n", what)
 		os.Exit(2)
 	}
 
-	// Every entry carries its own quick stamp: the merged report mixes
-	// sections from different runs, so a file-global flag cannot label
-	// them truthfully.
+	// Every entry carries its own quick/gomaxprocs/cpus stamp: the merged
+	// report mixes sections from different runs (and potentially different
+	// machines or -cpu settings), so file-global flags cannot label them
+	// truthfully.
+	cpus := runtime.NumCPU()
 	for i := range rep.Kernels {
 		rep.Kernels[i].Quick = rep.Quick
+		rep.Kernels[i].GoMaxProcs, rep.Kernels[i].CPUs = rep.GoMaxProcs, cpus
 	}
 	for i := range rep.Experiments {
 		rep.Experiments[i].Quick = rep.Quick
+		rep.Experiments[i].GoMaxProcs, rep.Experiments[i].CPUs = rep.GoMaxProcs, cpus
 	}
 	for i := range rep.StoreQuery {
 		rep.StoreQuery[i].Quick = rep.Quick
+		rep.StoreQuery[i].GoMaxProcs, rep.StoreQuery[i].CPUs = rep.GoMaxProcs, cpus
 	}
 	for i := range rep.ServeQuery {
 		rep.ServeQuery[i].Quick = rep.Quick
+		rep.ServeQuery[i].GoMaxProcs, rep.ServeQuery[i].CPUs = rep.GoMaxProcs, cpus
 	}
 	for i := range rep.SparseSolve {
 		rep.SparseSolve[i].Quick = rep.Quick
+		rep.SparseSolve[i].GoMaxProcs, rep.SparseSolve[i].CPUs = rep.GoMaxProcs, cpus
 	}
 	for i := range rep.Hierarchy {
 		rep.Hierarchy[i].Quick = rep.Quick
+		rep.Hierarchy[i].GoMaxProcs, rep.Hierarchy[i].CPUs = rep.GoMaxProcs, cpus
 	}
 	for i := range rep.Churn {
 		rep.Churn[i].Quick = rep.Quick
+		rep.Churn[i].GoMaxProcs, rep.Churn[i].CPUs = rep.GoMaxProcs, cpus
 	}
-	if *jsonPath != "" && (len(rep.Kernels) > 0 || len(rep.Experiments) > 0 || len(rep.StoreQuery) > 0 || len(rep.ServeQuery) > 0 || len(rep.SparseSolve) > 0 || len(rep.Hierarchy) > 0 || len(rep.Churn) > 0) {
+	for i := range rep.Codec {
+		rep.Codec[i].Quick = rep.Quick
+		rep.Codec[i].GoMaxProcs, rep.Codec[i].CPUs = rep.GoMaxProcs, cpus
+	}
+	if *jsonPath != "" && (len(rep.Kernels) > 0 || len(rep.Experiments) > 0 || len(rep.StoreQuery) > 0 || len(rep.ServeQuery) > 0 || len(rep.SparseSolve) > 0 || len(rep.Hierarchy) > 0 || len(rep.Churn) > 0 || len(rep.Codec) > 0) {
 		if err := writeReport(*jsonPath, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "apsp-bench: %v\n", err)
 			os.Exit(1)
@@ -251,6 +275,11 @@ func writeReport(path string, rep *report) error {
 	}
 	if len(rep.Churn) > 0 {
 		if err := put("churn", rep.Churn); err != nil {
+			return err
+		}
+	}
+	if len(rep.Codec) > 0 {
+		if err := put("codec", rep.Codec); err != nil {
 			return err
 		}
 	}

@@ -21,6 +21,8 @@ type sparseSolveResult struct {
 	AvgDegree   float64 `json:"avg_degree"`
 	Edges       int     `json:"edges"`
 	Quick       bool    `json:"quick,omitempty"`
+	GoMaxProcs  int     `json:"gomaxprocs,omitempty"`
+	CPUs        int     `json:"cpus,omitempty"`
 	BlockSize   int     `json:"block_size"`
 	NsPerOp     int64   `json:"wall_ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`

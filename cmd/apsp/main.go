@@ -55,6 +55,7 @@ func main() {
 		trace     = flag.Bool("trace", false, "print the slowest virtual stages afterwards")
 		progress  = flag.Bool("progress", false, "stream per-unit progress to stderr while solving")
 		storeOut  = flag.String("store", "", "persist the solved distances as a tiled store file (real runs only; serve it with apsp-serve)")
+		codec     = flag.String("codec", "", "-store tile codec: raw (default), ivarint (exact delta+varint, integer weights) or f32 (lossy float32, error-bounded)")
 		resume    = flag.Bool("resume", false, "resume a killed/cancelled -store solve from its checkpoint (host-native solvers only)")
 
 		hierOut  = flag.String("hier", "", "-solver hier: persist the built hierarchy to this file (serve it with apsp-serve -hier)")
@@ -94,8 +95,8 @@ func main() {
 	defer stop()
 
 	if hier {
-		if *storeOut != "" || *resume {
-			fatal(fmt.Errorf("-solver hier builds a compute-on-demand hierarchy, not a tiled store; use -hier to persist it (no -store/-resume)"))
+		if *storeOut != "" || *resume || *codec != "" {
+			fatal(fmt.Errorf("-solver hier builds a compute-on-demand hierarchy, not a tiled store; use -hier to persist it (no -store/-resume/-codec)"))
 		}
 		runHier(ctx, *n, *seed, *input, *hierOut, *partSize, *partSeed, *verify, *progress, *dumpMetrics)
 		return
@@ -143,6 +144,14 @@ func main() {
 
 	if *storeOut != "" && *phantom {
 		fatal(fmt.Errorf("-store needs a real solve; phantom runs carry no distances"))
+	}
+	if *codec != "" && *storeOut == "" {
+		fatal(fmt.Errorf("-codec selects the tile encoding of a -store write; nothing is being stored"))
+	}
+	if *codec != "" && host && *storeOut != "" {
+		// Streamed solves encode while writing; the cluster path below
+		// solves in memory and encodes at WriteStoreWithCodec time instead.
+		jobOpts = append(jobOpts, apspark.WithCodec(*codec))
 	}
 	if *resume {
 		if !host || *storeOut == "" {
@@ -234,7 +243,7 @@ func main() {
 				os.Exit(1)
 			}
 		} else {
-			if err := res.WriteStore(*storeOut, res.BlockSize); err != nil {
+			if err := res.WriteStoreWithCodec(*storeOut, res.BlockSize, *codec); err != nil {
 				fatal(err)
 			}
 			st, err := os.Stat(*storeOut)

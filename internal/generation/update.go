@@ -346,7 +346,10 @@ func classifyDirty(ctx context.Context, parent *store.Store, changes []changedEd
 // torn build.
 func (m *Manager) buildStore(ctx context.Context, path string, parent *store.Store, g *graph.Graph, dirtyPanel []bool) error {
 	n, b := parent.N(), parent.BlockSize()
-	w, err := store.NewPanelWriter(path, n, b)
+	// The child inherits the parent's preferred codec: re-solved dirty
+	// panels re-encode at the same density the clean raw-copied panels
+	// carry over, so compression survives the generation lifecycle.
+	w, err := store.NewPanelWriterWithOptions(path, n, b, store.PanelWriterOptions{Codec: parent.PreferredCodec()})
 	if err != nil {
 		return err
 	}
@@ -361,10 +364,10 @@ func (m *Manager) buildStore(ctx context.Context, path string, parent *store.Sto
 			hook("mid-build")
 		}
 		if !dirtyPanel[bi] {
-			var crcs []uint32
-			raw, crcs, err = parent.ReadPanelRaw(bi, raw)
+			var metas []store.TileMeta
+			raw, metas, err = parent.ReadPanelRaw(bi, raw)
 			if err == nil {
-				err = w.WriteRawPanel(raw, crcs)
+				err = w.WriteRawPanel(raw, metas)
 				if err != nil {
 					return err
 				}

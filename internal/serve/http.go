@@ -188,6 +188,11 @@ type Health struct {
 	// Recomputed counts row queries answered by re-solving from the
 	// graph because the store copy was corrupt.
 	Recomputed int64 `json:"recomputed,omitempty"`
+	// Codec names the store's preferred tile codec and CodecRatio its
+	// on-disk density win (raw bytes / encoded bytes); absent for
+	// non-store sources and omitted when the store is uncompressed.
+	Codec      string  `json:"codec,omitempty"`
+	CodecRatio float64 `json:"codec_ratio,omitempty"`
 	// Cache carries the tile-cache counters (with per-shard breakdown)
 	// when the engine serves from a persistent store (absent for
 	// in-memory sources).
@@ -214,6 +219,10 @@ func Handler(e *Engine) http.Handler {
 			h.RowCache = &snap.Rows
 			h.Quarantined = snap.Quarantined
 			h.RetriedReads = snap.RetriedReads
+			if snap.Codec != "raw" {
+				h.Codec = snap.Codec
+				h.CodecRatio = snap.CodecRatio
+			}
 			if snap.Quarantined > 0 {
 				h.Status = "degraded"
 			}

@@ -1,0 +1,652 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"apspark/internal/faultfs"
+	"apspark/internal/matrix"
+)
+
+// intMatrix builds a deterministic integer-weight "distance-like" matrix:
+// zero diagonal, symmetric small integers (path sums of an integer-weight
+// graph), a sprinkle of +Inf pairs — the shape ivarint is built for.
+func intMatrix(n int, seed int64) *matrix.Block {
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 0)
+		for j := i + 1; j < n; j++ {
+			v := matrix.Inf
+			if rng.Intn(12) != 0 {
+				v = float64(1 + rng.Intn(5000))
+			}
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestCodecByName(t *testing.T) {
+	for name, wantID := range map[string]byte{
+		"": CodecRaw, "raw": CodecRaw, "ivarint": CodecIVarint, "f32": CodecF32,
+	} {
+		c, err := CodecByName(name)
+		if err != nil || c.ID() != wantID {
+			t.Fatalf("CodecByName(%q) = %v, %v; want codec %d", name, c, err, wantID)
+		}
+	}
+	if _, err := CodecByName("zstd"); err == nil {
+		t.Fatal("CodecByName accepted an unknown codec")
+	}
+	if got := CodecNames(); len(got) != numCodecs || got[0] != "raw" || got[1] != "ivarint" || got[2] != "f32" {
+		t.Fatalf("CodecNames() = %v", got)
+	}
+}
+
+// TestIVarintRoundTripBitExact: every float64 bit pattern the codec
+// accepts must decode back identically, including +Inf escapes and
+// ragged shapes.
+func TestIVarintRoundTripBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := codecs[CodecIVarint]
+	for _, shape := range [][2]int{{1, 1}, {3, 5}, {8, 8}, {7, 13}} {
+		for trial := 0; trial < 20; trial++ {
+			tile := matrix.New(shape[0], shape[1])
+			for i := range tile.Data {
+				switch rng.Intn(8) {
+				case 0:
+					tile.Data[i] = matrix.Inf
+				default:
+					tile.Data[i] = float64(rng.Intn(1 << 20))
+				}
+			}
+			enc, ok := c.EncodeTile(nil, tile)
+			if !ok {
+				t.Fatalf("ivarint declined an all-integer %dx%d tile", shape[0], shape[1])
+			}
+			got, err := c.DecodeTile(enc, shape[0], shape[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range tile.Data {
+				if math.Float64bits(got.Data[i]) != math.Float64bits(tile.Data[i]) {
+					t.Fatalf("value %d: decoded bits %x, want %x", i, math.Float64bits(got.Data[i]), math.Float64bits(tile.Data[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestIVarintDeclinesNonIntegers: every value outside the exact-integer
+// domain declines the whole tile, and encodeTile then stores it raw.
+func TestIVarintDeclinesNonIntegers(t *testing.T) {
+	for name, v := range map[string]float64{
+		"fractional": 1.5,
+		"nan":        math.NaN(),
+		"neg-inf":    math.Inf(-1),
+		"neg-zero":   math.Copysign(0, -1),
+		"2^53":       float64(maxExactInt),
+		"-2^53":      -float64(maxExactInt),
+		"huge":       1e300,
+	} {
+		tile := matrix.NewZero(4, 4) // all zeros, then poison one value
+		tile.Data[9] = v
+		if _, ok := codecs[CodecIVarint].EncodeTile(nil, tile); ok {
+			t.Errorf("%s: ivarint accepted %v", name, v)
+		}
+		enc, cid := encodeTile(codecs[CodecIVarint], tile, nil)
+		if cid != CodecRaw {
+			t.Errorf("%s: encodeTile fell back to codec %d, want raw", name, cid)
+		}
+		if int64(len(enc)) != matrix.DenseMarshaledSize(4, 4) {
+			t.Errorf("%s: raw fallback is %d bytes", name, len(enc))
+		}
+	}
+}
+
+// TestIVarintNotSmallerFallsBackRaw: adversarially alternating between
+// 0 and 2^53-1 makes every delta an 8-byte varint, so the encoded form
+// cannot beat raw; the encoder must bail and the tile be stored raw.
+// (matrix.New fills with +Inf, which ivarint escapes in one byte — the
+// zero fill here is what keeps every delta huge.)
+func TestIVarintNotSmallerFallsBackRaw(t *testing.T) {
+	tile := matrix.NewZero(8, 8)
+	for i := range tile.Data {
+		if i%2 == 0 {
+			tile.Data[i] = float64(maxExactInt - 1)
+		}
+	}
+	_, cid := encodeTile(codecs[CodecIVarint], tile, nil)
+	if cid != CodecRaw {
+		t.Fatalf("incompressible tile stored with codec %d, want raw", cid)
+	}
+}
+
+// TestF32ErrorBound: values within the bound round-trip with the
+// recorded max relative error; values float32 cannot hold decline.
+func TestF32ErrorBound(t *testing.T) {
+	c := codecs[CodecF32]
+	tile := matrix.New(2, 2)
+	tile.Data = []float64{0, 1, 2.5, matrix.Inf}
+	enc, ok := c.EncodeTile(nil, tile)
+	if !ok {
+		t.Fatal("f32 declined exactly-representable values")
+	}
+	if got := TileMaxRelErr(CodecF32, enc); got != 0 {
+		t.Fatalf("recorded max rel err %v, want 0 for exactly-representable values", got)
+	}
+	got, err := c.DecodeTile(enc, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tile.Data {
+		if got.Data[i] != tile.Data[i] && !(math.IsInf(got.Data[i], 1) && math.IsInf(tile.Data[i], 1)) {
+			t.Fatalf("value %d: %v, want %v", i, got.Data[i], tile.Data[i])
+		}
+	}
+
+	// float32 rounding of normal values stays within 2^-24 =~ 6e-8, well
+	// inside the 1e-6 default bound — the decline cases are overflow past
+	// the float32 range and NaN, where the relative error is unbounded.
+	for name, v := range map[string]float64{
+		"past-f32-range": 1e300,
+		"neg-overflow":   -1e40,
+		"nan":            math.NaN(),
+	} {
+		tile := matrix.New(1, 2)
+		tile.Data = []float64{1, v}
+		if _, ok := c.EncodeTile(nil, tile); ok {
+			t.Errorf("%s: f32 accepted %v", name, v)
+		}
+	}
+}
+
+// TestDecodeTileTypedErrors: corrupt payloads come back as ErrCodecData,
+// never a panic, for every codec.
+func TestDecodeTileTypedErrors(t *testing.T) {
+	tile := matrix.New(4, 4)
+	for i := range tile.Data {
+		tile.Data[i] = float64(i * 3)
+	}
+	for id := byte(0); id < numCodecs; id++ {
+		enc, ok := codecs[id].EncodeTile(nil, tile)
+		if !ok {
+			t.Fatalf("codec %d declined a small integer tile", id)
+		}
+		for name, data := range map[string][]byte{
+			"empty":       nil,
+			"truncated":   enc[:len(enc)-1],
+			"bad-magic":   append([]byte{0x00}, enc[1:]...),
+			"trailing":    append(append([]byte(nil), enc...), 0x01),
+			"wrong-shape": enc, // decoded below with the wrong geometry
+		} {
+			h, w := 4, 4
+			if name == "wrong-shape" {
+				h, w = 2, 8
+			}
+			if _, err := decodeTile(id, data, h, w); !errors.Is(err, ErrCodecData) {
+				t.Errorf("codec %d %s: err = %v, want ErrCodecData", id, name, err)
+			}
+		}
+	}
+	if _, err := decodeTile(99, []byte{1, 2, 3}, 1, 1); !errors.Is(err, ErrCodecData) {
+		t.Errorf("unknown codec id: err = %v, want ErrCodecData", err)
+	}
+}
+
+// TestIVarintDecodeRejectsOutOfRange: a forged stream whose running sum
+// walks past 2^53 must fail, not fabricate inexact values.
+func TestIVarintDecodeRejectsOutOfRange(t *testing.T) {
+	tile := matrix.New(1, 2)
+	tile.Data = []float64{float64(maxExactInt - 1), float64(maxExactInt - 1)}
+	// Legitimate encode first (deltas: +2^53-1, 0)…
+	enc, ok := codecs[CodecIVarint].EncodeTile(nil, tile)
+	if !ok {
+		t.Fatal("declined in-range values")
+	}
+	// …then replay the first big token twice by decoding a stream of
+	// token1, token1: running sum 2·(2^53-1) overflows the exact range.
+	forged := append([]byte(nil), enc[:codecHdrLen]...)
+	tok := enc[codecHdrLen : len(enc)-1] // first token (second token is 0-delta, 1 byte)
+	forged = append(forged, tok...)
+	forged = append(forged, tok...)
+	if _, err := codecs[CodecIVarint].DecodeTile(forged, 1, 2); !errors.Is(err, ErrCodecData) {
+		t.Fatalf("out-of-range forged stream: err = %v, want ErrCodecData", err)
+	}
+}
+
+// TestWriteWithCodecDifferential is the full-store differential: an
+// integer-weight matrix written raw, ivarint and f32 must serve — over
+// EVERY row, not samples — bit-identical distances for ivarint and
+// error-bounded ones for f32, through tile, span and uncached paths.
+func TestWriteWithCodecDifferential(t *testing.T) {
+	n, bs := 61, 16 // ragged tiling on purpose
+	m := intMatrix(n, 42)
+	dir := t.TempDir()
+	paths := map[string]string{}
+	for _, name := range []string{"raw", "ivarint", "f32"} {
+		c, err := CodecByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name+".apsp")
+		if err := WriteWithCodec(p, m, bs, c); err != nil {
+			t.Fatal(err)
+		}
+		paths[name] = p
+	}
+
+	rawSize := fileSize(t, paths["raw"])
+	for name, p := range paths {
+		if name == "raw" {
+			continue
+		}
+		if got := fileSize(t, p); got >= rawSize {
+			t.Errorf("%s store is %d bytes, raw is %d — no shrink", name, got, rawSize)
+		}
+	}
+
+	for cfg, opts := range map[string]Options{
+		"tile-path": {TileCacheBytes: 1 << 20},
+		"row-path":  {RowCacheBytes: 1 << 20},
+		"uncached":  {},
+	} {
+		for name, p := range paths {
+			s, err := OpenWithOptions(p, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Version() != version {
+				t.Fatalf("%s: version %d, want %d", name, s.Version(), version)
+			}
+			if name == "ivarint" {
+				if s.CodecRatio() < 2 {
+					t.Errorf("ivarint codec ratio %.2f, want >= 2 on an integer store", s.CodecRatio())
+				}
+				if s.CodecTiles()["ivarint"] == 0 {
+					t.Error("ivarint store has no ivarint tiles")
+				}
+				if s.PreferredCodec().ID() != CodecIVarint {
+					t.Errorf("preferred codec %s, want ivarint", s.CodecName())
+				}
+			}
+			ctx := context.Background()
+			for i := 0; i < n; i++ {
+				row, err := s.Row(ctx, i)
+				if err != nil {
+					t.Fatalf("%s/%s row %d: %v", name, cfg, i, err)
+				}
+				for j := 0; j < n; j++ {
+					want := m.At(i, j)
+					switch name {
+					case "raw", "ivarint":
+						if math.Float64bits(row[j]) != math.Float64bits(want) {
+							t.Fatalf("%s/%s (%d,%d) = %v, want bit-identical %v", name, cfg, i, j, row[j], want)
+						}
+					case "f32":
+						if math.IsInf(want, 1) {
+							if !math.IsInf(row[j], 1) {
+								t.Fatalf("f32/%s (%d,%d) = %v, want +Inf", cfg, i, j, row[j])
+							}
+						} else if rel := math.Abs(row[j]-want) / math.Max(math.Abs(want), 1); rel > F32DefaultMaxRelErr {
+							t.Fatalf("f32/%s (%d,%d) rel err %v > bound", cfg, i, j, rel)
+						}
+					}
+				}
+			}
+			s.Close()
+		}
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}
+
+// TestPanelWriterCodecByteIdenticalToWrite: the streaming writer with a
+// codec produces the same file as the one-shot writer, byte for byte.
+func TestPanelWriterCodecByteIdenticalToWrite(t *testing.T) {
+	n, bs := 37, 8
+	m := intMatrix(n, 9)
+	dir := t.TempDir()
+	oneShot := filepath.Join(dir, "oneshot.apsp")
+	streamed := filepath.Join(dir, "streamed.apsp")
+	c, _ := CodecByName("ivarint")
+	if err := WriteWithCodec(oneShot, m, bs, c); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewPanelWriterWithOptions(streamed, n, bs, PanelWriterOptions{Codec: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := (n + bs - 1) / bs
+	for bi := 0; bi < q; bi++ {
+		base, h := PanelRows(n, bs, bi)
+		panel := matrix.New(h, n)
+		if err := m.ExtractInto(panel, base, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WritePanel(panel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(oneShot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("streamed ivarint store differs from one-shot (%d vs %d bytes)", len(b), len(a))
+	}
+}
+
+// TestRawPanelCopyCarriesCodec: ReadPanelRaw/WriteRawPanel move encoded
+// panels between stores without decoding, preserving per-tile codecs.
+func TestRawPanelCopyCarriesCodec(t *testing.T) {
+	n, bs := 29, 8
+	m := intMatrix(n, 5)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.apsp")
+	c, _ := CodecByName("ivarint")
+	if err := WriteWithCodec(src, m, bs, c); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(src, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	dst := filepath.Join(dir, "dst.apsp")
+	w, err := NewPanelWriterWithOptions(dst, n, bs, PanelWriterOptions{Codec: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw []byte
+	var metas []TileMeta
+	for bi := 0; bi < s.TilesPerSide(); bi++ {
+		raw, metas, err = s.ReadPanelRaw(bi, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteRawPanel(raw, metas); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(src)
+	b, _ := os.ReadFile(dst)
+	if string(a) != string(b) {
+		t.Fatalf("raw-copied store differs from source (%d vs %d bytes)", len(b), len(a))
+	}
+}
+
+// TestWriteRawPanelRejectsForgedMeta: implausible tile metadata (unknown
+// codec, compressed not-smaller-than-raw, wrong CRC) must be refused.
+func TestWriteRawPanelRejectsForgedMeta(t *testing.T) {
+	n, bs := 16, 8
+	m := intMatrix(n, 3)
+	src := filepath.Join(t.TempDir(), "src.apsp")
+	c, _ := CodecByName("ivarint")
+	if err := WriteWithCodec(src, m, bs, c); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	raw, metas, err := s.ReadPanelRaw(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func([]TileMeta) []TileMeta{
+		"unknown-codec": func(ms []TileMeta) []TileMeta { ms[0].Codec = 7; return ms },
+		"raw-size-forged": func(ms []TileMeta) []TileMeta {
+			ms[0].Codec = CodecRaw // length stays compressed-size != raw size
+			return ms
+		},
+		"bad-crc":    func(ms []TileMeta) []TileMeta { ms[1].CRC ^= 0xFF; return ms },
+		"short-meta": func(ms []TileMeta) []TileMeta { return ms[:1] },
+	} {
+		w, err := NewPanelWriterWithOptions(filepath.Join(t.TempDir(), "dst.apsp"), n, bs, PanelWriterOptions{Codec: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		forged := mutate(append([]TileMeta(nil), metas...))
+		if err := w.WriteRawPanel(raw, forged); err == nil {
+			t.Errorf("%s: WriteRawPanel accepted forged metadata", name)
+		}
+		w.Abort()
+	}
+}
+
+// TestCompressedTileBitFlipQuarantines: a flipped bit inside a
+// compressed payload surfaces as ErrCorruptTile on first read and
+// quarantines the tile (CRC catches it before the codec even runs).
+func TestCompressedTileBitFlipQuarantines(t *testing.T) {
+	n, bs := 24, 8
+	m := intMatrix(n, 11)
+	path := filepath.Join(t.TempDir(), "c.apsp")
+	c, _ := CodecByName("ivarint")
+	if err := WriteWithCodec(path, m, bs, c); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a compressed tile and flip one payload byte on disk.
+	var off int64
+	found := false
+	for bi := 0; bi < s.TilesPerSide() && !found; bi++ {
+		for bj := 0; bj < s.TilesPerSide() && !found; bj++ {
+			if s.TileCodec(bi, bj) != CodecRaw {
+				o, l, err := s.TileSpan(bi, bj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				off = o + l/2
+				found = true
+			}
+		}
+	}
+	s.Close()
+	if !found {
+		t.Fatal("integer store has no compressed tile")
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[off] ^= 0x10
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err = Open(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sawCorrupt := false
+	for i := 0; i < n; i++ {
+		if _, err := s.Row(context.Background(), i); err != nil {
+			if !errors.Is(err, ErrCorruptTile) {
+				t.Fatalf("row %d: err = %v, want ErrCorruptTile", i, err)
+			}
+			sawCorrupt = true
+		}
+	}
+	if !sawCorrupt || s.Quarantined() != 1 {
+		t.Fatalf("sawCorrupt=%v quarantined=%d, want corruption detected and 1 tile quarantined", sawCorrupt, s.Quarantined())
+	}
+}
+
+// TestCompressedTileFaultInjection: the faultfs variant — a bit flipped
+// by the disk on every read of a compressed tile's span is caught by the
+// CRC before the codec runs, quarantined without a second disk read, and
+// leaves undamaged compressed tiles serving.
+func TestCompressedTileFaultInjection(t *testing.T) {
+	n, bs := 24, 8
+	m := intMatrix(n, 19)
+	path := filepath.Join(t.TempDir(), "c.apsp")
+	c, _ := CodecByName("ivarint")
+	if err := WriteWithCodec(path, m, bs, c); err != nil {
+		t.Fatal(err)
+	}
+	s, fr := openFaulty(t, path, Options{TileCacheBytes: 1 << 20})
+	if s.TileCodec(0, 0) != CodecIVarint {
+		t.Fatalf("tile (0,0) codec %d, want ivarint on an integer store", s.TileCodec(0, 0))
+	}
+	ref := s.index[0]
+	fr.Inject(faultfs.Fault{
+		Kind: faultfs.KindBitFlip, FlipBit: int64(codecHdrLen)*8 + 3,
+		OffLo: ref.off, OffHi: ref.off + ref.length,
+	})
+	ctx := context.Background()
+	if _, err := s.Dist(ctx, 0, 0); !errors.Is(err, ErrCorruptTile) {
+		t.Fatalf("flipped compressed payload served: err = %v, want ErrCorruptTile", err)
+	}
+	if s.Quarantined() != 1 {
+		t.Fatalf("quarantined = %d, want 1", s.Quarantined())
+	}
+	readsBefore := fr.Reads()
+	if _, err := s.Dist(ctx, 0, 0); !errors.Is(err, ErrCorruptTile) {
+		t.Fatalf("second read of quarantined tile: %v", err)
+	}
+	if fr.Reads() != readsBefore {
+		t.Fatal("quarantined compressed tile was re-read from disk")
+	}
+	row, err := s.Row(ctx, n-1)
+	if err != nil {
+		t.Fatalf("undamaged row: %v", err)
+	}
+	if math.Float64bits(row[n-1]) != math.Float64bits(m.At(n-1, n-1)) {
+		t.Fatal("undamaged compressed row served wrong data")
+	}
+}
+
+// TestOpenRejectsForgedCodecEntries: index entries with unknown codec
+// bytes or impossible lengths must fail Open with typed errors.
+func TestOpenRejectsForgedCodecEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.apsp")
+	c, _ := CodecByName("ivarint")
+	if err := WriteWithCodec(path, intMatrix(16, 2), 8, c); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range map[string]struct {
+		want   error
+		mutate func([]byte)
+	}{
+		"unknown-codec": {ErrVersion, func(b []byte) { b[fileHdrLen+20] = 9 }},
+		"codec-cleared-to-raw-with-short-len": {ErrMalformed, func(b []byte) {
+			b[fileHdrLen+20] = 0 // compressed length now claims to be a raw tile
+		}},
+	} {
+		buf := append([]byte(nil), good...)
+		tc.mutate(buf)
+		p := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(p, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(p, 1<<20)
+		if err == nil {
+			s.Close()
+			t.Errorf("%s: forged store opened cleanly", name)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want errors.Is(%v)", name, err, tc.want)
+		}
+	}
+}
+
+// FuzzDecodeTile: adversarial payloads through every codec must return
+// typed errors or a correctly-shaped block — never panic, never
+// allocate beyond the geometry's output size.
+func FuzzDecodeTile(f *testing.F) {
+	tile := matrix.New(4, 4)
+	for i := range tile.Data {
+		tile.Data[i] = float64(i)
+	}
+	tile.Data[5] = matrix.Inf
+	for id := byte(0); id < numCodecs; id++ {
+		if enc, ok := codecs[id].EncodeTile(nil, tile); ok {
+			f.Add(id, enc, 4, 4)
+			f.Add(id, enc[:len(enc)/2], 4, 4)
+			f.Add(id, enc, 2, 8)
+		}
+	}
+	f.Add(byte(1), []byte{magicIVarint, 4, 0, 0, 0, 4, 0, 0, 0, 0xFF, 0xFF, 0xFF}, 4, 4)
+	f.Fuzz(func(t *testing.T, id byte, data []byte, h, w int) {
+		if h < 1 || w < 1 || h > 64 || w > 64 {
+			t.Skip()
+		}
+		blk, err := decodeTile(id, data, h, w)
+		if err != nil {
+			if !errors.Is(err, ErrCodecData) {
+				t.Fatalf("decode error not typed: %v", err)
+			}
+			return
+		}
+		if blk.Phantom() || blk.R != h || blk.C != w || len(blk.Data) != h*w {
+			t.Fatalf("accepted block has shape %dx%d (phantom=%v), want %dx%d", blk.R, blk.C, blk.Phantom(), h, w)
+		}
+	})
+}
+
+// FuzzCodecRoundTrip: any 2x3 tile of arbitrary float64 bit patterns
+// either declines or round-trips bit-exactly through raw and ivarint.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(1<<52), uint64(0x7FF0000000000000), uint64(42), uint64(100), uint64(1000))
+	f.Add(^uint64(0), uint64(1), uint64(2), uint64(3), uint64(4), uint64(5))
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g uint64) {
+		tile := matrix.New(2, 3)
+		for i, bits := range []uint64{a, b, c, d, e, g} {
+			tile.Data[i] = math.Float64frombits(bits)
+		}
+		for _, id := range []byte{CodecRaw, CodecIVarint} {
+			enc, ok := codecs[id].EncodeTile(nil, tile)
+			if !ok {
+				continue
+			}
+			got, err := codecs[id].DecodeTile(enc, 2, 3)
+			if err != nil {
+				t.Fatalf("codec %d rejected its own encoding: %v", id, err)
+			}
+			for i := range tile.Data {
+				gb, wb := math.Float64bits(got.Data[i]), math.Float64bits(tile.Data[i])
+				// Raw marshalling preserves NaN payloads too; ivarint never
+				// accepts NaN, so accepted tiles must match exactly.
+				if gb != wb {
+					t.Fatalf("codec %d value %d: bits %x, want %x", id, i, gb, wb)
+				}
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -85,6 +86,118 @@ func TestV1StoreOpensAndServes(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// writeV2Store synthesizes a version-2 store file — 24-byte index
+// entries carrying CRC32-C over raw tile bytes, no codec byte — exactly
+// as the pre-codec format revision wrote it, pinning v2 compatibility
+// against real v2 bytes rather than against this build's writer.
+func writeV2Store(t *testing.T, path string, m *matrix.Block, blockSize int) {
+	t.Helper()
+	n := m.R
+	if blockSize > n {
+		blockSize = n
+	}
+	q := (n + blockSize - 1) / blockSize
+	hdr := make([]byte, 0, fileHdrLen+q*q*idxEntryLenV2)
+	hdr = append(hdr, magic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, versionV2)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(n))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(blockSize))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(q))
+	off := int64(fileHdrLen + q*q*idxEntryLenV2)
+	var tiles []byte
+	for bi := 0; bi < q; bi++ {
+		h := tileEdge(n, blockSize, bi)
+		for bj := 0; bj < q; bj++ {
+			w := tileEdge(n, blockSize, bj)
+			tile := matrix.New(h, w)
+			if err := m.ExtractInto(tile, bi*blockSize, bj*blockSize); err != nil {
+				t.Fatal(err)
+			}
+			buf := tile.AppendMarshal(nil)
+			hdr = binary.LittleEndian.AppendUint64(hdr, uint64(off))
+			hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(buf)))
+			hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(buf, castagnoli))
+			hdr = binary.LittleEndian.AppendUint32(hdr, 0)
+			tiles = append(tiles, buf...)
+			off += int64(len(buf))
+		}
+	}
+	if err := os.WriteFile(path, append(hdr, tiles...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV2StoreOpensAndServes: the immediately-previous format (checksummed,
+// uncompressed) still opens checksummed, reads as all-raw, and serves
+// identical distances through every read path.
+func TestV2StoreOpensAndServes(t *testing.T) {
+	n := 25
+	m := testMatrix(n, 31)
+	path := filepath.Join(t.TempDir(), "v2.apsp")
+	writeV2Store(t, path, m, 8)
+
+	for name, opts := range map[string]Options{
+		"tile-path": {TileCacheBytes: 1 << 20},
+		"span-path": {RowCacheBytes: 1 << 20},
+		"uncached":  {},
+	} {
+		t.Run(name, func(t *testing.T) {
+			s, err := OpenWithOptions(path, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if s.Version() != versionV2 || !s.Checksummed() {
+				t.Fatalf("version = %d checksummed = %v, want v2 checksummed", s.Version(), s.Checksummed())
+			}
+			if s.CodecName() != "raw" || s.CodecRatio() != 1 {
+				t.Fatalf("v2 store reports codec %q ratio %v, want raw at ratio 1", s.CodecName(), s.CodecRatio())
+			}
+			ctx := context.Background()
+			for i := 0; i < n; i++ {
+				row, err := s.Row(ctx, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := range row {
+					if row[j] != m.At(i, j) {
+						t.Fatalf("v2 row %d col %d = %v, want %v", i, j, row[j], m.At(i, j))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestV2BitFlipStillQuarantines: v2 CRC verification survives the codec
+// refactor — a flipped payload byte is caught and the tile quarantined.
+func TestV2BitFlipStillQuarantines(t *testing.T) {
+	n := 12
+	m := testMatrix(n, 17)
+	path := filepath.Join(t.TempDir(), "v2.apsp")
+	writeV2Store(t, path, m, 4)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := (n + 3) / 4
+	buf[fileHdrLen+q*q*idxEntryLenV2+20] ^= 0x01 // inside tile (0,0) payload
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Tile(context.Background(), 0, 0); !errors.Is(err, ErrCorruptTile) {
+		t.Fatalf("v2 flipped tile byte: err = %v, want ErrCorruptTile", err)
+	}
+	if s.Quarantined() != 1 {
+		t.Fatalf("quarantined = %d, want 1", s.Quarantined())
 	}
 }
 

@@ -21,6 +21,13 @@ type Snapshot struct {
 	Rows         RowCacheStats
 	Quarantined  int64
 	RetriedReads int64
+	// Codec is the store's preferred tile codec name and CodecRatio its
+	// on-disk density win (raw bytes / encoded bytes; 1.0 for an all-raw
+	// store). CodecTiles counts tiles per codec. All three are fixed at
+	// open — they describe the file, not traffic.
+	Codec      string
+	CodecRatio float64
+	CodecTiles map[string]int64
 }
 
 // Snapshot gathers all store counters in one pass.
@@ -30,6 +37,9 @@ func (s *Store) Snapshot() Snapshot {
 		Rows:         s.RowStats(),
 		Quarantined:  s.quarCount.Load(),
 		RetriedReads: s.retriedReads.Load(),
+		Codec:        s.CodecName(),
+		CodecRatio:   s.CodecRatio(),
+		CodecTiles:   s.CodecTiles(),
 	}
 }
 
@@ -66,6 +76,9 @@ func lockedShardGauge(shards []*shard, get func(*shard) float64) float64 {
 //	apsp_store_span_reads_total
 //	apsp_store_quarantined_tiles
 //	apsp_store_retried_reads_total
+//	apsp_store_codec_ratio
+//	apsp_store_codec_tiles{codec}
+//	apsp_store_decode_seconds{codec} (histogram of cold tile decodes)
 //
 // The metrics are function-backed reads of the store's own atomics, so
 // registration costs nothing on the serving path. Registering a second
@@ -106,4 +119,14 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 		func() float64 { return float64(s.quarCount.Load()) })
 	r.CounterFunc("apsp_store_retried_reads_total", "Disk-read retries consumed by the transient-fault budget.",
 		func() int64 { return s.retriedReads.Load() })
+	r.GaugeFunc("apsp_store_codec_ratio", "On-disk density win: raw tile bytes / encoded tile bytes (1.0 = uncompressed).",
+		func() float64 { return s.CodecRatio() })
+	for id := 0; id < numCodecs; id++ {
+		id := id
+		label := obs.Label{Key: "codec", Value: codecName(byte(id))}
+		r.GaugeFunc("apsp_store_codec_tiles", "Tiles per codec in the open store.",
+			func() float64 { return float64(s.codecTiles[id]) }, label)
+		r.RegisterHistogram("apsp_store_decode_seconds", "Cold tile decode latency by codec.",
+			s.decodeHist[id], label)
+	}
 }

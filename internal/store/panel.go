@@ -8,9 +8,12 @@
 // atomically rewritten recording how many panels are durable. A process
 // killed mid-solve can then resume: the partial file is truncated back to
 // the last durable panel boundary and writing continues from there, so
-// only the unfinished panels are ever re-solved. Because tile offsets are
-// fully determined by (n, b), a resumed store is byte-identical to one
-// written in a single uninterrupted run.
+// only the unfinished panels are ever re-solved. Encoded tile lengths
+// depend on the data (format v3 compresses per tile), so the manifest
+// records each durable tile's length and codec alongside its CRC; the
+// resumed writer rebuilds its index from them by contiguity. The codecs
+// are deterministic, so a resumed store is byte-identical to one written
+// in a single uninterrupted run with the same codec.
 package store
 
 import (
@@ -27,14 +30,19 @@ import (
 // manifestMagic identifies a PanelWriter checkpoint manifest.
 const manifestMagic = "APSPCKPT"
 
-// manifestVersion is the manifest schema version.
-const manifestVersion = 1
+// manifestVersion is the manifest schema version (2 added per-tile
+// lengths and codecs for the variable-length v3 store layout; version-1
+// manifests predate them and cannot be resumed by this build).
+const manifestVersion = 2
 
 // manifest is the JSON sidecar a checkpointing PanelWriter rewrites after
 // every durable panel. Panels counts row panels whose tile bytes are
-// fsync'd in the partial file; CRCs carries the per-tile CRC32C values
-// accumulated so far (q*q entries, row-major; entries past the completed
-// panels are zero and ignored on resume).
+// fsync'd in the partial file; CRCs, Lens and Codecs carry the per-tile
+// CRC32C, encoded length and codec byte accumulated so far (q*q entries
+// each, row-major; entries past the completed panels are zero and
+// ignored on resume — tile offsets are rebuilt from the lengths by
+// contiguity). Codec names the writer's preferred codec so a resume with
+// a different one is refused instead of silently mixing densities.
 type manifest struct {
 	Magic   string   `json:"magic"`
 	Version int      `json:"version"`
@@ -43,6 +51,9 @@ type manifest struct {
 	Q       int      `json:"q"`
 	Panels  int      `json:"panels"`
 	CRCs    []uint32 `json:"crcs"`
+	Lens    []int64  `json:"lens"`
+	Codecs  []byte   `json:"codecs"`
+	Codec   string   `json:"codec"`
 }
 
 // PanelWriterOptions configures the crash-safety discipline of a
@@ -56,26 +67,33 @@ type PanelWriterOptions struct {
 	// Resume (implies Checkpoint) picks up an existing checkpoint: the
 	// partial file is truncated to the last durable panel boundary and the
 	// writer continues from there. When no usable checkpoint exists the
-	// writer simply starts from panel 0. The checkpoint's geometry must
-	// match (n, blockSize) or the writer refuses to resume.
+	// writer simply starts from panel 0. The checkpoint's geometry and
+	// codec must match (n, blockSize, Codec) or the writer refuses to
+	// resume.
 	Resume bool
+	// Codec is the preferred tile codec (nil means raw). Each tile is
+	// offered to it and falls back to raw bytes when declined or not
+	// smaller, exactly like WriteWithCodec.
+	Codec Codec
 }
 
 // PanelWriter writes a tiled distance store incrementally from row
 // panels: panel bi carries matrix rows [bi*b, bi*b+h) as an h x n dense
-// block, delivered in order. Because tile sizes are fully determined by
-// (n, b), the header and index are written up front and each panel's
-// tiles append sequentially; the per-tile checksums are patched into the
-// index on Close, producing a file byte-identical to Write(path, m, b)
-// for the same matrix. The file appears at path only on a successful
-// Close (temp or partial file + atomic rename), so readers never see a
-// partial store.
+// block, delivered in order. The header and a zeroed index are written
+// up front and each panel's tiles append sequentially at running
+// offsets; the offsets, lengths, checksums and codec bytes learned while
+// streaming are patched into the index on Close, producing a file
+// byte-identical to WriteWithCodec(path, m, b, codec) for the same
+// matrix. The file appears at path only on a successful Close (temp or
+// partial file + atomic rename), so readers never see a partial store.
 type PanelWriter struct {
 	tmp       *os.File
 	path      string
 	n, b, q   int
 	nextPanel int
 	index     []tileRef
+	nextOff   int64
+	codec     Codec
 	buf       []byte
 	closed    bool
 	failed    bool
@@ -107,17 +125,9 @@ func NewPanelWriterWithOptions(path string, n, blockSize int, opts PanelWriterOp
 	}
 	q := (n + blockSize - 1) / blockSize
 
-	w := &PanelWriter{path: path, n: n, b: blockSize, q: q}
+	w := &PanelWriter{path: path, n: n, b: blockSize, q: q, codec: opts.Codec}
 	w.index = make([]tileRef, q*q)
-	off := int64(fileHdrLen + q*q*idxEntryLenV2)
-	for bi := 0; bi < q; bi++ {
-		h := tileEdge(n, blockSize, bi)
-		for bj := 0; bj < q; bj++ {
-			length := matrix.DenseMarshaledSize(h, tileEdge(n, blockSize, bj))
-			w.index[bi*q+bj] = tileRef{off: off, length: length}
-			off += length
-		}
-	}
+	w.nextOff = int64(fileHdrLen + q*q*idxEntryLenV2)
 
 	if !opts.Checkpoint && !opts.Resume {
 		tmp, err := os.CreateTemp(dirOf(path), ".apsp-store-*")
@@ -185,14 +195,36 @@ func (w *PanelWriter) resume() error {
 		return fmt.Errorf("store: checkpoint is for n=%d b=%d (q=%d), this solve is n=%d b=%d (q=%d)",
 			m.N, m.B, m.Q, w.n, w.b, w.q)
 	}
-	if m.Panels < 0 || m.Panels > w.q || len(m.CRCs) != w.q*w.q {
-		return fmt.Errorf("store: checkpoint manifest %s is inconsistent (panels=%d, crcs=%d)",
-			w.manifestPath, m.Panels, len(m.CRCs))
+	if m.Panels < 0 || m.Panels > w.q || len(m.CRCs) != w.q*w.q ||
+		len(m.Lens) != w.q*w.q || len(m.Codecs) != w.q*w.q {
+		return fmt.Errorf("store: checkpoint manifest %s is inconsistent (panels=%d, crcs=%d, lens=%d, codecs=%d)",
+			w.manifestPath, m.Panels, len(m.CRCs), len(m.Lens), len(m.Codecs))
+	}
+	if want := w.codecName(); m.Codec != want {
+		return fmt.Errorf("store: checkpoint was written with codec %q, this solve wants %q — remove the checkpoint to restart",
+			m.Codec, want)
+	}
+	// Rebuild the index entries of the durable panels: offsets follow by
+	// contiguity from the recorded lengths, exactly the invariant Open
+	// enforces on the finished file.
+	off := w.nextOff
+	for i := 0; i < m.Panels*w.q; i++ {
+		bi, bj := i/w.q, i%w.q
+		raw := matrix.DenseMarshaledSize(tileEdge(w.n, w.b, bi), tileEdge(w.n, w.b, bj))
+		length, codec := m.Lens[i], m.Codecs[i]
+		if int(codec) >= numCodecs || length < matrix.HeaderLen ||
+			(codec == CodecRaw && length != raw) || (codec != CodecRaw && length >= raw) {
+			return fmt.Errorf("store: checkpoint manifest %s tile %d is implausible (len=%d codec=%d)",
+				w.manifestPath, i, length, codec)
+		}
+		w.index[i] = tileRef{off: off, length: length, crc: m.CRCs[i], codec: codec}
+		off += length
 	}
 	f, err := os.OpenFile(w.partialPath, os.O_RDWR, 0)
 	if os.IsNotExist(err) {
 		// Manifest without data: treat as no checkpoint.
 		os.Remove(w.manifestPath)
+		w.index = make([]tileRef, w.q*w.q)
 		return nil
 	}
 	if err != nil {
@@ -215,13 +247,20 @@ func (w *PanelWriter) resume() error {
 		f.Close()
 		return err
 	}
-	for i := 0; i < m.Panels*w.q; i++ {
-		w.index[i].crc = m.CRCs[i]
-	}
 	w.tmp = f
 	w.nextPanel = m.Panels
+	w.nextOff = end
 	w.resumed = m.Panels
 	return nil
+}
+
+// codecName returns the writer's preferred codec name ("raw" when none
+// is configured) for the checkpoint manifest.
+func (w *PanelWriter) codecName() string {
+	if w.codec == nil {
+		return codecs[CodecRaw].Name()
+	}
+	return w.codec.Name()
 }
 
 // panelEnd returns the file offset one past the last tile of panel p-1 —
@@ -249,9 +288,14 @@ func (w *PanelWriter) checkpointPanel() error {
 		N:       w.n, B: w.b, Q: w.q,
 		Panels: w.nextPanel,
 		CRCs:   make([]uint32, w.q*w.q),
+		Lens:   make([]int64, w.q*w.q),
+		Codecs: make([]byte, w.q*w.q),
+		Codec:  w.codecName(),
 	}
 	for i := range w.index {
 		m.CRCs[i] = w.index[i].crc
+		m.Lens[i] = w.index[i].length
+		m.Codecs[i] = w.index[i].codec
 	}
 	raw, err := json.Marshal(&m)
 	if err != nil {
@@ -293,15 +337,15 @@ func headerBytes(n, blockSize, q int, index []tileRef) []byte {
 	return append(hdr, indexBytes(index)...)
 }
 
-// indexBytes encodes the tile index region (v2: 24-byte entries with
-// per-tile CRC32C), as written at fileHdrLen.
+// indexBytes encodes the tile index region (v3: 24-byte entries with
+// per-tile CRC32C and codec byte), as written at fileHdrLen.
 func indexBytes(index []tileRef) []byte {
 	out := make([]byte, 0, len(index)*idxEntryLenV2)
 	for _, ref := range index {
 		out = binary.LittleEndian.AppendUint64(out, uint64(ref.off))
 		out = binary.LittleEndian.AppendUint64(out, uint64(ref.length))
 		out = binary.LittleEndian.AppendUint32(out, ref.crc)
-		out = binary.LittleEndian.AppendUint32(out, 0)
+		out = append(out, ref.codec, 0, 0, 0)
 	}
 	return out
 }
@@ -352,14 +396,14 @@ func (w *PanelWriter) WritePanel(rows *matrix.Block) error {
 		tile := matrix.Get(h, tw)
 		err := rows.ExtractInto(tile, 0, bj*w.b)
 		if err == nil {
-			w.buf = tile.AppendMarshal(w.buf[:0])
-			if int64(len(w.buf)) != w.index[bi*w.q+bj].length {
-				err = fmt.Errorf("store: tile (%d,%d) encoded to %d bytes, index says %d",
-					bi, bj, len(w.buf), w.index[bi*w.q+bj].length)
+			var cid byte
+			w.buf, cid = encodeTile(w.codec, tile, w.buf)
+			w.index[bi*w.q+bj] = tileRef{
+				off: w.nextOff, length: int64(len(w.buf)),
+				crc:   crc32.Checksum(w.buf, castagnoli),
+				codec: cid,
 			}
-		}
-		if err == nil {
-			w.index[bi*w.q+bj].crc = crc32.Checksum(w.buf, castagnoli)
+			w.nextOff += int64(len(w.buf))
 			_, err = w.tmp.Write(w.buf)
 		}
 		matrix.Put(tile)

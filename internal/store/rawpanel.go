@@ -1,20 +1,35 @@
 // Raw row-panel transfer between stores: the generation updater copies
 // the panels an edge-delta batch did not dirty straight from the parent
 // store's file into the candidate store, byte-for-byte, without decoding
-// a single tile. Because tile offsets are fully determined by (n, b),
-// panel bi occupies the identical byte range in every store of the same
-// geometry, so a verified raw copy is both the fastest and the safest
-// way to carry clean rows across generations: every tile's CRC32C is
-// checked on the way out of the parent and again on the way into the
-// candidate, so a torn copy can never be published.
+// a single tile. Tile payloads are laid out contiguously in index order
+// (a format invariant Open enforces), so panel bi is always one
+// contiguous byte span whatever mix of codecs its tiles use, and a
+// verified raw copy is both the fastest and the safest way to carry
+// clean rows across generations: every tile's CRC32C is checked on the
+// way out of the parent and again on the way into the candidate, so a
+// torn copy can never be published. The per-tile metadata (length, CRC,
+// codec) rides alongside the bytes, which is how a compressed parent's
+// density survives into the child for free.
 package store
 
 import (
 	"fmt"
 	"hash/crc32"
+
+	"apspark/internal/matrix"
 )
 
-// PanelBytes returns the marshalled size of row panel bi — the bytes
+// TileMeta describes one encoded tile inside a raw panel span: its
+// encoded length, the CRC32C of those bytes, and the codec that produced
+// them. ReadPanelRaw emits one per tile; WriteRawPanel verifies and
+// records them in the destination index.
+type TileMeta struct {
+	Length int64
+	CRC    uint32
+	Codec  byte
+}
+
+// PanelBytes returns the encoded size of row panel bi — the bytes
 // ReadPanelRaw will produce for it.
 func (s *Store) PanelBytes(bi int) (int64, error) {
 	if bi < 0 || bi >= s.q {
@@ -28,14 +43,15 @@ func (s *Store) PanelBytes(bi int) (int64, error) {
 }
 
 // ReadPanelRaw reads row panel bi (all q tiles of tile-row bi) as one
-// contiguous marshalled byte span, reusing buf's backing array when it
-// is large enough, and returns the per-tile CRC32C values alongside.
-// Every tile is verified against its index checksum before the bytes
-// are handed out (v2 stores); a mismatch quarantines the tile and
-// returns ErrCorruptTile, so corruption in the parent store surfaces
-// here instead of being propagated into a copy. Version-1 stores carry
-// no checksums: their CRCs are computed fresh from the bytes read.
-func (s *Store) ReadPanelRaw(bi int, buf []byte) ([]byte, []uint32, error) {
+// contiguous encoded byte span, reusing buf's backing array when it is
+// large enough, and returns the per-tile metadata (length, CRC32C,
+// codec) alongside. Every tile is verified against its index checksum
+// before the bytes are handed out (v2+ stores); a mismatch quarantines
+// the tile and returns ErrCorruptTile, so corruption in the parent store
+// surfaces here instead of being propagated into a copy. Version-1
+// stores carry no checksums: their CRCs are computed fresh from the
+// bytes read.
+func (s *Store) ReadPanelRaw(bi int, buf []byte) ([]byte, []TileMeta, error) {
 	if bi < 0 || bi >= s.q {
 		return nil, nil, fmt.Errorf("store: panel %d outside [0,%d)", bi, s.q)
 	}
@@ -53,7 +69,7 @@ func (s *Store) ReadPanelRaw(bi int, buf []byte) ([]byte, []uint32, error) {
 	if err := s.readAt(buf, first.off); err != nil {
 		return nil, nil, fmt.Errorf("store: panel %d read: %w", bi, err)
 	}
-	crcs := make([]uint32, s.q)
+	metas := make([]TileMeta, s.q)
 	for bj := 0; bj < s.q; bj++ {
 		id := bi*s.q + bj
 		ref := s.index[id]
@@ -62,22 +78,24 @@ func (s *Store) ReadPanelRaw(bi int, buf []byte) ([]byte, []uint32, error) {
 			return nil, nil, fmt.Errorf("%w: panel %d tile %d outside its panel span", ErrMalformed, bi, bj)
 		}
 		got := crc32.Checksum(buf[lo:lo+ref.length], castagnoli)
-		if s.ver >= version && got != ref.crc {
+		if s.ver >= versionV2 && got != ref.crc {
 			return nil, nil, s.quarantine(id, bi, bj, fmt.Errorf("crc %08x, index says %08x", got, ref.crc))
 		}
-		crcs[bj] = got
+		metas[bj] = TileMeta{Length: ref.length, CRC: got, Codec: ref.codec}
 	}
-	return buf, crcs, nil
+	return buf, metas, nil
 }
 
-// WriteRawPanel appends the next row panel from its marshalled bytes, as
+// WriteRawPanel appends the next row panel from its encoded bytes, as
 // produced by ReadPanelRaw on a store of identical geometry. The span
-// length must match the panel's computed size exactly and every tile's
-// bytes must hash to the caller-supplied CRC32C — the copy-integrity
-// gate that keeps a bit flipped in transit out of the new store. In
-// checkpoint mode the panel is made durable before returning, exactly
-// like WritePanel.
-func (w *PanelWriter) WriteRawPanel(raw []byte, crcs []uint32) error {
+// length must match the metadata's tile lengths exactly, every tile's
+// metadata must satisfy the format invariants (known codec, raw tiles at
+// their geometric size, compressed tiles strictly smaller), and every
+// tile's bytes must hash to the caller-supplied CRC32C — the
+// copy-integrity gate that keeps a bit flipped in transit out of the new
+// store. In checkpoint mode the panel is made durable before returning,
+// exactly like WritePanel.
+func (w *PanelWriter) WriteRawPanel(raw []byte, metas []TileMeta) error {
 	if w.closed {
 		return fmt.Errorf("store: WriteRawPanel on closed writer")
 	}
@@ -87,30 +105,37 @@ func (w *PanelWriter) WriteRawPanel(raw []byte, crcs []uint32) error {
 	if w.nextPanel >= w.q {
 		return fmt.Errorf("store: all %d panels already written", w.q)
 	}
-	if len(crcs) != w.q {
-		return fmt.Errorf("store: panel %d raw write carries %d checksums, want %d", w.nextPanel, len(crcs), w.q)
+	if len(metas) != w.q {
+		return fmt.Errorf("store: panel %d raw write carries %d tile metas, want %d", w.nextPanel, len(metas), w.q)
 	}
 	bi := w.nextPanel
+	h := tileEdge(w.n, w.b, bi)
 	var want int64
-	for bj := 0; bj < w.q; bj++ {
-		want += w.index[bi*w.q+bj].length
+	for bj, m := range metas {
+		rawSize := matrix.DenseMarshaledSize(h, tileEdge(w.n, w.b, bj))
+		if int(m.Codec) >= numCodecs || m.Length < matrix.HeaderLen ||
+			(m.Codec == CodecRaw && m.Length != rawSize) || (m.Codec != CodecRaw && m.Length >= rawSize) {
+			return fmt.Errorf("store: panel %d tile %d meta is implausible (len=%d codec=%d, raw size %d)",
+				bi, bj, m.Length, m.Codec, rawSize)
+		}
+		want += m.Length
 	}
 	if int64(len(raw)) != want {
-		return fmt.Errorf("store: panel %d raw span is %d bytes, geometry implies %d", bi, len(raw), want)
+		return fmt.Errorf("store: panel %d raw span is %d bytes, its tile metas imply %d", bi, len(raw), want)
 	}
 	var off int64
-	for bj := 0; bj < w.q; bj++ {
-		length := w.index[bi*w.q+bj].length
-		if got := crc32.Checksum(raw[off:off+length], castagnoli); got != crcs[bj] {
-			return fmt.Errorf("store: panel %d tile %d bytes hash to %08x, caller says %08x (torn copy?)", bi, bj, got, crcs[bj])
+	for bj, m := range metas {
+		if got := crc32.Checksum(raw[off:off+m.Length], castagnoli); got != m.CRC {
+			return fmt.Errorf("store: panel %d tile %d bytes hash to %08x, caller says %08x (torn copy?)", bi, bj, got, m.CRC)
 		}
-		w.index[bi*w.q+bj].crc = crcs[bj]
-		off += length
+		w.index[bi*w.q+bj] = tileRef{off: w.nextOff + off, length: m.Length, crc: m.CRC, codec: m.Codec}
+		off += m.Length
 	}
 	if _, err := w.tmp.Write(raw); err != nil {
 		w.failed = true
 		return err
 	}
+	w.nextOff += want
 	w.nextPanel++
 	if w.checkpoint {
 		if err := w.checkpointPanel(); err != nil {

@@ -9,17 +9,29 @@
 // serving half of the pipeline. Layout (little-endian):
 //
 //	[0:8]    magic "APSPTDS1"
-//	[8:12]   uint32 format version (2; version-1 files still open)
+//	[8:12]   uint32 format version (3; v1 and v2 files still open)
 //	[12:16]  uint32 n (vertices per side)
 //	[16:20]  uint32 b (tile edge; trailing tiles are ragged)
 //	[20:24]  uint32 q = ceil(n/b) (tiles per side, redundant, validated)
 //	[24:...] q*q index entries, row-major:
+//	           v3: {uint64 offset, uint64 length, uint32 crc32c,
+//	                byte codec, 3 zero bytes}
 //	           v2: {uint64 offset, uint64 length, uint32 crc32c, uint32 0}
 //	           v1: {uint64 offset, uint64 length}
-//	[...]    tile payloads: matrix.Block.Marshal bytes, h x w dense tiles
+//	[...]    tile payloads, contiguous in index order: raw tiles are
+//	         matrix.Block.Marshal bytes; compressed tiles hold the codec's
+//	         encoding (see codec.go) and are strictly smaller than raw
 //
-// Version 2 carries a CRC32C (Castagnoli) checksum of every tile's
-// marshalled bytes in its index entry. The checksum is verified on every
+// Version 3 adds per-tile compression: each index entry names the codec
+// of its payload, tile lengths become variable, and Open enforces that
+// the payloads are laid out contiguously (offset i+1 = offset i +
+// length i), which is what lets the raw-panel copy path move whole row
+// panels as one span without decoding. Raw tiles keep the exact v2
+// payload bytes, so a v3 store written with the raw codec differs from
+// v2 only in the header version and codec bytes.
+//
+// Versions 2 and 3 carry a CRC32C (Castagnoli) checksum of every tile's
+// encoded bytes in its index entry. The checksum is verified on every
 // cold read — both the whole-tile path and the first row-span touch of a
 // tile — so a flipped bit on disk surfaces as ErrCorruptTile instead of a
 // silently wrong distance. A tile that fails its checksum is quarantined:
@@ -71,11 +83,13 @@ import (
 
 	"apspark/internal/fsx"
 	"apspark/internal/matrix"
+	"apspark/internal/obs"
 )
 
 const (
 	magic      = "APSPTDS1"
-	version    = 2 // written by this build
+	version    = 3 // written by this build: per-tile codecs
+	versionV2  = 2 // still readable: per-tile checksums, raw tiles only
 	versionV1  = 1 // still readable: no per-tile checksums
 	fileHdrLen = 24
 
@@ -114,8 +128,17 @@ var (
 
 // Write cuts the dense n x n distance matrix into blockSize-edged tiles
 // and writes the store file at path (atomically: a temp file renamed into
-// place). The matrix is only read, never retained.
+// place) with every tile stored raw. The matrix is only read, never
+// retained.
 func Write(path string, dist *matrix.Block, blockSize int) error {
+	return WriteWithCodec(path, dist, blockSize, nil)
+}
+
+// WriteWithCodec is Write with a preferred tile codec: each tile is
+// offered to codec (nil means raw) and falls back to raw bytes whenever
+// the codec declines it or fails to shrink it, so the store is valid —
+// and no larger than its raw equivalent — for any input.
+func WriteWithCodec(path string, dist *matrix.Block, blockSize int, codec Codec) error {
 	if dist == nil || dist.Phantom() {
 		return fmt.Errorf("store: need a dense matrix (phantom or truncated solves have no distances)")
 	}
@@ -141,30 +164,20 @@ func Write(path string, dist *matrix.Block, blockSize int) error {
 	defer os.Remove(tmp.Name())
 	defer tmp.Close()
 
-	// Tile sizes are deterministic, so the whole index is computable
-	// before any payload is written: header + index first, tiles appended
-	// in row-major order.
+	// Encoded tile sizes depend on the data, so the index is built as the
+	// tiles stream past: header + a zeroed index placeholder first, tiles
+	// appended in row-major order at running offsets, index patched at the
+	// end with the offsets, lengths, checksums and codec bytes learned.
 	index := make([]tileRef, q*q)
-	off := int64(fileHdrLen + q*q*idxEntryLenV2)
-	for bi := 0; bi < q; bi++ {
-		h := tileEdge(n, blockSize, bi)
-		for bj := 0; bj < q; bj++ {
-			w := tileEdge(n, blockSize, bj)
-			length := matrix.DenseMarshaledSize(h, w)
-			index[bi*q+bj] = tileRef{off: off, length: length}
-			off += length
-		}
-	}
-
 	if _, err := tmp.Write(headerBytes(n, blockSize, q, index)); err != nil {
 		return err
 	}
 
-	// One pooled tile block and one marshal buffer, reused across tiles:
+	// One pooled tile block and one encode buffer, reused across tiles:
 	// the writer allocates O(b^2), not O(n^2). The tile never escapes, so
-	// returning it to the arena is safe. Each tile's CRC32C is recorded as
-	// it streams past; the index is patched with the checksums afterwards.
+	// returning it to the arena is safe.
 	var buf []byte
+	off := int64(fileHdrLen + q*q*idxEntryLenV2)
 	for bi := 0; bi < q; bi++ {
 		h := tileEdge(n, blockSize, bi)
 		for bj := 0; bj < q; bj++ {
@@ -172,14 +185,14 @@ func Write(path string, dist *matrix.Block, blockSize int) error {
 			tile := matrix.Get(h, w)
 			err := dist.ExtractInto(tile, bi*blockSize, bj*blockSize)
 			if err == nil {
-				buf = tile.AppendMarshal(buf[:0])
-				if int64(len(buf)) != index[bi*q+bj].length {
-					err = fmt.Errorf("store: tile (%d,%d) encoded to %d bytes, index says %d",
-						bi, bj, len(buf), index[bi*q+bj].length)
+				var cid byte
+				buf, cid = encodeTile(codec, tile, buf)
+				index[bi*q+bj] = tileRef{
+					off: off, length: int64(len(buf)),
+					crc:   crc32.Checksum(buf, castagnoli),
+					codec: cid,
 				}
-			}
-			if err == nil {
-				index[bi*q+bj].crc = crc32.Checksum(buf, castagnoli)
+				off += int64(len(buf))
 				_, err = tmp.Write(buf)
 			}
 			matrix.Put(tile)
@@ -223,9 +236,12 @@ func tileEdge(n, blockSize, k int) int {
 
 type tileRef struct {
 	off, length int64
-	// crc is the CRC32C of the tile's marshalled bytes (v2 stores; zero
+	// crc is the CRC32C of the tile's encoded bytes (v2+ stores; zero
 	// and unchecked for v1).
 	crc uint32
+	// codec identifies the payload encoding (v3 stores; always CodecRaw
+	// for v1/v2).
+	codec byte
 }
 
 // ShardStat is the per-shard slice of a cache-stats snapshot, surfaced in
@@ -419,6 +435,17 @@ type Store struct {
 	retryBackoff time.Duration
 	retriedReads atomic.Int64
 
+	// Codec census, fixed at open: how many tiles use each codec, the
+	// bytes their encoded payloads occupy, and the bytes the same tiles
+	// would occupy raw — the density win the serving tier is getting.
+	codecTiles   [numCodecs]int64
+	encodedBytes int64
+	rawBytes     int64
+
+	// decodeHist times tile decodes per codec (cold reads only; cache
+	// hits never decode).
+	decodeHist [numCodecs]*obs.Histogram
+
 	// readHook, when set before concurrent use, observes every tile disk
 	// read (test seam for the singleflight coalescing tests).
 	readHook func(bi, bj int)
@@ -486,11 +513,11 @@ func open(f io.ReaderAt, size int64, opts Options) (*Store, error) {
 	ver := int(binary.LittleEndian.Uint32(hdr[8:12]))
 	idxEntryLen := int64(idxEntryLenV2)
 	switch ver {
-	case version:
+	case version, versionV2:
 	case versionV1:
 		idxEntryLen = idxEntryLenV1
 	default:
-		return nil, fmt.Errorf("%w: version %d, this build reads %d and %d", ErrVersion, ver, versionV1, version)
+		return nil, fmt.Errorf("%w: version %d, this build reads %d through %d", ErrVersion, ver, versionV1, version)
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[12:16]))
 	b := int(binary.LittleEndian.Uint32(hdr[16:20]))
@@ -514,6 +541,9 @@ func open(f io.ReaderAt, size int64, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("%w: tile index: %w", ErrMalformed, err)
 	}
 	index := make([]tileRef, q*q)
+	var codecTiles [numCodecs]int64
+	var encodedBytes, rawBytes int64
+	nextOff := fileHdrLen + int64(q)*int64(q)*idxEntryLen
 	for i := range index {
 		ent := idxBuf[int64(i)*idxEntryLen:]
 		off := int64(binary.LittleEndian.Uint64(ent))
@@ -522,17 +552,42 @@ func open(f io.ReaderAt, size int64, opts Options) (*Store, error) {
 			return nil, fmt.Errorf("%w: tile %d index entry (off=%d len=%d) outside file of %d bytes",
 				ErrMalformed, i, off, length, size)
 		}
-		// Tile shapes are fully determined by (n, b), so every index
-		// length is checkable up front. This is what lets the span
-		// reader trust computed intra-tile offsets.
-		bi, bj := i/q, i%q
-		if want := matrix.DenseMarshaledSize(tileEdge(n, b, bi), tileEdge(n, b, bj)); length != want {
-			return nil, fmt.Errorf("%w: tile %d index length %d, geometry implies %d", ErrMalformed, i, length, want)
-		}
-		index[i] = tileRef{off: off, length: length}
+		var codec byte
 		if ver >= version {
+			codec = ent[20]
+			if int(codec) >= numCodecs {
+				return nil, fmt.Errorf("%w: tile %d uses codec %d, this build knows %d codecs",
+					ErrVersion, i, codec, numCodecs)
+			}
+		}
+		// Tile shapes are fully determined by (n, b), so every raw index
+		// length is checkable up front — this is what lets the span
+		// reader trust computed intra-tile offsets — and a compressed
+		// tile must be strictly smaller (the writers' fallback rule).
+		bi, bj := i/q, i%q
+		raw := matrix.DenseMarshaledSize(tileEdge(n, b, bi), tileEdge(n, b, bj))
+		if codec == CodecRaw {
+			if length != raw {
+				return nil, fmt.Errorf("%w: tile %d index length %d, geometry implies %d", ErrMalformed, i, length, raw)
+			}
+		} else if length >= raw {
+			return nil, fmt.Errorf("%w: tile %d claims codec %s but its %d bytes are not smaller than raw (%d)",
+				ErrMalformed, i, codecName(codec), length, raw)
+		}
+		// v3 payloads are contiguous in index order — variable lengths
+		// make this the only layout the raw-panel span copy can trust,
+		// so it is a format invariant, not a writer convention.
+		if ver >= version && off != nextOff {
+			return nil, fmt.Errorf("%w: tile %d at offset %d, contiguous layout implies %d", ErrMalformed, i, off, nextOff)
+		}
+		nextOff = off + length
+		index[i] = tileRef{off: off, length: length, codec: codec}
+		if ver >= versionV2 {
 			index[i].crc = binary.LittleEndian.Uint32(ent[16:])
 		}
+		codecTiles[codec]++
+		encodedBytes += length
+		rawBytes += raw
 	}
 	if opts.TileCacheBytes < 0 {
 		opts.TileCacheBytes = 0
@@ -571,6 +626,12 @@ func open(f io.ReaderAt, size int64, opts Options) (*Store, error) {
 		quar:         make([]atomic.Bool, q*q),
 		readRetries:  opts.ReadRetries,
 		retryBackoff: backoff,
+		codecTiles:   codecTiles,
+		encodedBytes: encodedBytes,
+		rawBytes:     rawBytes,
+	}
+	for i := range s.decodeHist {
+		s.decodeHist[i] = obs.NewHistogram()
 	}
 	return s, nil
 }
@@ -603,13 +664,84 @@ func (s *Store) TilesPerSide() int { return s.q }
 // FileBytes returns the on-disk size of the store.
 func (s *Store) FileBytes() int64 { return s.fileBytes }
 
-// Version returns the on-disk format version (2 carries per-tile
-// checksums; 1 predates them).
+// Version returns the on-disk format version (3 adds per-tile codecs, 2
+// per-tile checksums; 1 predates both).
 func (s *Store) Version() int { return s.ver }
 
 // Checksummed reports whether the store's tiles carry CRC32C checksums
-// (format v2).
-func (s *Store) Checksummed() bool { return s.ver >= version }
+// (format v2 and later).
+func (s *Store) Checksummed() bool { return s.ver >= versionV2 }
+
+// TileCodec returns the codec byte of tile (bi, bj) — CodecRaw on every
+// pre-v3 store.
+func (s *Store) TileCodec(bi, bj int) byte {
+	if bi < 0 || bi >= s.q || bj < 0 || bj >= s.q {
+		return CodecRaw
+	}
+	return s.index[bi*s.q+bj].codec
+}
+
+// TileSpan returns the file byte range [off, off+length) of tile
+// (bi, bj)'s encoded payload — fault-injection tests use it to corrupt a
+// specific tile without assuming fixed tile sizes.
+func (s *Store) TileSpan(bi, bj int) (off, length int64, err error) {
+	if bi < 0 || bi >= s.q || bj < 0 || bj >= s.q {
+		return 0, 0, fmt.Errorf("store: tile (%d,%d) outside %dx%d grid", bi, bj, s.q, s.q)
+	}
+	ref := s.index[bi*s.q+bj]
+	return ref.off, ref.length, nil
+}
+
+// CodecTiles returns how many tiles use each codec, keyed by codec name
+// (zero-count codecs are omitted).
+func (s *Store) CodecTiles() map[string]int64 {
+	out := make(map[string]int64, numCodecs)
+	for id, cnt := range s.codecTiles {
+		if cnt > 0 {
+			out[codecName(byte(id))] = cnt
+		}
+	}
+	return out
+}
+
+// CodecRatio returns the store's density win: the bytes its tiles would
+// occupy raw divided by the bytes they actually occupy encoded (1.0 for
+// an all-raw store, 4.0 when compression packs four raw bytes into one).
+func (s *Store) CodecRatio() float64 {
+	if s.encodedBytes <= 0 {
+		return 1
+	}
+	return float64(s.rawBytes) / float64(s.encodedBytes)
+}
+
+// PreferredCodec returns the codec most compressed tiles in the store
+// use (raw when nothing is compressed) — the codec a rebuild of this
+// store should inherit so derived generations keep the density.
+func (s *Store) PreferredCodec() Codec {
+	best, bestCount := CodecRaw, int64(0)
+	for id := 1; id < numCodecs; id++ {
+		if s.codecTiles[id] > bestCount {
+			best, bestCount = byte(id), s.codecTiles[id]
+		}
+	}
+	return codecs[best]
+}
+
+// CodecName returns the name of the store's preferred codec (see
+// PreferredCodec) for health reporting.
+func (s *Store) CodecName() string { return s.PreferredCodec().Name() }
+
+// DecodeHistogram returns the latency histogram of cold tile decodes for
+// the named codec (nil for unknown names). Exposed so RegisterMetrics
+// callers and benches can read decode timings per codec.
+func (s *Store) DecodeHistogram(name string) *obs.Histogram {
+	for id := 0; id < numCodecs; id++ {
+		if codecName(byte(id)) == name {
+			return s.decodeHist[id]
+		}
+	}
+	return nil
+}
 
 // Quarantined returns the number of tiles quarantined for failing their
 // checksum (or decoding to the wrong shape). A nonzero count means some
@@ -801,10 +933,11 @@ func waitFlight(ctx context.Context, fl *flight) (*matrix.Block, error) {
 }
 
 // readTile fetches and decodes one tile from disk, verifying its CRC32C
-// (v2 stores) and validating its shape against the geometry the header
-// promised. The staging buffer is pooled; Unmarshal copies the floats
-// out, so the decoded block owns fresh heap memory (it must: cached
-// tiles are shared indefinitely).
+// (v2+ stores) over the encoded bytes and dispatching the payload to its
+// codec's decoder, which validates shape and stream integrity. The
+// staging buffer is pooled; every decoder copies the values out, so the
+// decoded block owns fresh heap memory (it must: cached tiles are shared
+// indefinitely).
 func (s *Store) readTile(bi, bj, id int) (*matrix.Block, error) {
 	if s.quar[id].Load() {
 		return nil, fmt.Errorf("%w: tile (%d,%d) is quarantined", ErrCorruptTile, bi, bj)
@@ -818,22 +951,24 @@ func (s *Store) readTile(bi, bj, id int) (*matrix.Block, error) {
 	if err := s.readAt(*bp, ref.off); err != nil {
 		return nil, fmt.Errorf("store: tile (%d,%d): %w", bi, bj, err)
 	}
-	if s.ver >= version {
+	if s.ver >= versionV2 {
 		if got := crc32.Checksum(*bp, castagnoli); got != ref.crc {
 			return nil, s.quarantine(id, bi, bj,
 				fmt.Errorf("checksum %08x, index says %08x", got, ref.crc))
 		}
 	}
-	blk, err := matrix.Unmarshal(*bp)
+	h, w := tileEdge(s.n, s.b, bi), tileEdge(s.n, s.b, bj)
+	start := time.Now()
+	blk, err := decodeTile(ref.codec, *bp, h, w)
 	if err != nil {
 		return nil, s.quarantine(id, bi, bj, err)
 	}
-	h, w := tileEdge(s.n, s.b, bi), tileEdge(s.n, s.b, bj)
-	if blk.Phantom() || blk.R != h || blk.C != w {
-		return nil, s.quarantine(id, bi, bj,
-			fmt.Errorf("decoded as %dx%d phantom=%v, want dense %dx%d", blk.R, blk.C, blk.Phantom(), h, w))
+	s.decodeHist[ref.codec].RecordSince(start)
+	if ref.codec == CodecRaw {
+		// Only raw tiles may take the span fast path: its computed
+		// intra-tile offsets assume the fixed Marshal layout.
+		s.hdrOK[id].Store(true)
 	}
-	s.hdrOK[id].Store(true)
 	return blk, nil
 }
 
@@ -871,7 +1006,7 @@ func (s *Store) readRowSpan(bi, bj, r int, seg []float64) error {
 	if s.quar[id].Load() {
 		return fmt.Errorf("%w: tile (%d,%d) is quarantined", ErrCorruptTile, bi, bj)
 	}
-	if s.ver >= version && !s.hdrOK[id].Load() {
+	if s.ver >= versionV2 && !s.hdrOK[id].Load() {
 		return s.readRowSpanVerified(bi, bj, id, r, seg)
 	}
 	if s.readHook != nil {
@@ -927,15 +1062,26 @@ func (s *Store) readRowSpanVerified(bi, bj, id, r int, seg []float64) error {
 
 // assembleRow fills dst (len n) with row i, taking each segment from the
 // tile cache when the tile happens to be resident and from a direct
-// row-span read otherwise. It never populates the tile cache: decoding a
-// full b x b tile to extract one row would cost b times the IO and evict
-// genuinely hot tiles.
+// row-span read otherwise. For raw tiles it never populates the tile
+// cache: decoding a full b x b tile to extract one row would cost b
+// times the IO and evict genuinely hot tiles. A compressed tile has no
+// addressable row span — the whole tile must decode anyway — so those
+// segments route through Tile, which caches the decoded block: the
+// decode cost is already paid, and the next rows of the same panel hit.
 func (s *Store) assembleRow(ctx context.Context, i int, dst []float64) error {
 	bi, r := i/s.b, i%s.b
 	for bj := 0; bj < s.q; bj++ {
 		w := tileEdge(s.n, s.b, bj)
 		seg := dst[bj*s.b : bj*s.b+w]
 		id := bi*s.q + bj
+		if s.index[id].codec != CodecRaw {
+			tile, err := s.Tile(ctx, bi, bj)
+			if err != nil {
+				return err
+			}
+			copy(seg, tile.Row(r))
+			continue
+		}
 		sh := s.tileShards[id&s.tileMask]
 		sh.mu.Lock()
 		if el, ok := sh.items[id]; ok {

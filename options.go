@@ -7,6 +7,7 @@ import (
 	"apspark/internal/core"
 	"apspark/internal/costmodel"
 	"apspark/internal/rdd"
+	"apspark/internal/store"
 )
 
 // ClusterConfig describes the virtual cluster hardware and Spark runtime
@@ -47,8 +48,9 @@ type jobSettings struct {
 	verify       bool
 	trace        bool
 	resume       bool
-	partSize     int   // hierarchy builds only; 0 = auto
-	partSeed     int64 // hierarchy builds only; 0 = default ordering
+	partSize     int    // hierarchy builds only; 0 = auto
+	partSeed     int64  // hierarchy builds only; 0 = default ordering
+	codec        string // store writes only; "" = raw
 	progress     func(StageEvent)
 }
 
@@ -225,6 +227,29 @@ func WithTrace(on bool) SharedOption {
 func WithResume(on bool) SharedOption {
 	return settingsOption(func(j *jobSettings) error {
 		j.resume = on
+		return nil
+	})
+}
+
+// WithCodec selects the tile codec of the store SolveToStore writes:
+// "raw" (the default; "" means the same), "ivarint" (exact delta+varint
+// compression for integer-weight graphs — any tile holding a
+// non-integral, NaN, -Inf or >= 2^53 value falls back to raw bytes), or
+// "f32" (lossy float32 downcast, per-value relative error bounded at
+// 1e-6; tiles exceeding the bound fall back to raw). Compression is
+// per-tile and self-describing: readers need no flag, and OpenStore
+// serves any mix transparently. Solve/Project reject a non-raw codec —
+// an in-memory solve writes no store (as does BuildHierarchy, whose
+// persistence has its own format).
+func WithCodec(name string) SharedOption {
+	return settingsOption(func(j *jobSettings) error {
+		if _, err := store.CodecByName(name); err != nil {
+			return fmt.Errorf("apspark: WithCodec: %w", err)
+		}
+		if name == "raw" {
+			name = ""
+		}
+		j.codec = name
 		return nil
 	})
 }

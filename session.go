@@ -122,6 +122,9 @@ func (s *Session) run(ctx context.Context, g *Graph, n int, job jobSettings) (*R
 	if job.partSize != 0 || job.partSeed != 0 {
 		return nil, fmt.Errorf("apspark: WithPartSize/WithPartSeed configure BuildHierarchy; flat solver %q has no partitions", job.solver)
 	}
+	if job.codec != "" {
+		return nil, fmt.Errorf("apspark: WithCodec configures the store SolveToStore writes; an in-memory solve encodes no tiles")
+	}
 	solver, err := core.SolverByName(string(job.solver))
 	if err != nil {
 		return nil, err

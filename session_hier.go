@@ -63,6 +63,9 @@ func (s *Session) BuildHierarchy(ctx context.Context, g *Graph, opts ...SolveOpt
 	if job.blockSize != 0 {
 		return nil, fmt.Errorf("apspark: WithBlockSize tiles dense matrices; a hierarchy build has none")
 	}
+	if job.codec != "" {
+		return nil, fmt.Errorf("apspark: WithCodec configures tiled distance stores; hierarchy persistence has its own format")
+	}
 	bo := hierarchy.BuildOptions{PartSize: job.partSize, Seed: job.partSeed}
 	evSeq := 0
 	if job.progress != nil {

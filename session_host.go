@@ -76,6 +76,11 @@ func (s *Session) SolveToStore(ctx context.Context, g *Graph, path string, opts 
 	if IsHostSolver(job.solver) {
 		return s.runHost(ctx, g, job, path)
 	}
+	// The cluster fallback materializes the matrix through run (which
+	// rejects store-only knobs) and encodes it at write time, so -codec
+	// behaves identically whichever solver produced the distances.
+	codec := job.codec
+	job.codec = ""
 	res, err := s.run(ctx, g, g.N, job)
 	if err != nil {
 		return res, err
@@ -83,7 +88,7 @@ func (s *Session) SolveToStore(ctx context.Context, g *Graph, path string, opts 
 	if res.Dist == nil {
 		return res, fmt.Errorf("apspark: truncated run has no distance matrix to store")
 	}
-	if err := res.WriteStore(path, res.BlockSize); err != nil {
+	if err := res.WriteStoreWithCodec(path, res.BlockSize, codec); err != nil {
 		return res, err
 	}
 	return res, nil
@@ -151,6 +156,9 @@ func (s *Session) runHost(ctx context.Context, g *Graph, job jobSettings, storeP
 		if job.resume {
 			return nil, fmt.Errorf("apspark: WithResume resumes a streamed store solve; an in-memory solve has no checkpoint (use SolveToStore)")
 		}
+		if job.codec != "" {
+			return nil, fmt.Errorf("apspark: WithCodec configures the store SolveToStore writes; an in-memory solve encodes no tiles")
+		}
 		dist, done, err := eng.Solve(ctx, b, sopts)
 		if err != nil {
 			return finish(done, err)
@@ -182,9 +190,14 @@ func (s *Session) runHost(ctx context.Context, g *Graph, job jobSettings, storeP
 	// deferred Abort on cancellation) leaves a resumable partial store
 	// rather than nothing. WithResume picks such a checkpoint up,
 	// re-solving only the panels past the last durable one.
+	codec, err := store.CodecByName(job.codec)
+	if err != nil {
+		return nil, err
+	}
 	pw, err := store.NewPanelWriterWithOptions(storePath, n, b, store.PanelWriterOptions{
 		Checkpoint: true,
 		Resume:     job.resume,
+		Codec:      codec,
 	})
 	if err != nil {
 		return nil, err
